@@ -1,0 +1,149 @@
+//! Ablation benches for the design decisions called out in DESIGN.md §6.
+//! Each compares two variants of a design choice under identical workloads;
+//! criterion reports the cost, and the bench bodies assert the qualitative
+//! quality claim where one exists.
+//!
+//! * continuous worker sampling on/off (the MW always-busy-workers model);
+//! * parallel vs serial virtual-time accounting;
+//! * oracle vs empirical error estimation under PC;
+//! * geometric sampling-growth factor (1.1 / 1.5 / 2.0).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use noisy_simplex::prelude::*;
+use std::hint::black_box;
+use stoch_eval::functions::Rosenbrock;
+use stoch_eval::noise::ConstantNoise;
+use stoch_eval::sampler::Noisy;
+
+fn term() -> Termination {
+    Termination {
+        tolerance: Some(1e-4),
+        max_time: Some(5e3),
+        max_iterations: Some(300),
+    }
+}
+
+fn bench_continuous_sampling(c: &mut Criterion) {
+    let obj = Noisy::new(Rosenbrock::new(3), ConstantNoise(50.0));
+    let mut g = c.benchmark_group("ablation_continuous_sampling");
+    for (name, continuous) in [("on", true), ("off", false)] {
+        let pc = PointComparison {
+            cfg: SimplexConfig {
+                continuous,
+                ..SimplexConfig::default()
+            },
+            params: PcParams::default(),
+        };
+        g.bench_function(name, |b| {
+            let mut seed = 0u64;
+            b.iter_batched(
+                || {
+                    seed += 1;
+                    (init::random_uniform(3, -6.0, 3.0, seed), seed)
+                },
+                |(init, s)| black_box(pc.run(&obj, init, term(), TimeMode::Parallel, s)),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_time_modes(c: &mut Criterion) {
+    let obj = Noisy::new(Rosenbrock::new(3), ConstantNoise(50.0));
+    let mut g = c.benchmark_group("ablation_time_mode");
+    for (name, mode) in [("parallel", TimeMode::Parallel), ("serial", TimeMode::Serial)] {
+        g.bench_function(name, |b| {
+            let mut seed = 0u64;
+            b.iter_batched(
+                || {
+                    seed += 1;
+                    (init::random_uniform(3, -6.0, 3.0, seed), seed)
+                },
+                |(init, s)| {
+                    black_box(MaxNoise::with_k(2.0).run(&obj, init, term(), mode, s))
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_error_estimators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_error_estimator");
+    for name in ["oracle", "empirical"] {
+        g.bench_function(name, |b| {
+            let mut seed = 0u64;
+            b.iter_batched(
+                || {
+                    seed += 1;
+                    (init::random_uniform(3, -6.0, 3.0, seed), seed)
+                },
+                |(init, s)| {
+                    if name == "oracle" {
+                        let obj = Noisy::new(Rosenbrock::new(3), ConstantNoise(50.0));
+                        black_box(PointComparison::new().run(
+                            &obj,
+                            init,
+                            term(),
+                            TimeMode::Parallel,
+                            s,
+                        ))
+                    } else {
+                        let obj =
+                            Noisy::empirical(Rosenbrock::new(3), ConstantNoise(50.0), 1.0);
+                        black_box(PointComparison::new().run(
+                            &obj,
+                            init,
+                            term(),
+                            TimeMode::Parallel,
+                            s,
+                        ))
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_sampling_growth(c: &mut Criterion) {
+    let obj = Noisy::new(Rosenbrock::new(3), ConstantNoise(50.0));
+    let mut g = c.benchmark_group("ablation_sampling_growth");
+    for growth in [1.1, 1.5, 2.0] {
+        let mn = MaxNoise {
+            cfg: SimplexConfig {
+                sampling: SamplingPolicy {
+                    initial_dt: 1.0,
+                    growth,
+                },
+                ..SimplexConfig::default()
+            },
+            params: MnParams { k: 2.0 },
+        };
+        g.bench_function(&format!("growth_{growth}"), |b| {
+            let mut seed = 0u64;
+            b.iter_batched(
+                || {
+                    seed += 1;
+                    (init::random_uniform(3, -6.0, 3.0, seed), seed)
+                },
+                |(init, s)| black_box(mn.run(&obj, init, term(), TimeMode::Parallel, s)),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_continuous_sampling,
+    bench_time_modes,
+    bench_error_estimators,
+    bench_sampling_growth
+);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion micro-benchmarks for the MD substrate: the pair-force loop and
+//! a full velocity-Verlet+SHAKE step at two system sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use water_md::forces::compute_forces;
+use water_md::integrate::step;
+use water_md::model::TIP4P;
+use water_md::system::System;
+
+fn bench_md(c: &mut Criterion) {
+    for n_side in [3usize, 4] {
+        let sys = System::lattice(TIP4P, n_side, 0.997, 298.0, 1);
+        let rc = sys.box_len / 2.0;
+        let n = sys.n_molecules();
+        c.bench_function(&format!("compute_forces_n{n}"), |b| {
+            b.iter(|| black_box(compute_forces(black_box(&sys), rc)))
+        });
+        c.bench_function(&format!("md_step_n{n}"), |b| {
+            let mut sys2 = sys.clone();
+            let mut f = compute_forces(&sys2, rc);
+            b.iter(|| {
+                f = step(&mut sys2, &f, 1.0, rc);
+                black_box(f.potential)
+            })
+        });
+    }
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_md
+);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion micro-benchmarks for the MW framework: round-trip dispatch
+//! latency and batched fan-out throughput — the in-process analogue of the
+//! paper's master↔worker communication overhead (§3.4's "minor
+//! degradation... attributed to the I/O").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mw_framework::{MwDriver, MwPool, MwTask, WorkerCtx};
+use std::hint::black_box;
+
+struct NoopTask;
+impl MwTask for NoopTask {
+    type Output = u64;
+    fn execute(self, ctx: &WorkerCtx) -> u64 {
+        ctx.worker_id as u64
+    }
+}
+
+fn bench_mw(c: &mut Criterion) {
+    let pool = MwPool::new(4);
+    c.bench_function("pool_call_roundtrip", |b| {
+        b.iter(|| black_box(pool.call(|w| w + 1)))
+    });
+
+    let driver = MwDriver::new(4, 1);
+    c.bench_function("driver_dispatch_all_23_tasks", |b| {
+        // 23 = the d+3 workers of a 20-dimensional deployment.
+        b.iter(|| {
+            let tasks: Vec<NoopTask> = (0..23).map(|_| NoopTask).collect();
+            black_box(driver.dispatch_all(tasks))
+        })
+    });
+
+    let driver_ns = MwDriver::new(2, 6);
+    struct ClientTask;
+    impl MwTask for ClientTask {
+        type Output = usize;
+        fn execute(self, ctx: &WorkerCtx) -> usize {
+            ctx.run_clients(|i| i).into_iter().sum()
+        }
+    }
+    c.bench_function("server_client_fanout_ns6", |b| {
+        b.iter(|| black_box(driver_ns.dispatch_all(vec![ClientTask])))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_mw
+);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion micro-benchmarks for the sampling substrate: stream extension
+//! throughput and normal-variate generation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use stoch_eval::objective::SampleStream;
+use stoch_eval::rng::rng_from_seed;
+use stoch_eval::sampler::{standard_normal, EmpiricalStream, GaussianStream};
+
+fn bench_streams(c: &mut Criterion) {
+    c.bench_function("gaussian_stream_extend", |b| {
+        let mut s = GaussianStream::new(1.0, 10.0, 7);
+        b.iter(|| {
+            s.extend(black_box(1.0));
+            black_box(s.estimate())
+        })
+    });
+
+    c.bench_function("empirical_stream_extend_10_batches", |b| {
+        let mut s = EmpiricalStream::new(1.0, 10.0, 1.0, 7);
+        b.iter(|| {
+            s.extend(black_box(10.0));
+            black_box(s.estimate())
+        })
+    });
+
+    c.bench_function("standard_normal", |b| {
+        let mut rng = rng_from_seed(3);
+        b.iter(|| black_box(standard_normal(&mut rng)))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_streams
+);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Extension experiment: the full optimizer roster — the paper's simplex
+//! family against classical stochastic baselines (SPSA, simulated
+//! annealing, PSO, random search, the PSO+MN hybrid, and multistart MN) on
+//! the same noisy substrate and budget.
+//!
+//! Two workloads: unimodal-but-hard (Rosenbrock 4-d) and multimodal
+//! (Rastrigin 2-d), which is where the global baselines and hybrids earn
+//! their keep (paper §5.2).
+
+use noisy_simplex::prelude::*;
+use repro_bench::{csv_row, fmt};
+use stoch_eval::functions::{Rastrigin, Rosenbrock};
+use stoch_eval::noise::ConstantNoise;
+use stoch_eval::objective::{Objective, StochasticObjective};
+use stoch_eval::sampler::Noisy;
+
+fn term() -> Termination {
+    Termination {
+        tolerance: Some(1e-6),
+        max_time: Some(3e4),
+        max_iterations: Some(20_000),
+    }
+}
+
+fn sweep<F, O>(title: &str, objective: &F, underlying: &O, lo: f64, hi: f64)
+where
+    F: StochasticObjective,
+    O: Objective,
+{
+    println!("\n## {title}");
+    csv_row(
+        &["method", "mean_true_f", "mean_iters"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>(),
+    );
+    let d = underlying.dim();
+    let reps = 5u64;
+
+    let report = |name: &str, f: &mut dyn FnMut(u64) -> RunResult| {
+        let (mut sum_f, mut sum_it) = (0.0, 0.0);
+        for s in 0..reps {
+            let res = f(s);
+            sum_f += underlying.value(&res.best_point).max(1e-12).log10();
+            sum_it += res.iterations as f64;
+        }
+        csv_row(&[
+            name.to_string(),
+            format!("1e{}", fmt(sum_f / reps as f64)),
+            fmt(sum_it / reps as f64),
+        ]);
+    };
+
+    report("MN", &mut |s| {
+        let init = init::random_uniform(d, lo, hi, 60 + s);
+        MaxNoise::with_k(2.0).run(objective, init, term(), TimeMode::Parallel, s)
+    });
+    report("PC", &mut |s| {
+        let init = init::random_uniform(d, lo, hi, 60 + s);
+        PointComparison::new().run(objective, init, term(), TimeMode::Parallel, s)
+    });
+    report("SPSA", &mut |s| {
+        let x0: Vec<f64> = init::random_uniform(d, lo, hi, 60 + s)[0].clone();
+        Spsa::default().run(objective, x0, term(), TimeMode::Parallel, s)
+    });
+    report("SA", &mut |s| {
+        let x0: Vec<f64> = init::random_uniform(d, lo, hi, 60 + s)[0].clone();
+        SimulatedAnnealing::default().run(objective, x0, term(), TimeMode::Parallel, s)
+    });
+    report("PSO", &mut |s| {
+        Pso::in_box(lo, hi).run(objective, term(), TimeMode::Parallel, s)
+    });
+    report("PSO+MN", &mut |s| {
+        PsoSimplex::new(Pso::in_box(lo, hi), SimplexMethod::Mn(MaxNoise::with_k(2.0)))
+            .run(objective, term(), TimeMode::Parallel, s)
+    });
+    report("restart-MN", &mut |s| {
+        RestartedSimplex::new(SimplexMethod::Mn(MaxNoise::with_k(2.0)), lo, hi)
+            .run(objective, term(), TimeMode::Parallel, s)
+    });
+    report("random", &mut |s| {
+        RandomSearch::new(lo, hi).run(objective, term(), TimeMode::Parallel, s)
+    });
+}
+
+fn main() {
+    println!("# Extension: optimizer roster under a shared 3e4 virtual-time budget");
+    println!("# mean_true_f is the geometric mean of the true value at the result");
+
+    let rosen = Rosenbrock::new(4);
+    let obj = Noisy::new(rosen, ConstantNoise(10.0));
+    sweep("Rosenbrock 4-d, sigma0 = 10", &obj, &rosen, -5.0, 5.0);
+
+    let rast = Rastrigin::new(2);
+    let obj = Noisy::new(rast, ConstantNoise(1.0));
+    sweep("Rastrigin 2-d (multimodal), sigma0 = 1", &obj, &rast, -5.0, 5.0);
+}

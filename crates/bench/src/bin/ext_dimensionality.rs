@@ -1,0 +1,57 @@
+//! Extension experiment (paper §5.2 future work): algorithm behaviour under
+//! varying dimensionality. The paper tested d = 2, 3, 4 only; this sweep
+//! runs DET/MN/PC on noisy Rosenbrock for d ∈ {2, 3, 4, 6, 8} and reports
+//! the paper's three measures per method.
+
+use noisy_simplex::prelude::*;
+use repro_bench::{csv_row, fmt, standard_termination};
+use stoch_eval::functions::Rosenbrock;
+use stoch_eval::noise::ConstantNoise;
+use stoch_eval::objective::Objective;
+use stoch_eval::sampler::Noisy;
+
+fn main() {
+    println!("# Extension: dimensionality sweep, noisy Rosenbrock (sigma0=100), 5 seeds each");
+    csv_row(
+        &["d", "method", "mean_N", "mean_R", "mean_D"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>(),
+    );
+    for d in [2usize, 3, 4, 6, 8] {
+        let rosen = Rosenbrock::new(d);
+        let objective = Noisy::new(rosen, ConstantNoise(100.0));
+        let minimizer = rosen.minimizer().unwrap();
+        let methods: [(&str, SimplexMethod); 3] = [
+            ("DET", SimplexMethod::Det(Det::new())),
+            ("MN", SimplexMethod::Mn(MaxNoise::with_k(2.0))),
+            ("PC", SimplexMethod::Pc(PointComparison::new())),
+        ];
+        for (name, m) in methods {
+            let (mut n, mut r, mut dist) = (0.0, 0.0, 0.0);
+            let reps = 5;
+            for s in 0..reps {
+                let init = init::random_uniform(d, -6.0, 3.0, 40 + s);
+                let res = m.run(
+                    &objective,
+                    init,
+                    standard_termination(),
+                    TimeMode::Parallel,
+                    s,
+                );
+                let meas = res.measures(&objective, &minimizer, 0.0);
+                n += meas.n as f64;
+                r += meas.r;
+                dist += meas.d;
+            }
+            let k = reps as f64;
+            csv_row(&[
+                d.to_string(),
+                name.to_string(),
+                fmt(n / k),
+                fmt(r / k),
+                fmt(dist / k),
+            ]);
+        }
+    }
+}

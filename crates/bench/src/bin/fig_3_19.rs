@@ -1,0 +1,67 @@
+//! Fig 3.19 — oxygen–oxygen radial distribution functions:
+//!
+//! (a) the four initial (non-optimal) parameter vertices,
+//! (b) parameters found by MN, (c) by PC, (d) by PC+MN,
+//! each against the experimental curve and the published TIP4P model.
+//!
+//! Output: long-format CSV `panel,series,r,g`.
+
+use noisy_simplex::prelude::*;
+use repro_bench::csv_row;
+use water_md::cost::WaterObjective;
+use water_md::reference::{Experiment, INITIAL_VERTICES};
+use water_md::surrogate::SurrogateWater;
+
+fn emit_curve(panel: &str, series: &str, f: impl Fn(f64) -> f64) {
+    for i in 0..110 {
+        let r = 2.0 + i as f64 * 0.09;
+        csv_row(&[
+            panel.to_string(),
+            series.to_string(),
+            format!("{r:.3}"),
+            format!("{:.4}", f(r)),
+        ]);
+    }
+}
+
+fn main() {
+    let objective = WaterObjective::new(SurrogateWater);
+    let init: Vec<Vec<f64>> = INITIAL_VERTICES[..4].iter().map(|v| v.to_vec()).collect();
+    let term = Termination {
+        tolerance: Some(1e-4),
+        max_time: Some(2e5),
+        max_iterations: Some(10_000),
+    };
+
+    println!("# Fig 3.19: gOO(r) panels");
+    csv_row(
+        &["panel", "series", "r", "g"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>(),
+    );
+
+    // Panel (a): initial non-optimal vertices.
+    for (i, v) in init.iter().enumerate() {
+        let p = [v[0], v[1], v[2]];
+        emit_curve("a", &format!("vertex{}", i + 1), |r| {
+            SurrogateWater.g_oo_curve(&p, r)
+        });
+    }
+    emit_curve("a", "experiment", Experiment::g_oo);
+
+    // Panels (b)-(d): optimized models vs experiment vs TIP4P.
+    let tip4p = [0.1550, 3.1540, 0.5200];
+    let methods: [(&str, SimplexMethod); 3] = [
+        ("b_MN", SimplexMethod::Mn(MaxNoise::with_k(2.0))),
+        ("c_PC", SimplexMethod::Pc(PointComparison::new())),
+        ("d_PC+MN", SimplexMethod::PcMn(PcMn::new())),
+    ];
+    for (panel, method) in methods {
+        let res = method.run(&objective, init.clone(), term, TimeMode::Parallel, 11);
+        let p = [res.best_point[0], res.best_point[1], res.best_point[2]];
+        emit_curve(panel, "optimized", |r| SurrogateWater.g_oo_curve(&p, r));
+        emit_curve(panel, "TIP4P", |r| SurrogateWater.g_oo_curve(&tip4p, r));
+        emit_curve(panel, "experiment", Experiment::g_oo);
+    }
+}

@@ -1,0 +1,30 @@
+//! Fig 3.3 — the Rosenbrock "banana" surface: a grid dump of
+//! `f(x, y) = (1−x)² + 100(y − x²)²` over the paper's plotting window,
+//! suitable for gnuplot `splot`.
+
+use repro_bench::csv_row;
+use stoch_eval::functions::Rosenbrock;
+use stoch_eval::objective::Objective;
+
+fn main() {
+    println!("# Fig 3.3: Rosenbrock surface, x in [-2, 2.5], y in [-1, 2]");
+    csv_row(
+        &["x", "y", "f"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>(),
+    );
+    let f = Rosenbrock::new(2);
+    let (nx, ny) = (46, 31);
+    for i in 0..=nx {
+        let x = -2.0 + i as f64 * 4.5 / nx as f64;
+        for j in 0..=ny {
+            let y = -1.0 + j as f64 * 3.0 / ny as f64;
+            csv_row(&[
+                format!("{x:.3}"),
+                format!("{y:.3}"),
+                format!("{:.6e}", f.value(&[x, y])),
+            ]);
+        }
+    }
+}

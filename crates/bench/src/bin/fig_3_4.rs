@@ -1,0 +1,61 @@
+//! Fig 3.4 — best function value vs virtual time for the MN algorithm
+//! (k ∈ {2,3,4,5}) and the Anderson criterion (k1 ∈ {2⁰,2¹⁰,2²⁰,2³⁰}),
+//! from five different initial simplexes on noisy 3-d Rosenbrock.
+//!
+//! Output: long-format CSV `input,method,param,time,best_true` — one series
+//! per (input, method, param), the ten panels of the figure.
+
+use noisy_simplex::prelude::*;
+use repro_bench::{csv_row, standard_termination};
+use stoch_eval::functions::Rosenbrock;
+use stoch_eval::noise::ConstantNoise;
+use stoch_eval::sampler::Noisy;
+
+fn emit_series(input: u64, method: &str, param: &str, res: &RunResult) {
+    // Thin the trace to ≤ 60 points per series to keep the output readable.
+    let pts = res.trace.points();
+    let stride = (pts.len() / 60).max(1);
+    for p in pts.iter().step_by(stride) {
+        csv_row(&[
+            input.to_string(),
+            method.to_string(),
+            param.to_string(),
+            format!("{:.1}", p.time),
+            format!("{:.6e}", p.best_true.unwrap_or(p.best_observed)),
+        ]);
+    }
+}
+
+fn main() {
+    let objective = Noisy::new(Rosenbrock::new(3), ConstantNoise(100.0));
+    println!("# Fig 3.4: value vs time, MN (left) vs Anderson (right), 5 inputs");
+    csv_row(
+        &["input", "method", "param", "time", "best_true"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>(),
+    );
+    for input in 1..=5u64 {
+        let init = init::random_uniform(3, -6.0, 3.0, 100 + input);
+        for k in [2.0, 3.0, 4.0, 5.0] {
+            let res = MaxNoise::with_k(k).run(
+                &objective,
+                init.clone(),
+                standard_termination(),
+                TimeMode::Parallel,
+                input * 10 + k as u64,
+            );
+            emit_series(input, "MN", &format!("k={k}"), &res);
+        }
+        for e in [0, 10, 20, 30] {
+            let res = AndersonNm::with_k1(2f64.powi(e)).run(
+                &objective,
+                init.clone(),
+                standard_termination(),
+                TimeMode::Parallel,
+                input * 100 + e as u64,
+            );
+            emit_series(input, "Anderson", &format!("k1=2^{e}"), &res);
+        }
+    }
+}

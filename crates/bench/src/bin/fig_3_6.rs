@@ -1,0 +1,27 @@
+//! Fig 3.6 — the same three comparison panels as Fig 3.5, on the 4-d
+//! Powell singular function.
+
+use noisy_simplex::prelude::*;
+use repro_bench::{final_minima, print_ratio_panel, replicates};
+use stoch_eval::functions::Powell;
+use stoch_eval::noise::ConstantNoise;
+use stoch_eval::sampler::Noisy;
+
+fn main() {
+    let powell = Powell;
+    let n = replicates();
+    println!("# Fig 3.6: Powell 4-d, {n} initial simplexes per panel");
+    for sigma0 in [1.0, 100.0, 1000.0] {
+        let objective = Noisy::new(powell, ConstantNoise(sigma0));
+        let run = |method: SimplexMethod, tag: u64| {
+            final_minima(&objective, &powell, &method, 4, -5.0, 5.0, n, tag)
+        };
+        let det = run(SimplexMethod::Det(Det::new()), 1);
+        let mn = run(SimplexMethod::Mn(MaxNoise::with_k(2.0)), 1);
+        let pc = run(SimplexMethod::Pc(PointComparison::new()), 1);
+        let pcmn = run(SimplexMethod::PcMn(PcMn::new()), 1);
+        print_ratio_panel(&format!("(a) log10(MN/DET), noise={sigma0}"), &mn, &det);
+        print_ratio_panel(&format!("(b) log10(PC/MN), noise={sigma0}"), &pc, &mn);
+        print_ratio_panel(&format!("(c) log10((PC+MN)/PC), noise={sigma0}"), &pcmn, &pc);
+    }
+}

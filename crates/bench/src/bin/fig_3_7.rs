@@ -1,0 +1,24 @@
+//! Fig 3.7 — PC with confidence multiplier k = 1 vs k = 2 on 4-d
+//! Rosenbrock at σ0 = 1000. The paper finds no substantial difference.
+
+use noisy_simplex::prelude::*;
+use repro_bench::{final_minima, print_ratio_panel, replicates};
+use stoch_eval::functions::Rosenbrock;
+use stoch_eval::noise::ConstantNoise;
+use stoch_eval::sampler::Noisy;
+
+fn main() {
+    let rosen = Rosenbrock::new(4);
+    let n = replicates();
+    let objective = Noisy::new(rosen, ConstantNoise(1000.0));
+    println!("# Fig 3.7: PC k=1 vs k=2, Rosenbrock 4-d, noise=1000, {n} states");
+    let pc = |k: f64| {
+        SimplexMethod::Pc(PointComparison::with_params(PcParams {
+            k,
+            conditions: PcConditions::all(),
+        }))
+    };
+    let k1 = final_minima(&objective, &rosen, &pc(1.0), 4, -5.0, 5.0, n, 1);
+    let k2 = final_minima(&objective, &rosen, &pc(2.0), 4, -5.0, 5.0, n, 1);
+    print_ratio_panel("log10(min k=1 / min k=2)", &k1, &k2);
+}

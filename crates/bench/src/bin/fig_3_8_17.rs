@@ -1,0 +1,50 @@
+//! Figs 3.8–3.17 — the PC error-bar condition-set ablations on 4-d
+//! Rosenbrock at σ0 = 1000, averaged over 100 initial simplexes:
+//!
+//! * Fig 3.8  — c1 only vs c6 only
+//! * Figs 3.9–3.15 — each single condition c1…c7 vs the strict c1-7
+//! * Fig 3.16 — c1 only vs c136
+//! * Fig 3.17 — c136 vs c1-7
+//!
+//! Paper conclusions to check: any single condition beats c1-7; c1 beats
+//! c6; c136 beats c1-7 but not c1 alone.
+
+use noisy_simplex::prelude::*;
+use repro_bench::{final_minima, print_ratio_panel, replicates};
+use stoch_eval::functions::Rosenbrock;
+use stoch_eval::noise::ConstantNoise;
+use stoch_eval::sampler::Noisy;
+
+fn pc(conds: PcConditions) -> SimplexMethod {
+    SimplexMethod::Pc(PointComparison::with_params(PcParams {
+        k: 1.0,
+        conditions: conds,
+    }))
+}
+
+fn main() {
+    let rosen = Rosenbrock::new(4);
+    let n = replicates();
+    let objective = Noisy::new(rosen, ConstantNoise(1000.0));
+    println!("# Figs 3.8-3.17: PC condition ablations, Rosenbrock 4-d, noise=1000, {n} states");
+
+    let run = |conds: PcConditions| -> Vec<f64> {
+        final_minima(&objective, &rosen, &pc(conds), 4, -5.0, 5.0, n, 1)
+    };
+
+    // Evaluate each variant once and reuse across panels.
+    let singles: Vec<Vec<f64>> = (1..=7).map(|c| run(PcConditions::only(&[c]))).collect();
+    let all = run(PcConditions::all());
+    let c136 = run(PcConditions::only(&[1, 3, 6]));
+
+    print_ratio_panel("Fig 3.8: log10(c1 / c6)", &singles[0], &singles[5]);
+    for c in 1..=7usize {
+        print_ratio_panel(
+            &format!("Fig 3.{}: log10(c{c} / c1-7)", 8 + c),
+            &singles[c - 1],
+            &all,
+        );
+    }
+    print_ratio_panel("Fig 3.16: log10(c1 / c136)", &singles[0], &c136);
+    print_ratio_panel("Fig 3.17: log10(c136 / c1-7)", &c136, &all);
+}

@@ -1,0 +1,29 @@
+//! Table 3.3 — processor allocation for Rosenbrock optimization with the MW
+//! framework, d ∈ {20, 50, 100}, Ns = 1.
+//!
+//! Note: the dissertation's printed table repeats "23" in the clients
+//! column for all rows; the totals it prints (70/160/310) are only
+//! consistent with the stated formula `(d+3)·Ns`, which is what we report.
+
+use mw_framework::Allocation;
+use repro_bench::csv_row;
+
+fn main() {
+    println!("# Table 3.3: MW processor allocation (Ns = 1)");
+    csv_row(
+        &["d", "workers(d+3)", "servers(d+3)", "clients((d+3)Ns)", "total(dNs+3Ns+2d+7)"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>(),
+    );
+    for d in [20usize, 50, 100] {
+        let a = Allocation::new(d, 1);
+        csv_row(&[
+            d.to_string(),
+            a.workers().to_string(),
+            a.servers().to_string(),
+            a.clients().to_string(),
+            a.total().to_string(),
+        ]);
+    }
+}

@@ -1,0 +1,148 @@
+//! `repro-bench` — the experiment harness that regenerates every table and
+//! figure of the paper's evaluation (Ch. 3). One binary per exhibit; see
+//! `DESIGN.md` §3 for the index and `EXPERIMENTS.md` for recorded results.
+//!
+//! All binaries print their exhibit to stdout (CSV-ish rows plus ASCII
+//! histograms). Knobs via environment variables:
+//!
+//! * `REPRO_REPLICATES` — override the number of initial simplex states for
+//!   the distribution figures (paper: 100).
+//! * `REPRO_TIME` — override the virtual-walltime budget per run.
+
+#![warn(missing_docs)]
+
+use noisy_simplex::prelude::*;
+use stoch_eval::objective::{Objective, StochasticObjective};
+use stoch_eval::stats::{Histogram, PairedComparison};
+
+/// Number of replicate initial simplex states (paper default 100; override
+/// with `REPRO_REPLICATES`).
+pub fn replicates() -> usize {
+    std::env::var("REPRO_REPLICATES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100)
+}
+
+/// Virtual-walltime budget per optimization run (override `REPRO_TIME`).
+pub fn time_budget() -> f64 {
+    std::env::var("REPRO_TIME")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0e5)
+}
+
+/// The termination criteria used by the comparison experiments: Eq. 2.9
+/// tolerance plus the virtual-walltime budget (paper §2.4.1).
+pub fn standard_termination() -> Termination {
+    Termination {
+        tolerance: Some(1e-6),
+        max_time: Some(time_budget()),
+        max_iterations: Some(100_000),
+    }
+}
+
+/// Run `method` from each of `n` random initial simplexes drawn uniformly
+/// from `[lo, hi)` and return the *true* final minimum values (floored for
+/// log-ratio plots).
+pub fn final_minima<F, O>(
+    objective: &F,
+    underlying: &O,
+    method: &SimplexMethod,
+    d: usize,
+    lo: f64,
+    hi: f64,
+    n: usize,
+    seed_base: u64,
+) -> Vec<f64>
+where
+    F: StochasticObjective,
+    O: Objective,
+{
+    let term = standard_termination();
+    (0..n)
+        .map(|i| {
+            let init = init::random_uniform(d, lo, hi, seed_base + i as u64);
+            let res = method.run(objective, init, term, TimeMode::Parallel, 7_000 + i as u64);
+            underlying.value(&res.best_point)
+        })
+        .collect()
+}
+
+/// Print a paper-style histogram panel of `log10(min_a / min_b)`.
+pub fn print_ratio_panel(title: &str, mins_a: &[f64], mins_b: &[f64]) {
+    let cmp = PairedComparison::new(mins_a, mins_b, 1e-12, 0.25);
+    let hist: Histogram = cmp.histogram(-8.0, 8.0, 16);
+    println!("--- {title} ---");
+    println!(
+        "A wins: {:.0}%   tie: {:.0}%   B wins: {:.0}%   (n = {}, sign-test p = {:.3})",
+        100.0 * cmp.frac_a_wins,
+        100.0 * cmp.frac_tie,
+        100.0 * cmp.frac_b_wins,
+        mins_a.len(),
+        cmp.sign_test_p(0.25)
+    );
+    print!("{}", hist.render(40));
+    println!();
+}
+
+/// CSV row helper: prints comma-separated values with a fixed precision.
+pub fn csv_row(values: &[String]) {
+    println!("{}", values.join(","));
+}
+
+/// Format an `f64` compactly for tables.
+pub fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        return "0".into();
+    }
+    let a = v.abs();
+    if (0.01..10_000.0).contains(&a) {
+        format!("{v:.4}")
+    } else {
+        format!("{v:.3e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stoch_eval::functions::Sphere;
+    use stoch_eval::noise::ConstantNoise;
+    use stoch_eval::sampler::Noisy;
+
+    #[test]
+    fn env_knobs_have_defaults() {
+        // Do not set the env vars here (tests run in one process); just
+        // check the defaults parse.
+        assert!(replicates() >= 1);
+        assert!(time_budget() > 0.0);
+    }
+
+    #[test]
+    fn final_minima_returns_one_value_per_replicate() {
+        let sphere = Sphere::new(2);
+        let obj = Noisy::new(sphere, ConstantNoise(1.0));
+        std::env::set_var("REPRO_TIME", "2000");
+        let mins = final_minima(
+            &obj,
+            &sphere,
+            &SimplexMethod::Det(Det::new()),
+            2,
+            -3.0,
+            3.0,
+            4,
+            1,
+        );
+        std::env::remove_var("REPRO_TIME");
+        assert_eq!(mins.len(), 4);
+        assert!(mins.iter().all(|m| m.is_finite()));
+    }
+
+    #[test]
+    fn fmt_is_compact() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(1.5), "1.5000");
+        assert_eq!(fmt(1.0e-6), "1.000e-6");
+    }
+}

@@ -1,0 +1,110 @@
+//! A unified front door over the simplex-family algorithms, used by the
+//! experiment harness to sweep methods homogeneously.
+
+use crate::anderson::AndersonNm;
+use crate::det::Det;
+use crate::mn::MaxNoise;
+use crate::pc::PointComparison;
+use crate::pcmn::PcMn;
+use crate::result::RunResult;
+use crate::termination::Termination;
+use stoch_eval::clock::TimeMode;
+use stoch_eval::objective::StochasticObjective;
+
+/// Any of the five simplex-family methods the paper studies.
+#[derive(Debug, Clone)]
+pub enum SimplexMethod {
+    /// Deterministic Nelder–Mead (Algorithm 1).
+    Det(Det),
+    /// Max-noise (Algorithm 2).
+    Mn(MaxNoise),
+    /// Point-to-point comparison (Algorithm 3).
+    Pc(PointComparison),
+    /// Combined PC+MN (Algorithm 4).
+    PcMn(PcMn),
+    /// Nelder–Mead with the Anderson criterion (Eq. 2.4).
+    Anderson(AndersonNm),
+}
+
+impl SimplexMethod {
+    /// Short method name for reports ("DET", "MN", "PC", "PC+MN",
+    /// "Anderson").
+    pub fn name(&self) -> String {
+        match self {
+            SimplexMethod::Det(_) => "DET".into(),
+            SimplexMethod::Mn(m) => format!("MN(k={})", m.params.k),
+            SimplexMethod::Pc(p) => {
+                format!("PC(k={},{})", p.params.k, p.params.conditions.label())
+            }
+            SimplexMethod::PcMn(_) => "PC+MN".into(),
+            SimplexMethod::Anderson(a) => format!("Anderson(k1=2^{:.0})", a.params.k1.log2()),
+        }
+    }
+
+    /// Run the method on `objective` from the initial simplex `init`.
+    pub fn run<F: StochasticObjective>(
+        &self,
+        objective: &F,
+        init: Vec<Vec<f64>>,
+        term: Termination,
+        mode: TimeMode,
+        seed: u64,
+    ) -> RunResult {
+        match self {
+            SimplexMethod::Det(m) => m.run(objective, init, term, mode, seed),
+            SimplexMethod::Mn(m) => m.run(objective, init, term, mode, seed),
+            SimplexMethod::Pc(m) => m.run(objective, init, term, mode, seed),
+            SimplexMethod::PcMn(m) => m.run(objective, init, term, mode, seed),
+            SimplexMethod::Anderson(m) => m.run(objective, init, term, mode, seed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::random_uniform;
+    use stoch_eval::functions::Sphere;
+    use stoch_eval::noise::ConstantNoise;
+    use stoch_eval::sampler::Noisy;
+
+    #[test]
+    fn all_methods_run_through_the_enum() {
+        let obj = Noisy::new(Sphere::new(2), ConstantNoise(1.0));
+        let term = Termination {
+            tolerance: Some(1e-2),
+            max_time: Some(1e4),
+            max_iterations: Some(200),
+        };
+        let methods = [
+            SimplexMethod::Det(Det::new()),
+            SimplexMethod::Mn(MaxNoise::with_k(2.0)),
+            SimplexMethod::Pc(PointComparison::new()),
+            SimplexMethod::PcMn(PcMn::new()),
+            SimplexMethod::Anderson(AndersonNm::with_k1(1024.0)),
+        ];
+        for (i, m) in methods.iter().enumerate() {
+            let init = random_uniform(2, -3.0, 3.0, 100 + i as u64);
+            let res = m.run(&obj, init, term, TimeMode::Parallel, i as u64);
+            assert!(res.iterations > 0, "{} made no iterations", m.name());
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: Vec<String> = [
+            SimplexMethod::Det(Det::new()),
+            SimplexMethod::Mn(MaxNoise::with_k(2.0)),
+            SimplexMethod::Pc(PointComparison::new()),
+            SimplexMethod::PcMn(PcMn::new()),
+            SimplexMethod::Anderson(AndersonNm::with_k1(1024.0)),
+        ]
+        .iter()
+        .map(|m| m.name())
+        .collect();
+        let mut uniq = names.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert_eq!(uniq.len(), names.len());
+    }
+}

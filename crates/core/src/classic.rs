@@ -1,0 +1,132 @@
+//! The classic Nelder–Mead iteration body (Algorithm 1), parameterized by a
+//! *gate* (sampling performed before each decision) and a *trial
+//! preparation* policy (sampling performed on prospective points before they
+//! are compared).
+//!
+//! DET, MN, and the Anderson-criterion variant share this body exactly — the
+//! paper's Algorithms 1 and 2 differ only in the MN wait loop (line 4) — so
+//! we implement it once. The PC family has different comparison structure
+//! and lives in [`crate::pc`].
+
+use crate::config::SimplexConfig;
+use crate::engine::{Engine, SlotId};
+use crate::geometry::{contract, expand, reflect};
+use crate::result::RunResult;
+use crate::termination::{StopReason, Termination};
+use crate::trace::StepKind;
+use stoch_eval::clock::TimeMode;
+use stoch_eval::objective::StochasticObjective;
+
+/// Safety cap on gate/resample rounds within a single decision.
+pub(crate) const MAX_WAIT_ROUNDS: u32 = 10_000;
+
+/// Run the classic iteration body until termination.
+///
+/// * `gate` runs before each iteration's comparisons; it may sample and may
+///   demand a stop (budget exhausted mid-wait).
+/// * `prepare` samples a freshly-opened trial slot before it is compared.
+pub(crate) fn run_classic<F, G, P>(
+    objective: &F,
+    init: Vec<Vec<f64>>,
+    cfg: SimplexConfig,
+    term: Termination,
+    mode: TimeMode,
+    seed: u64,
+    mut gate: G,
+    mut prepare: P,
+) -> RunResult
+where
+    F: StochasticObjective,
+    G: FnMut(&mut Engine<F>) -> Option<StopReason>,
+    P: FnMut(&mut Engine<F>, SlotId),
+{
+    let coeff = cfg.coefficients;
+    let mut eng = Engine::new(objective, init, cfg, term, mode, seed);
+    loop {
+        if let Some(r) = eng.should_stop() {
+            return eng.finish(r);
+        }
+        if let Some(r) = gate(&mut eng) {
+            return eng.finish(r);
+        }
+
+        let ord = eng.ordering();
+        let cent = eng.centroid_excluding(ord.max);
+
+        // Reflection (Algorithm 1 line 3).
+        let refl_x = reflect(&cent, eng.point(ord.max), coeff.alpha);
+        let refl = eng.open_trial(refl_x);
+        prepare(&mut eng, refl);
+        if let Some(r) = eng.budget_stop() {
+            return eng.finish(r);
+        }
+
+        let g_ref = eng.estimate(refl).value;
+        if g_ref < eng.estimate(ord.min).value {
+            // Expansion branch (lines 4–10).
+            let exp_x = expand(&cent, eng.point(refl), coeff.gamma);
+            let exp = eng.open_trial(exp_x);
+            prepare(&mut eng, exp);
+            if eng.estimate(exp).value < eng.estimate(refl).value {
+                eng.replace_vertex(ord.max, exp);
+                eng.level_mut().on_expand();
+                eng.drop_trials();
+                eng.record(StepKind::Expand);
+            } else {
+                eng.replace_vertex(ord.max, refl);
+                eng.drop_trials();
+                eng.record(StepKind::Reflect);
+            }
+        } else if g_ref < eng.estimate(ord.max).value {
+            // Plain reflection (lines 12–13; note the paper compares against
+            // g(max), not the canonical g(smax)).
+            eng.replace_vertex(ord.max, refl);
+            eng.drop_trials();
+            eng.record(StepKind::Reflect);
+        } else {
+            // Contraction branch (lines 15–23).
+            let con_x = contract(&cent, eng.point(ord.max), coeff.beta);
+            let con = eng.open_trial(con_x);
+            prepare(&mut eng, con);
+            if eng.estimate(con).value < eng.estimate(ord.max).value {
+                eng.replace_vertex(ord.max, con);
+                eng.level_mut().on_contract();
+                eng.drop_trials();
+                eng.record(StepKind::Contract);
+            } else {
+                eng.drop_trials();
+                eng.collapse(ord.min);
+                eng.record(StepKind::Collapse);
+            }
+        }
+    }
+}
+
+/// Internal variance of the vertex values: `mean_i (g_i − ḡ)²` — the
+/// right-hand side of the MN gate (Eq. 2.3).
+pub(crate) fn internal_variance(values: &[f64]) -> f64 {
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    values.iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>() / n
+}
+
+/// Largest per-vertex noise variance `max_i σ_i²(t_i)` — the left-hand side
+/// of the MN gate.
+pub(crate) fn max_noise_variance<F: StochasticObjective>(eng: &Engine<F>) -> f64 {
+    eng.vertex_estimates()
+        .iter()
+        .map(|e| e.std_err * e.std_err)
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn internal_variance_matches_population_variance() {
+        // values 1,2,3: mean 2, mean square dev = 2/3.
+        assert!((internal_variance(&[1.0, 2.0, 3.0]) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(internal_variance(&[5.0, 5.0, 5.0]), 0.0);
+    }
+}

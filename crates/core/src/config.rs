@@ -1,0 +1,239 @@
+//! Shared configuration: sampling policy and per-algorithm parameter blocks.
+
+use crate::geometry::Coefficients;
+
+/// How much additional virtual time to spend when a stream must be extended.
+///
+/// Each extension multiplies a stream's accumulated time roughly by `growth`
+/// (with a floor of `initial_dt`), so reaching a target precision costs
+/// `O(log)` decision rounds while total sampling stays within a constant
+/// factor of optimal — the same geometric schedule the paper's MW deployment
+/// realises by letting simulations keep running between master decisions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SamplingPolicy {
+    /// Virtual duration of the first sample at any fresh point.
+    pub initial_dt: f64,
+    /// Multiplicative growth factor per extension (`> 1`).
+    pub growth: f64,
+}
+
+impl Default for SamplingPolicy {
+    fn default() -> Self {
+        SamplingPolicy {
+            initial_dt: 1.0,
+            growth: 1.5,
+        }
+    }
+}
+
+impl SamplingPolicy {
+    /// The next extension duration for a stream that has been sampled for
+    /// total time `t`.
+    #[inline]
+    pub fn next_dt(&self, t: f64) -> f64 {
+        (t * (self.growth - 1.0)).max(self.initial_dt)
+    }
+
+    /// Validate (`initial_dt > 0`, `growth > 1`).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.initial_dt <= 0.0 || self.initial_dt.is_nan() {
+            return Err(format!("initial_dt must be > 0, got {}", self.initial_dt));
+        }
+        if self.growth <= 1.0 || self.growth.is_nan() {
+            return Err(format!("growth must be > 1, got {}", self.growth));
+        }
+        Ok(())
+    }
+}
+
+/// Configuration shared by every simplex-family algorithm.
+#[derive(Debug, Clone)]
+pub struct SimplexConfig {
+    /// Nelder–Mead transformation coefficients.
+    pub coefficients: Coefficients,
+    /// Sampling-time schedule.
+    pub sampling: SamplingPolicy,
+    /// Continuous worker sampling (parallel mode only): while the master
+    /// waits on a targeted comparison, every other active vertex/trial keeps
+    /// sampling for the same wall-clock window at no extra parallel-time
+    /// cost — exactly what the MW deployment's always-busy workers do
+    /// (§3.1). DET disables this to stay the classic one-shot-evaluation
+    /// algorithm.
+    pub continuous: bool,
+}
+
+impl Default for SimplexConfig {
+    fn default() -> Self {
+        SimplexConfig {
+            coefficients: Coefficients::default(),
+            sampling: SamplingPolicy::default(),
+            continuous: true,
+        }
+    }
+}
+
+/// Parameters of the max-noise algorithm (Algorithm 2).
+#[derive(Debug, Clone, Copy)]
+pub struct MnParams {
+    /// The constant `k` in Eq. 2.3. The paper finds any small value in
+    /// `[1, 5]` appropriate; `k` affects only convergence speed, not the
+    /// outcome.
+    pub k: f64,
+}
+
+impl Default for MnParams {
+    fn default() -> Self {
+        MnParams { k: 2.0 }
+    }
+}
+
+/// Which of the seven PC decision sites use the noise-aware (error-bar)
+/// comparison. `PcConditions::all()` is the strict "c1-7" variant; the
+/// paper's ablations (Figs 3.8–3.17) toggle individual sites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PcConditions(pub [bool; 7]);
+
+impl PcConditions {
+    /// Error bars at every decision site (the strict "c1-7" variant).
+    pub fn all() -> Self {
+        PcConditions([true; 7])
+    }
+
+    /// Error bars at none of the sites (degenerates to DET comparisons).
+    pub fn none() -> Self {
+        PcConditions([false; 7])
+    }
+
+    /// Error bars only at the listed 1-based condition numbers.
+    ///
+    /// # Panics
+    /// If any number is outside `1..=7`.
+    pub fn only(conds: &[usize]) -> Self {
+        let mut m = [false; 7];
+        for &c in conds {
+            assert!((1..=7).contains(&c), "condition numbers are 1..=7");
+            m[c - 1] = true;
+        }
+        PcConditions(m)
+    }
+
+    /// Whether 1-based condition `c` uses the error-bar comparison.
+    #[inline]
+    pub fn uses_bars(&self, c: usize) -> bool {
+        self.0[c - 1]
+    }
+
+    /// Short label like `"c136"` or `"c1-7"` for reports.
+    pub fn label(&self) -> String {
+        if self.0 == [true; 7] {
+            return "c1-7".to_string();
+        }
+        if self.0 == [false; 7] {
+            return "none".to_string();
+        }
+        let mut s = String::from("c");
+        for (i, &b) in self.0.iter().enumerate() {
+            if b {
+                s.push_str(&(i + 1).to_string());
+            }
+        }
+        s
+    }
+}
+
+/// Parameters of the point-to-point comparison algorithm (Algorithm 3).
+#[derive(Debug, Clone, Copy)]
+pub struct PcParams {
+    /// Confidence multiplier `k` (1 = one standard error, 2 = two; Fig 3.7).
+    pub k: f64,
+    /// Which decision sites use error bars.
+    pub conditions: PcConditions,
+}
+
+impl Default for PcParams {
+    fn default() -> Self {
+        PcParams {
+            k: 1.0,
+            conditions: PcConditions::all(),
+        }
+    }
+}
+
+/// Parameters of the Anderson convergence criterion (Eq. 2.4):
+/// `σ_i²(t_i) < k1 · 2^{−l(1+k2)} ∀i`.
+#[derive(Debug, Clone, Copy)]
+pub struct AndersonParams {
+    /// Scale constant `k1` (the paper sweeps `2^0 … 2^30`).
+    pub k1: f64,
+    /// Exponent sharpening constant `k2` (the paper fixes `k2 = 0`).
+    pub k2: f64,
+}
+
+impl Default for AndersonParams {
+    fn default() -> Self {
+        AndersonParams {
+            k1: 2f64.powi(20),
+            k2: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_policy_grows_geometrically() {
+        let p = SamplingPolicy {
+            initial_dt: 1.0,
+            growth: 1.5,
+        };
+        assert_eq!(p.next_dt(0.0), 1.0);
+        assert_eq!(p.next_dt(1.0), 1.0); // 0.5 floored to initial_dt
+        assert_eq!(p.next_dt(10.0), 5.0);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn sampling_policy_validation() {
+        assert!(SamplingPolicy {
+            initial_dt: 0.0,
+            growth: 1.5
+        }
+        .validate()
+        .is_err());
+        assert!(SamplingPolicy {
+            initial_dt: 1.0,
+            growth: 1.0
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn pc_conditions_subsets_and_labels() {
+        let all = PcConditions::all();
+        assert!(all.uses_bars(1) && all.uses_bars(7));
+        assert_eq!(all.label(), "c1-7");
+        let c136 = PcConditions::only(&[1, 3, 6]);
+        assert!(c136.uses_bars(1) && c136.uses_bars(3) && c136.uses_bars(6));
+        assert!(!c136.uses_bars(2) && !c136.uses_bars(7));
+        assert_eq!(c136.label(), "c136");
+        assert_eq!(PcConditions::none().label(), "none");
+    }
+
+    #[test]
+    #[should_panic]
+    fn pc_conditions_reject_out_of_range() {
+        let _ = PcConditions::only(&[8]);
+    }
+
+    #[test]
+    fn defaults_match_paper() {
+        assert_eq!(MnParams::default().k, 2.0);
+        let pc = PcParams::default();
+        assert_eq!(pc.k, 1.0);
+        assert_eq!(pc.conditions, PcConditions::all());
+        assert_eq!(AndersonParams::default().k2, 0.0);
+    }
+}

@@ -1,0 +1,439 @@
+//! The shared execution engine for all simplex-family algorithms.
+//!
+//! The engine owns the simplex vertices, their sampling streams, the virtual
+//! clock, the trace, and termination checking. Algorithms (DET/MN/PC/PC+MN/
+//! Anderson) are thin decision layers over this engine: they open *trial*
+//! slots for prospective points (reflection, expansion, contraction), ask the
+//! engine to extend sampling, and accept moves.
+//!
+//! This mirrors the paper's MW deployment (§3.1): the master holds the
+//! simplex logic; each slot corresponds to a worker/vertex whose sampling
+//! runs concurrently, so a "round" that extends several slots costs the
+//! maximum of the individual extensions in parallel time.
+
+use crate::config::{SamplingPolicy, SimplexConfig};
+use crate::geometry::{
+    self, centroid_excluding, diameter, ContractionLevel, Ordering,
+};
+use crate::result::RunResult;
+use crate::termination::{StopReason, Termination};
+use crate::trace::{StepKind, Trace, TracePoint};
+use stoch_eval::clock::{TimeMode, VirtualClock};
+use stoch_eval::objective::{Estimate, SampleStream, StochasticObjective};
+use stoch_eval::rng::SeedSequence;
+
+/// Identifier of a slot (vertex or trial) inside the engine.
+pub type SlotId = usize;
+
+struct Slot<S> {
+    x: Vec<f64>,
+    stream: S,
+}
+
+/// Execution engine: simplex state + sampling + accounting.
+pub struct Engine<'a, F: StochasticObjective> {
+    objective: &'a F,
+    cfg: SimplexConfig,
+    term: Termination,
+    slots: Vec<Slot<F::Stream>>,
+    n_vertices: usize,
+    clock: VirtualClock,
+    seeds: SeedSequence,
+    trace: Trace,
+    iterations: u64,
+    total_sampling: f64,
+    level: ContractionLevel,
+}
+
+impl<'a, F: StochasticObjective> Engine<'a, F> {
+    /// Build an engine over `objective` from an initial simplex.
+    ///
+    /// Every vertex is opened and given one initial sample of duration
+    /// `cfg.sampling.initial_dt`, concurrently (one parallel round).
+    pub fn new(
+        objective: &'a F,
+        init: Vec<Vec<f64>>,
+        cfg: SimplexConfig,
+        term: Termination,
+        mode: TimeMode,
+        seed: u64,
+    ) -> Self {
+        let d = objective.dim();
+        assert_eq!(
+            init.len(),
+            d + 1,
+            "initial simplex must have d+1 = {} vertices",
+            d + 1
+        );
+        assert!(init.iter().all(|v| v.len() == d));
+        cfg.coefficients.validate().expect("invalid coefficients");
+        cfg.sampling.validate().expect("invalid sampling policy");
+
+        let mut seeds = SeedSequence::new(seed);
+        let mut slots = Vec::with_capacity(d + 3);
+        for x in init {
+            let stream = objective.open(&x, seeds.next_seed());
+            slots.push(Slot { x, stream });
+        }
+        let mut eng = Engine {
+            objective,
+            cfg,
+            term,
+            slots,
+            n_vertices: d + 1,
+            clock: VirtualClock::new(mode),
+            seeds,
+            trace: Trace::new(),
+            iterations: 0,
+            total_sampling: 0.0,
+            level: ContractionLevel::default(),
+        };
+        let ids: Vec<SlotId> = (0..eng.n_vertices).collect();
+        eng.extend_round(&ids);
+        eng
+    }
+
+    /// Dimensionality of the parameter space.
+    pub fn dim(&self) -> usize {
+        self.n_vertices - 1
+    }
+
+    /// Number of simplex vertices (`d + 1`).
+    pub fn n_vertices(&self) -> usize {
+        self.n_vertices
+    }
+
+    /// The configured sampling policy.
+    pub fn sampling(&self) -> SamplingPolicy {
+        self.cfg.sampling
+    }
+
+    /// The simplex configuration.
+    pub fn config(&self) -> &SimplexConfig {
+        &self.cfg
+    }
+
+    /// The point held by a slot.
+    pub fn point(&self, id: SlotId) -> &[f64] {
+        &self.slots[id].x
+    }
+
+    /// Current estimate at a slot.
+    pub fn estimate(&self, id: SlotId) -> Estimate {
+        self.slots[id].stream.estimate()
+    }
+
+    /// Estimates at all simplex vertices (ids `0..n_vertices`).
+    pub fn vertex_estimates(&self) -> Vec<Estimate> {
+        (0..self.n_vertices).map(|i| self.estimate(i)).collect()
+    }
+
+    /// Observed values at all simplex vertices.
+    pub fn vertex_values(&self) -> Vec<f64> {
+        (0..self.n_vertices)
+            .map(|i| self.estimate(i).value)
+            .collect()
+    }
+
+    /// Rank vertices by observed value.
+    pub fn ordering(&self) -> Ordering {
+        geometry::order(&self.vertex_values())
+    }
+
+    /// Centroid of all vertices except `exclude`.
+    pub fn centroid_excluding(&self, exclude: usize) -> Vec<f64> {
+        let pts: Vec<Vec<f64>> = (0..self.n_vertices)
+            .map(|i| self.slots[i].x.clone())
+            .collect();
+        centroid_excluding(&pts, exclude)
+    }
+
+    /// Simplex diameter (Eq. 2.2).
+    pub fn diameter(&self) -> f64 {
+        let pts: Vec<Vec<f64>> = (0..self.n_vertices)
+            .map(|i| self.slots[i].x.clone())
+            .collect();
+        diameter(&pts)
+    }
+
+    /// Open a *trial* slot at `x` (reflection/expansion/contraction point).
+    /// The stream starts unsampled; callers extend it before comparing.
+    pub fn open_trial(&mut self, x: Vec<f64>) -> SlotId {
+        let seed = self.seeds.next_seed();
+        let stream = self.objective.open(&x, seed);
+        self.slots.push(Slot { x, stream });
+        self.slots.len() - 1
+    }
+
+    /// All currently-open trial slot ids.
+    pub fn trial_ids(&self) -> Vec<SlotId> {
+        (self.n_vertices..self.slots.len()).collect()
+    }
+
+    /// Extend sampling for one concurrent round.
+    ///
+    /// The listed slots drive the round: its duration is the maximum of
+    /// their policy-scheduled increments. In parallel mode with continuous
+    /// sampling enabled (the MW deployment), *every* active slot — vertex or
+    /// trial — samples for the full round window, because workers never sit
+    /// idle while the master deliberates; the parallel-time cost is still
+    /// one round. Otherwise only the listed slots extend.
+    pub fn extend_round(&mut self, ids: &[SlotId]) {
+        if ids.is_empty() {
+            return;
+        }
+        let policy = self.cfg.sampling;
+        let piggyback =
+            self.cfg.continuous && self.clock.mode() == stoch_eval::clock::TimeMode::Parallel;
+        self.clock.begin_round();
+        if piggyback {
+            let dt_round = ids
+                .iter()
+                .map(|&id| policy.next_dt(self.slots[id].stream.estimate().time))
+                .fold(0.0f64, f64::max);
+            for slot in &mut self.slots {
+                slot.stream.extend(dt_round);
+                self.clock.charge(dt_round);
+                self.total_sampling += dt_round;
+            }
+        } else {
+            for &id in ids {
+                let t = self.slots[id].stream.estimate().time;
+                let dt = policy.next_dt(t);
+                self.slots[id].stream.extend(dt);
+                self.clock.charge(dt);
+                self.total_sampling += dt;
+            }
+        }
+        self.clock.end_round();
+    }
+
+    /// Keep extending slot `id` (alone) until its standard error is at most
+    /// `target` or the time budget runs out. Returns the final estimate.
+    pub fn extend_until(&mut self, id: SlotId, target: f64) -> Estimate {
+        let mut guard = 0u32;
+        while self.estimate(id).std_err > target {
+            if self.budget_stop().is_some() || guard > 10_000 {
+                break;
+            }
+            self.extend_round(&[id]);
+            guard += 1;
+        }
+        self.estimate(id)
+    }
+
+    /// Accept a trial into vertex position `v`: the trial's point and its
+    /// accumulated sampling move into the vertex slot.
+    pub fn replace_vertex(&mut self, v: usize, trial: SlotId) {
+        assert!(v < self.n_vertices && trial >= self.n_vertices);
+        self.slots.swap(v, trial);
+    }
+
+    /// Discard all trial slots (their sampling is abandoned, as when the
+    /// master directs "a cessation of work at one point").
+    pub fn drop_trials(&mut self) {
+        self.slots.truncate(self.n_vertices);
+    }
+
+    /// Collapse the simplex towards vertex `keep` (Algorithm 1 lines 19–22):
+    /// every other vertex moves halfway towards it and restarts sampling
+    /// from scratch at its new location (one concurrent round).
+    pub fn collapse(&mut self, keep: usize) {
+        let beta = self.cfg.coefficients.beta;
+        let keep_x = self.slots[keep].x.clone();
+        let mut fresh: Vec<SlotId> = Vec::new();
+        for i in 0..self.n_vertices {
+            if i == keep {
+                continue;
+            }
+            for (xj, kj) in self.slots[i].x.iter_mut().zip(&keep_x) {
+                *xj = beta * *xj + (1.0 - beta) * kj;
+            }
+            let seed = self.seeds.next_seed();
+            let x = self.slots[i].x.clone();
+            self.slots[i].stream = self.objective.open(&x, seed);
+            fresh.push(i);
+        }
+        self.extend_round(&fresh);
+        self.level.on_collapse(self.dim());
+    }
+
+    /// Contraction-level bookkeeping (read).
+    pub fn level(&self) -> ContractionLevel {
+        self.level
+    }
+
+    /// Contraction-level bookkeeping (write).
+    pub fn level_mut(&mut self) -> &mut ContractionLevel {
+        &mut self.level
+    }
+
+    /// Record a completed iteration with the accepted step kind.
+    pub fn record(&mut self, step: StepKind) {
+        self.iterations += 1;
+        let best = self.ordering().min;
+        let e = self.estimate(best);
+        self.trace.push(TracePoint {
+            time: self.clock.elapsed(),
+            iteration: self.iterations,
+            best_observed: e.value,
+            best_true: self.objective.true_value(self.point(best)),
+            diameter: self.diameter(),
+            step,
+        });
+    }
+
+    /// Completed iterations so far.
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    /// Elapsed virtual time.
+    pub fn elapsed(&self) -> f64 {
+        self.clock.elapsed()
+    }
+
+    /// Check the time/iteration budget (used inside resampling loops).
+    pub fn budget_stop(&self) -> Option<StopReason> {
+        self.term
+            .budget_exceeded(self.clock.elapsed(), self.iterations)
+    }
+
+    /// Full termination check: Eq. 2.9 spread first, then budgets.
+    pub fn should_stop(&self) -> Option<StopReason> {
+        if self.term.spread_met(&self.vertex_values()) {
+            return Some(StopReason::Tolerance);
+        }
+        self.budget_stop()
+    }
+
+    /// Finish the run, consuming the engine.
+    pub fn finish(self, stop: StopReason) -> RunResult {
+        let best = self.ordering().min;
+        RunResult {
+            best_point: self.slots[best].x.clone(),
+            best_observed: self.slots[best].stream.estimate().value,
+            iterations: self.iterations,
+            elapsed: self.clock.elapsed(),
+            total_sampling: self.total_sampling,
+            stop,
+            trace: self.trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimplexConfig;
+    use stoch_eval::functions::Sphere;
+    use stoch_eval::noise::{ConstantNoise, ZeroNoise};
+    use stoch_eval::sampler::Noisy;
+
+    fn engine_for<'a>(
+        obj: &'a Noisy<Sphere, ZeroNoise>,
+    ) -> Engine<'a, Noisy<Sphere, ZeroNoise>> {
+        let init = vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 1.0]];
+        Engine::new(
+            obj,
+            init,
+            SimplexConfig::default(),
+            Termination::default(),
+            TimeMode::Parallel,
+            1,
+        )
+    }
+
+    #[test]
+    fn initial_round_samples_all_vertices() {
+        let obj = Noisy::new(Sphere::new(2), ZeroNoise);
+        let eng = engine_for(&obj);
+        for e in eng.vertex_estimates() {
+            assert_eq!(e.time, 1.0);
+        }
+        // Parallel mode: three concurrent dt=1 samples cost 1 unit.
+        assert_eq!(eng.elapsed(), 1.0);
+    }
+
+    #[test]
+    fn ordering_and_centroid() {
+        let obj = Noisy::new(Sphere::new(2), ZeroNoise);
+        let eng = engine_for(&obj);
+        let o = eng.ordering();
+        assert_eq!(o.min, 0); // f(0,0)=0
+        // max is one of the two value-1 vertices (tie broken by index).
+        assert_eq!(o.max, 2);
+        let c = eng.centroid_excluding(o.max);
+        assert_eq!(c, vec![0.5, 0.0]);
+    }
+
+    #[test]
+    fn trial_accept_moves_sampling() {
+        let obj = Noisy::new(Sphere::new(2), ZeroNoise);
+        let mut eng = engine_for(&obj);
+        let t = eng.open_trial(vec![0.25, 0.25]);
+        eng.extend_round(&[t]);
+        eng.extend_round(&[t]);
+        let before = eng.estimate(t).time;
+        eng.replace_vertex(2, t);
+        eng.drop_trials();
+        assert_eq!(eng.estimate(2).time, before);
+        assert_eq!(eng.point(2), &[0.25, 0.25]);
+        assert_eq!(eng.trial_ids().len(), 0);
+    }
+
+    #[test]
+    fn collapse_moves_points_and_resets_streams() {
+        let obj = Noisy::new(Sphere::new(2), ZeroNoise);
+        let mut eng = engine_for(&obj);
+        // Age vertex 1's stream so we can see it reset.
+        eng.extend_round(&[1]);
+        assert!(eng.estimate(1).time > 1.0);
+        eng.collapse(0);
+        assert_eq!(eng.point(1), &[0.5, 0.0]);
+        assert_eq!(eng.point(2), &[0.0, 0.5]);
+        assert_eq!(eng.estimate(1).time, 1.0); // fresh stream, one dt0 sample
+        assert_eq!(eng.level().0, 2); // l += d
+    }
+
+    #[test]
+    fn extend_until_hits_target() {
+        let obj = Noisy::new(Sphere::new(2), ConstantNoise(10.0));
+        let init = vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 1.0]];
+        let mut eng = Engine::new(
+            &obj,
+            init,
+            SimplexConfig::default(),
+            Termination::default(),
+            TimeMode::Parallel,
+            2,
+        );
+        let e = eng.extend_until(0, 1.0);
+        assert!(e.std_err <= 1.0);
+        assert!(e.time >= 100.0); // sigma0^2 / target^2
+    }
+
+    #[test]
+    fn spread_termination_on_zero_noise() {
+        let obj = Noisy::new(Sphere::new(2), ZeroNoise);
+        let init = vec![vec![0.0, 0.0], vec![1e-9, 0.0], vec![0.0, 1e-9]];
+        let eng = Engine::new(
+            &obj,
+            init,
+            SimplexConfig::default(),
+            Termination::tolerance(1e-6),
+            TimeMode::Parallel,
+            3,
+        );
+        assert_eq!(eng.should_stop(), Some(StopReason::Tolerance));
+    }
+
+    #[test]
+    fn finish_reports_best_vertex() {
+        let obj = Noisy::new(Sphere::new(2), ZeroNoise);
+        let eng = engine_for(&obj);
+        let res = eng.finish(StopReason::MaxIterations);
+        assert_eq!(res.best_point, vec![0.0, 0.0]);
+        assert_eq!(res.best_observed, 0.0);
+    }
+}

@@ -1,0 +1,335 @@
+//! Pure simplex geometry: the transformation operations of §2.1 and the
+//! size/contraction-level bookkeeping of §2.2.
+//!
+//! All functions here are deterministic and allocation-explicit; the
+//! stochastic decision logic lives in the per-algorithm modules.
+
+/// Nelder–Mead transformation coefficients (§2.1). The paper's optimal
+/// settings are `α = 1` (reflection), `β = 0.5` (contraction), `γ = 2`
+/// (expansion).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Coefficients {
+    /// Reflection coefficient `α`.
+    pub alpha: f64,
+    /// Contraction coefficient `β ∈ (0, 1)`.
+    pub beta: f64,
+    /// Expansion coefficient `γ > 1`.
+    pub gamma: f64,
+}
+
+impl Default for Coefficients {
+    fn default() -> Self {
+        Coefficients {
+            alpha: 1.0,
+            beta: 0.5,
+            gamma: 2.0,
+        }
+    }
+}
+
+impl Coefficients {
+    /// Dimension-adaptive coefficients (Gao & Han 2012): in high dimensions
+    /// the classical expansion/contraction factors make the simplex degrade
+    /// — relevant to the paper's d = 20/50/100 scale-up runs. `α = 1`,
+    /// `γ = 1 + 2/d`, `β = (3/4) − 1/(2d)` (their shrink factor is handled
+    /// by the collapse path).
+    pub fn adaptive(d: usize) -> Self {
+        assert!(d >= 2, "adaptive coefficients need d >= 2");
+        let df = d as f64;
+        Coefficients {
+            alpha: 1.0,
+            beta: 0.75 - 1.0 / (2.0 * df),
+            gamma: 1.0 + 2.0 / df,
+        }
+    }
+
+    /// Validate the classical constraints (`α > 0`, `0 < β < 1`, `γ > 1`).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.alpha <= 0.0 || self.alpha.is_nan() {
+            return Err(format!("alpha must be > 0, got {}", self.alpha));
+        }
+        if !(self.beta > 0.0 && self.beta < 1.0) || self.beta.is_nan() {
+            return Err(format!("beta must be in (0,1), got {}", self.beta));
+        }
+        if self.gamma <= 1.0 || self.gamma.is_nan() {
+            return Err(format!("gamma must be > 1, got {}", self.gamma));
+        }
+        Ok(())
+    }
+}
+
+/// Centroid of `points`, excluding index `exclude`.
+pub fn centroid_excluding(points: &[Vec<f64>], exclude: usize) -> Vec<f64> {
+    let d = points[0].len();
+    let n = points.len() - 1;
+    assert!(n >= 1, "need at least two points");
+    let mut c = vec![0.0; d];
+    for (i, p) in points.iter().enumerate() {
+        if i == exclude {
+            continue;
+        }
+        for (cj, pj) in c.iter_mut().zip(p) {
+            *cj += pj;
+        }
+    }
+    for cj in &mut c {
+        *cj /= n as f64;
+    }
+    c
+}
+
+/// Reflection: `θ_ref = (1 + α)·θ_cent − α·θ_max` (with `α = 1`:
+/// `2·θ_cent − θ_max`).
+pub fn reflect(centroid: &[f64], worst: &[f64], alpha: f64) -> Vec<f64> {
+    centroid
+        .iter()
+        .zip(worst)
+        .map(|(&c, &w)| (1.0 + alpha) * c - alpha * w)
+        .collect()
+}
+
+/// Expansion: `θ_exp = γ·θ_ref − (γ − 1)·θ_cent` (with `γ = 2`:
+/// `2·θ_ref − θ_cent`).
+pub fn expand(centroid: &[f64], reflected: &[f64], gamma: f64) -> Vec<f64> {
+    centroid
+        .iter()
+        .zip(reflected)
+        .map(|(&c, &r)| gamma * r - (gamma - 1.0) * c)
+        .collect()
+}
+
+/// Contraction: `θ_con = β·θ_max + (1 − β)·θ_cent` (with `β = 0.5`: the
+/// midpoint of worst and centroid).
+pub fn contract(centroid: &[f64], worst: &[f64], beta: f64) -> Vec<f64> {
+    centroid
+        .iter()
+        .zip(worst)
+        .map(|(&c, &w)| beta * w + (1.0 - beta) * c)
+        .collect()
+}
+
+/// Collapse every point (except `keep`) halfway towards point `keep`:
+/// `θ_i ← β·θ_i + (1 − β)·θ_min`.
+pub fn collapse_towards(points: &mut [Vec<f64>], keep: usize, beta: f64) {
+    let towards = points[keep].clone();
+    for (i, p) in points.iter_mut().enumerate() {
+        if i == keep {
+            continue;
+        }
+        for (pj, tj) in p.iter_mut().zip(&towards) {
+            *pj = beta * *pj + (1.0 - beta) * tj;
+        }
+    }
+}
+
+/// Euclidean distance between two points.
+pub fn distance(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Simplex "diameter" per Eq. 2.2: the maximum pairwise vertex distance.
+pub fn diameter(points: &[Vec<f64>]) -> f64 {
+    let mut d = 0.0f64;
+    for i in 0..points.len() {
+        for j in i + 1..points.len() {
+            d = d.max(distance(&points[i], &points[j]));
+        }
+    }
+    d
+}
+
+/// Contraction-level bookkeeping (§2.2): the simplex size is always
+/// `2^{-l}` times the initial size. Contraction increments `l`, expansion
+/// decrements it, reflection leaves it unchanged, collapse adds `d`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ContractionLevel(pub i64);
+
+impl ContractionLevel {
+    /// Record a contraction step (size halves).
+    pub fn on_contract(&mut self) {
+        self.0 += 1;
+    }
+    /// Record an expansion step (size doubles).
+    pub fn on_expand(&mut self) {
+        self.0 -= 1;
+    }
+    /// Record a collapse in a `d`-dimensional space (paper: `l += d`).
+    pub fn on_collapse(&mut self, d: usize) {
+        self.0 += d as i64;
+    }
+    /// The size multiplier `2^{-l}` relative to the initial simplex.
+    pub fn size_factor(&self) -> f64 {
+        2f64.powi(-(self.0.clamp(i64::from(i32::MIN), i64::from(i32::MAX)) as i32))
+    }
+}
+
+/// Rank the vertices by observed value: indices of the highest (`max`),
+/// second-highest (`smax`), and lowest (`min`) objective values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ordering {
+    /// Index of the worst (highest) vertex.
+    pub max: usize,
+    /// Index of the second-worst vertex.
+    pub smax: usize,
+    /// Index of the best (lowest) vertex.
+    pub min: usize,
+}
+
+/// Compute the [`Ordering`] from per-vertex observed values.
+///
+/// Ties are broken by index for determinism. Requires at least two values.
+pub fn order(values: &[f64]) -> Ordering {
+    assert!(values.len() >= 2, "simplex needs >= 2 vertices");
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| {
+        values[a]
+            .partial_cmp(&values[b])
+            .expect("NaN objective value")
+            .then(a.cmp(&b))
+    });
+    Ordering {
+        min: idx[0],
+        smax: idx[idx.len() - 2],
+        max: idx[idx.len() - 1],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_coefficients_are_the_papers() {
+        let c = Coefficients::default();
+        assert_eq!((c.alpha, c.beta, c.gamma), (1.0, 0.5, 2.0));
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn adaptive_coefficients_shrink_with_dimension() {
+        let c2 = Coefficients::adaptive(2);
+        assert!(c2.validate().is_ok());
+        assert_eq!(c2.gamma, 2.0);
+        assert_eq!(c2.beta, 0.5);
+        let c100 = Coefficients::adaptive(100);
+        assert!(c100.validate().is_ok());
+        assert!(c100.gamma < c2.gamma && c100.gamma > 1.0);
+        assert!(c100.beta > c2.beta && c100.beta < 1.0);
+    }
+
+    #[test]
+    fn coefficient_validation_rejects_bad_values() {
+        assert!(Coefficients {
+            alpha: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(Coefficients {
+            beta: 1.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(Coefficients {
+            gamma: 1.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn centroid_excludes_worst() {
+        let pts = vec![vec![0.0, 0.0], vec![2.0, 0.0], vec![0.0, 2.0]];
+        assert_eq!(centroid_excluding(&pts, 0), vec![1.0, 1.0]);
+        assert_eq!(centroid_excluding(&pts, 2), vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn reflect_matches_algorithm_1_line_3() {
+        // ref = 2*cent - max for alpha = 1.
+        let r = reflect(&[1.0, 1.0], &[3.0, 0.0], 1.0);
+        assert_eq!(r, vec![-1.0, 2.0]);
+    }
+
+    #[test]
+    fn expand_matches_algorithm_1_line_5() {
+        // exp = 2*ref - cent for gamma = 2.
+        let e = expand(&[1.0, 1.0], &[-1.0, 2.0], 2.0);
+        assert_eq!(e, vec![-3.0, 3.0]);
+    }
+
+    #[test]
+    fn contract_is_midpoint_for_beta_half() {
+        let c = contract(&[1.0, 1.0], &[3.0, 0.0], 0.5);
+        assert_eq!(c, vec![2.0, 0.5]);
+    }
+
+    #[test]
+    fn collapse_halves_towards_min() {
+        let mut pts = vec![vec![0.0, 0.0], vec![4.0, 0.0], vec![0.0, 4.0]];
+        collapse_towards(&mut pts, 0, 0.5);
+        assert_eq!(pts[0], vec![0.0, 0.0]);
+        assert_eq!(pts[1], vec![2.0, 0.0]);
+        assert_eq!(pts[2], vec![0.0, 2.0]);
+    }
+
+    #[test]
+    fn reflection_preserves_diameter_scale() {
+        // A reflection replaces the worst vertex with its mirror image, so
+        // distances to the centroid are preserved for that vertex.
+        let pts = vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 1.0]];
+        let cent = centroid_excluding(&pts, 2);
+        let r = reflect(&cent, &pts[2], 1.0);
+        assert!((distance(&cent, &r) - distance(&cent, &pts[2])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diameter_of_unit_right_triangle() {
+        let pts = vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 1.0]];
+        assert!((diameter(&pts) - 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contraction_level_tracks_size() {
+        let mut l = ContractionLevel::default();
+        assert_eq!(l.size_factor(), 1.0);
+        l.on_contract();
+        assert_eq!(l.size_factor(), 0.5);
+        l.on_expand();
+        l.on_expand();
+        assert_eq!(l.size_factor(), 2.0);
+        l.on_collapse(3);
+        assert_eq!(l.0, 2);
+        assert_eq!(l.size_factor(), 0.25);
+    }
+
+    #[test]
+    fn ordering_identifies_max_smax_min() {
+        let o = order(&[3.0, 1.0, 7.0, 5.0]);
+        assert_eq!(o.max, 2);
+        assert_eq!(o.smax, 3);
+        assert_eq!(o.min, 1);
+    }
+
+    #[test]
+    fn ordering_breaks_ties_by_index() {
+        let o = order(&[1.0, 1.0, 1.0]);
+        assert_eq!(o.min, 0);
+        assert_eq!(o.smax, 1);
+        assert_eq!(o.max, 2);
+    }
+
+    #[test]
+    fn collapse_then_diameter_halves() {
+        let mut pts = vec![vec![0.0, 0.0], vec![2.0, 0.0], vec![0.0, 2.0]];
+        let d0 = diameter(&pts);
+        collapse_towards(&mut pts, 0, 0.5);
+        assert!((diameter(&pts) - d0 / 2.0).abs() < 1e-12);
+    }
+}

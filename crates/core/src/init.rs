@@ -1,0 +1,94 @@
+//! Initial-simplex generation.
+//!
+//! The paper stresses (§1.2) that the total optimization cost depends
+//! dramatically on the initial simplex and keeps that step explicit; the
+//! experiments draw each vertex coordinate uniformly from a box
+//! (`U[−6, 3]` for Tables 3.1–3.2, `U[−5, 5)` for Figs 3.5+).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use stoch_eval::rng::rng_from_seed;
+
+/// Draw a `(d+1)`-vertex simplex with every coordinate uniform in
+/// `[lo, hi)`.
+pub fn random_uniform(d: usize, lo: f64, hi: f64, seed: u64) -> Vec<Vec<f64>> {
+    assert!(d >= 1 && hi > lo);
+    let mut rng: StdRng = rng_from_seed(seed);
+    (0..=d)
+        .map(|_| (0..d).map(|_| rng.gen_range(lo..hi)).collect())
+        .collect()
+}
+
+/// A right-angled simplex anchored at `origin` with edge length `scale`
+/// along each axis — the classical "axis-step" initializer.
+pub fn axis_aligned(origin: &[f64], scale: f64) -> Vec<Vec<f64>> {
+    let d = origin.len();
+    assert!(d >= 1 && scale != 0.0);
+    let mut pts = Vec::with_capacity(d + 1);
+    pts.push(origin.to_vec());
+    for i in 0..d {
+        let mut p = origin.to_vec();
+        p[i] += scale;
+        pts.push(p);
+    }
+    pts
+}
+
+/// An explicit list of vertices (e.g. the hand-chosen poor starting
+/// parameters of Table 3.4a). Validates shape.
+pub fn explicit(vertices: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
+    assert!(vertices.len() >= 2, "need at least d+1 = 2 vertices");
+    let d = vertices[0].len();
+    assert!(
+        vertices.iter().all(|v| v.len() == d),
+        "all vertices must share a dimension"
+    );
+    assert_eq!(
+        vertices.len(),
+        d + 1,
+        "a simplex in {d} dimensions needs {} vertices",
+        d + 1
+    );
+    vertices
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_uniform_shape_and_range() {
+        let s = random_uniform(3, -6.0, 3.0, 42);
+        assert_eq!(s.len(), 4);
+        for v in &s {
+            assert_eq!(v.len(), 3);
+            for &x in v {
+                assert!((-6.0..3.0).contains(&x));
+            }
+        }
+    }
+
+    #[test]
+    fn random_uniform_is_reproducible() {
+        assert_eq!(random_uniform(4, -5.0, 5.0, 7), random_uniform(4, -5.0, 5.0, 7));
+        assert_ne!(random_uniform(4, -5.0, 5.0, 7), random_uniform(4, -5.0, 5.0, 8));
+    }
+
+    #[test]
+    fn axis_aligned_shape() {
+        let s = axis_aligned(&[1.0, 2.0], 0.5);
+        assert_eq!(s, vec![vec![1.0, 2.0], vec![1.5, 2.0], vec![1.0, 2.5]]);
+    }
+
+    #[test]
+    fn explicit_validates() {
+        let s = explicit(vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 1.0]]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn explicit_rejects_wrong_count() {
+        let _ = explicit(vec![vec![0.0, 0.0], vec![1.0, 0.0]]);
+    }
+}

@@ -1,0 +1,94 @@
+//! Optimization results and the paper's three performance measures
+//! (N, R, D — §3.2).
+
+use crate::termination::StopReason;
+use crate::trace::Trace;
+use stoch_eval::objective::StochasticObjective;
+
+/// The outcome of one optimization run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Best point found (the final `θ_min`).
+    pub best_point: Vec<f64>,
+    /// Observed objective value at `best_point` when the run stopped.
+    pub best_observed: f64,
+    /// Number of completed simplex iterations (the paper's `N`).
+    pub iterations: u64,
+    /// Total elapsed virtual sampling time.
+    pub elapsed: f64,
+    /// Total virtual sampling time summed over all streams (CPU-time
+    /// analogue; equals `elapsed` in serial mode).
+    pub total_sampling: f64,
+    /// Why the run stopped.
+    pub stop: StopReason,
+    /// Per-iteration trace.
+    pub trace: Trace,
+}
+
+/// The paper's three success measures for a run against a known optimum.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measures {
+    /// `N`: iterations to convergence.
+    pub n: u64,
+    /// `R`: error in the (noise-free) function value at convergence.
+    pub r: f64,
+    /// `D`: Euclidean distance of the final best point to the solution.
+    pub d: f64,
+}
+
+impl RunResult {
+    /// Compute `(N, R, D)` against an objective with a known optimum.
+    ///
+    /// `R` uses the substrate's noise-free value when available, falling
+    /// back to the observed value otherwise.
+    pub fn measures<F: StochasticObjective>(
+        &self,
+        objective: &F,
+        minimizer: &[f64],
+        minimum: f64,
+    ) -> Measures {
+        let f_best = objective
+            .true_value(&self.best_point)
+            .unwrap_or(self.best_observed);
+        let d = self
+            .best_point
+            .iter()
+            .zip(minimizer)
+            .map(|(&a, &b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        Measures {
+            n: self.iterations,
+            r: (f_best - minimum).abs(),
+            d,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stoch_eval::functions::Rosenbrock;
+    use stoch_eval::noise::ConstantNoise;
+    use stoch_eval::sampler::Noisy;
+
+    #[test]
+    fn measures_against_known_optimum() {
+        let obj = Noisy::new(Rosenbrock::new(3), ConstantNoise(1.0));
+        let res = RunResult {
+            best_point: vec![1.0, 1.0, 2.0],
+            best_observed: 123.0,
+            iterations: 17,
+            elapsed: 10.0,
+            total_sampling: 40.0,
+            stop: StopReason::Tolerance,
+            trace: Trace::new(),
+        };
+        let m = res.measures(&obj, &[1.0, 1.0, 1.0], 0.0);
+        assert_eq!(m.n, 17);
+        assert_eq!(m.d, 1.0);
+        // True Rosenbrock value at (1,1,2) = 100*(2-1)^2 = 100, not the
+        // noisy observed 123.
+        assert_eq!(m.r, 100.0);
+    }
+}

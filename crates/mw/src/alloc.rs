@@ -1,0 +1,105 @@
+//! Processor-allocation accounting for the MW hierarchy (§3.1, Table 3.3).
+//!
+//! A `d`-dimensional optimization with `Ns` simulations per vertex deploys:
+//!
+//! * 1 master,
+//! * `d + 3` workers (one per simplex vertex plus two trial vertices),
+//! * `d + 3` servers (one per worker, in its own MPI environment),
+//! * `(d + 3) · Ns` clients (the actual simulations),
+//!
+//! for a total of `d·Ns + 3·Ns + 2d + 7` processes/cores.
+
+/// The MW process/core allocation for one optimization deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Allocation {
+    /// Problem dimensionality `d`.
+    pub d: usize,
+    /// Simulations per vertex `Ns`.
+    pub ns: usize,
+}
+
+impl Allocation {
+    /// Allocation for a `d`-dimensional problem with `ns` simulations per
+    /// vertex.
+    pub fn new(d: usize, ns: usize) -> Self {
+        assert!(d >= 1 && ns >= 1);
+        Allocation { d, ns }
+    }
+
+    /// Number of master processes (always 1).
+    pub fn masters(&self) -> usize {
+        1
+    }
+
+    /// Number of worker processes: `d + 3` (d+1 vertices + 2 trials).
+    pub fn workers(&self) -> usize {
+        self.d + 3
+    }
+
+    /// Number of server processes: one per worker.
+    pub fn servers(&self) -> usize {
+        self.d + 3
+    }
+
+    /// Number of client processes: `(d + 3) · Ns`.
+    pub fn clients(&self) -> usize {
+        (self.d + 3) * self.ns
+    }
+
+    /// Total processes: `d·Ns + 3·Ns + 2d + 7` (paper §3.1).
+    pub fn total(&self) -> usize {
+        self.d * self.ns + 3 * self.ns + 2 * self.d + 7
+    }
+
+    /// Number of MPI jobs: `d + 4` (the MW job plus one client-server job
+    /// per worker).
+    pub fn mpi_jobs(&self) -> usize {
+        self.d + 4
+    }
+
+    /// The paper's suggested lower bound for an advanced implementation:
+    /// `(d + 3) · Ns` cores (§3.1).
+    pub fn minimal_cores(&self) -> usize {
+        (self.d + 3) * self.ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_total_equals_parts() {
+        for d in [2, 3, 4, 20, 50, 100] {
+            for ns in [1, 2, 6] {
+                let a = Allocation::new(d, ns);
+                assert_eq!(
+                    a.total(),
+                    a.masters() + a.workers() + a.servers() + a.clients(),
+                    "d={d} ns={ns}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table_3_3_rows() {
+        // The exact rows of Table 3.3 (Ns = 1).
+        for (d, workers, servers, clients, total) in
+            [(20, 23, 23, 23, 70), (50, 53, 53, 53, 160), (100, 103, 103, 103, 310)]
+        {
+            let a = Allocation::new(d, 1);
+            assert_eq!(a.workers(), workers);
+            assert_eq!(a.servers(), servers);
+            assert_eq!(a.clients(), clients);
+            assert_eq!(a.total(), total);
+        }
+    }
+
+    #[test]
+    fn mpi_jobs_and_minimal_cores() {
+        let a = Allocation::new(3, 6);
+        assert_eq!(a.mpi_jobs(), 7);
+        assert_eq!(a.minimal_cores(), 36);
+    }
+}

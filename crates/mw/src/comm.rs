@@ -1,0 +1,329 @@
+//! The `MWRMComm`-style message layer (§3.1): explicit `pack`/`unpack` of
+//! task data into byte buffers and tagged `send`/`recv` between master and
+//! workers.
+//!
+//! The original MW exposes virtual functions
+//! `pack(array, size)` / `unpack(array, size)` /
+//! `send(to_whom, message_tag)` / `recv(from_whom, message_tag)` over
+//! sockets, file I/O, Condor/PVM, or MPI. Here the wire is an in-process
+//! channel, but the programming model is preserved: values cross the
+//! master/worker boundary only as packed byte messages with (peer, tag)
+//! addressing. This is what "shipping a vertex to a worker" costs in the
+//! real system, and the `bench_mw` benchmarks measure it.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// Errors raised by the message layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// The buffer ended before the value was fully decoded.
+    Truncated,
+    /// The peer hung up.
+    Disconnected,
+    /// A value failed validation while unpacking.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::Truncated => write!(f, "message truncated"),
+            CommError::Disconnected => write!(f, "peer disconnected"),
+            CommError::Malformed(what) => write!(f, "malformed message: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// A value that can cross the master/worker boundary as bytes.
+pub trait Packable: Sized {
+    /// Append this value's encoding to `buf`.
+    fn pack(&self, buf: &mut BytesMut);
+    /// Decode a value from the front of `buf`.
+    fn unpack(buf: &mut Bytes) -> Result<Self, CommError>;
+}
+
+impl Packable for u64 {
+    fn pack(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(*self);
+    }
+    fn unpack(buf: &mut Bytes) -> Result<Self, CommError> {
+        if buf.remaining() < 8 {
+            return Err(CommError::Truncated);
+        }
+        Ok(buf.get_u64_le())
+    }
+}
+
+impl Packable for f64 {
+    fn pack(&self, buf: &mut BytesMut) {
+        buf.put_f64_le(*self);
+    }
+    fn unpack(buf: &mut Bytes) -> Result<Self, CommError> {
+        if buf.remaining() < 8 {
+            return Err(CommError::Truncated);
+        }
+        Ok(buf.get_f64_le())
+    }
+}
+
+impl Packable for bool {
+    fn pack(&self, buf: &mut BytesMut) {
+        buf.put_u8(u8::from(*self));
+    }
+    fn unpack(buf: &mut Bytes) -> Result<Self, CommError> {
+        if buf.remaining() < 1 {
+            return Err(CommError::Truncated);
+        }
+        match buf.get_u8() {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(CommError::Malformed("bool")),
+        }
+    }
+}
+
+impl<T: Packable> Packable for Vec<T> {
+    fn pack(&self, buf: &mut BytesMut) {
+        (self.len() as u64).pack(buf);
+        for x in self {
+            x.pack(buf);
+        }
+    }
+    fn unpack(buf: &mut Bytes) -> Result<Self, CommError> {
+        let n = u64::unpack(buf)? as usize;
+        // Cheap sanity bound so a corrupt length cannot OOM us.
+        if n > buf.remaining() {
+            return Err(CommError::Malformed("vec length"));
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(T::unpack(buf)?);
+        }
+        Ok(out)
+    }
+}
+
+impl Packable for String {
+    fn pack(&self, buf: &mut BytesMut) {
+        let b = self.as_bytes();
+        (b.len() as u64).pack(buf);
+        buf.put_slice(b);
+    }
+    fn unpack(buf: &mut Bytes) -> Result<Self, CommError> {
+        let n = u64::unpack(buf)? as usize;
+        if buf.remaining() < n {
+            return Err(CommError::Truncated);
+        }
+        let raw = buf.copy_to_bytes(n);
+        String::from_utf8(raw.to_vec()).map_err(|_| CommError::Malformed("utf8"))
+    }
+}
+
+/// Pack a value into a fresh message buffer.
+pub fn pack_message<T: Packable>(value: &T) -> Bytes {
+    let mut buf = BytesMut::new();
+    value.pack(&mut buf);
+    buf.freeze()
+}
+
+/// Unpack a full message into a value.
+pub fn unpack_message<T: Packable>(mut msg: Bytes) -> Result<T, CommError> {
+    let v = T::unpack(&mut msg)?;
+    if msg.has_remaining() {
+        return Err(CommError::Malformed("trailing bytes"));
+    }
+    Ok(v)
+}
+
+/// One tagged message on the wire.
+#[derive(Debug, Clone)]
+pub struct Message {
+    /// Sender rank.
+    pub from: usize,
+    /// Application tag (the MW `message_tag`).
+    pub tag: u32,
+    /// Packed payload.
+    pub payload: Bytes,
+}
+
+/// One endpoint of a fully-connected rank topology (rank 0 = master).
+pub struct Endpoint {
+    rank: usize,
+    peers: HashMap<usize, Sender<Message>>,
+    inbox: Receiver<Message>,
+    /// Messages received but not yet matched by a selective `recv`.
+    stash: VecDeque<Message>,
+}
+
+impl Endpoint {
+    /// This endpoint's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Pack `value` and send it to `to_whom` with `message_tag`.
+    pub fn send<T: Packable>(
+        &self,
+        to_whom: usize,
+        message_tag: u32,
+        value: &T,
+    ) -> Result<(), CommError> {
+        let tx = self
+            .peers
+            .get(&to_whom)
+            .ok_or(CommError::Malformed("unknown peer"))?;
+        tx.send(Message {
+            from: self.rank,
+            tag: message_tag,
+            payload: pack_message(value),
+        })
+        .map_err(|_| CommError::Disconnected)
+    }
+
+    /// Receive the next message matching `(from_whom, message_tag)`
+    /// (`None` matches anything), blocking. Non-matching messages are
+    /// stashed and delivered to later matching `recv`s in order.
+    pub fn recv<T: Packable>(
+        &mut self,
+        from_whom: Option<usize>,
+        message_tag: Option<u32>,
+    ) -> Result<(usize, T), CommError> {
+        let matches = |m: &Message| {
+            from_whom.map(|f| m.from == f).unwrap_or(true)
+                && message_tag.map(|t| m.tag == t).unwrap_or(true)
+        };
+        if let Some(idx) = self.stash.iter().position(matches) {
+            let m = self.stash.remove(idx).unwrap();
+            return Ok((m.from, unpack_message(m.payload)?));
+        }
+        loop {
+            let m = self.inbox.recv().map_err(|_| CommError::Disconnected)?;
+            if matches(&m) {
+                return Ok((m.from, unpack_message(m.payload)?));
+            }
+            self.stash.push_back(m);
+        }
+    }
+}
+
+/// Build a fully-connected set of `n` endpoints (rank 0 is the master).
+pub fn network(n: usize) -> Vec<Endpoint> {
+    assert!(n >= 2);
+    let channels: Vec<(Sender<Message>, Receiver<Message>)> =
+        (0..n).map(|_| unbounded()).collect();
+    (0..n)
+        .map(|rank| Endpoint {
+            rank,
+            peers: channels
+                .iter()
+                .enumerate()
+                .map(|(r, (tx, _))| (r, tx.clone()))
+                .collect(),
+            inbox: channels[rank].1.clone(),
+            stash: VecDeque::new(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrips() {
+        for v in [0u64, 1, u64::MAX] {
+            assert_eq!(unpack_message::<u64>(pack_message(&v)).unwrap(), v);
+        }
+        for v in [0.0f64, -1.5, f64::MAX, f64::MIN_POSITIVE] {
+            assert_eq!(unpack_message::<f64>(pack_message(&v)).unwrap(), v);
+        }
+        assert_eq!(unpack_message::<bool>(pack_message(&true)).unwrap(), true);
+    }
+
+    #[test]
+    fn vec_and_string_roundtrip() {
+        let v = vec![1.0f64, -2.5, 3.25];
+        assert_eq!(unpack_message::<Vec<f64>>(pack_message(&v)).unwrap(), v);
+        let s = "θ = (ε, σ, q_H)".to_string();
+        assert_eq!(unpack_message::<String>(pack_message(&s)).unwrap(), s);
+        let nested = vec![vec![1u64, 2], vec![], vec![3]];
+        assert_eq!(
+            unpack_message::<Vec<Vec<u64>>>(pack_message(&nested)).unwrap(),
+            nested
+        );
+    }
+
+    #[test]
+    fn truncated_and_trailing_are_rejected() {
+        let mut whole = pack_message(&vec![1.0f64, 2.0]);
+        let short = whole.split_to(whole.len() - 4);
+        assert!(unpack_message::<Vec<f64>>(short).is_err());
+        let mut buf = BytesMut::new();
+        1.0f64.pack(&mut buf);
+        2.0f64.pack(&mut buf);
+        assert_eq!(
+            unpack_message::<f64>(buf.freeze()),
+            Err(CommError::Malformed("trailing bytes"))
+        );
+    }
+
+    #[test]
+    fn corrupt_length_does_not_allocate() {
+        let mut buf = BytesMut::new();
+        u64::MAX.pack(&mut buf);
+        assert!(matches!(
+            unpack_message::<Vec<f64>>(buf.freeze()),
+            Err(CommError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn master_worker_echo_over_the_network() {
+        let mut eps = network(3);
+        let mut w2 = eps.pop().unwrap();
+        let mut w1 = eps.pop().unwrap();
+        let mut master = eps.pop().unwrap();
+
+        let h1 = std::thread::spawn(move || {
+            let (from, x): (usize, Vec<f64>) = w1.recv(Some(0), Some(7)).unwrap();
+            assert_eq!(from, 0);
+            let sum: f64 = x.iter().sum();
+            w1.send(0, 8, &sum).unwrap();
+        });
+        let h2 = std::thread::spawn(move || {
+            let (_, x): (usize, Vec<f64>) = w2.recv(Some(0), Some(7)).unwrap();
+            let sum: f64 = x.iter().sum();
+            w2.send(0, 8, &sum).unwrap();
+        });
+
+        master.send(1, 7, &vec![1.0f64, 2.0, 3.0]).unwrap();
+        master.send(2, 7, &vec![10.0f64, 20.0]).unwrap();
+        let (_, a): (usize, f64) = master.recv(Some(1), Some(8)).unwrap();
+        let (_, b): (usize, f64) = master.recv(Some(2), Some(8)).unwrap();
+        assert_eq!(a, 6.0);
+        assert_eq!(b, 30.0);
+        h1.join().unwrap();
+        h2.join().unwrap();
+    }
+
+    #[test]
+    fn selective_recv_stashes_non_matching_messages() {
+        let mut eps = network(2);
+        let w = eps.pop().unwrap();
+        let mut master = eps.pop().unwrap();
+        w.send(0, 1, &10u64).unwrap();
+        w.send(0, 2, &20u64).unwrap();
+        w.send(0, 1, &30u64).unwrap();
+        // Ask for tag 2 first: the two tag-1 messages get stashed.
+        let (_, twenty): (usize, u64) = master.recv(None, Some(2)).unwrap();
+        assert_eq!(twenty, 20);
+        let (_, ten): (usize, u64) = master.recv(None, Some(1)).unwrap();
+        let (_, thirty): (usize, u64) = master.recv(None, Some(1)).unwrap();
+        assert_eq!((ten, thirty), (10, 30));
+    }
+}

@@ -1,0 +1,35 @@
+//! `mw-framework` — an in-process reproduction of the MW master–worker
+//! framework the paper builds on (Linderoth et al., Univ. of Wisconsin),
+//! including the extra hierarchy level the paper adds: each worker fronts a
+//! *server* that fans out to `Ns` *client* simulations (Figs 3.1–3.2, 4.3).
+//!
+//! The paper's deployment uses MPI ranks on a cluster; here workers are OS
+//! threads fed over `crossbeam` channels (see `DESIGN.md` — substitutions).
+//! The communication topology is preserved: tasks and workers never talk to
+//! each other, only to the master; clients only to their server.
+//!
+//! * [`alloc`] — the processor-allocation arithmetic of Table 3.3.
+//! * [`pool`] — the raw worker pool (spawn/submit/call/stats).
+//! * [`task`] — the structured `MwTask`/`MwDriver`/`WorkerCtx` layer with
+//!   the server→clients fan-out.
+//! * [`objective`] — an adapter that runs any `StochasticObjective`'s
+//!   sampling on MW workers, so the optimizers in `noisy-simplex` can be
+//!   deployed on the pool unchanged.
+//! * [`scaleup`] — the §3.4 scale-up experiment (Rosenbrock in 20/50/100
+//!   dimensions, wall-clock time per simplex step).
+
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod comm;
+pub mod objective;
+pub mod pool;
+pub mod scaleup;
+pub mod task;
+
+pub use alloc::Allocation;
+pub use comm::{network, CommError, Endpoint, Message, Packable};
+pub use objective::{MwObjective, MwStream};
+pub use pool::{JobHandle, MwPool, WorkerStats};
+pub use scaleup::{scaleup_rosenbrock, ScaleupPoint, ScaleupResult, VertexEvalTask};
+pub use task::{MwDriver, MwTask, WorkerCtx};

@@ -1,0 +1,127 @@
+//! Adapter: run any [`StochasticObjective`]'s sampling on MW workers.
+//!
+//! [`MwObjective`] wraps an objective so that every `extend` of one of its
+//! streams executes on a worker thread instead of the master thread; the
+//! stream state is shipped to the worker and back, mirroring the
+//! pack→send→compute→recv cycle of the original MPI implementation. The
+//! optimizer code (the master) is unchanged — it just sees a
+//! `StochasticObjective`.
+
+use crate::pool::MwPool;
+use std::sync::Arc;
+use stoch_eval::objective::{Estimate, SampleStream, StochasticObjective};
+
+/// An objective whose sampling executes on an MW worker pool.
+pub struct MwObjective<F> {
+    inner: Arc<F>,
+    pool: Arc<MwPool>,
+}
+
+impl<F> MwObjective<F> {
+    /// Wrap `inner`, dispatching sampling to `pool`.
+    pub fn new(inner: F, pool: Arc<MwPool>) -> Self {
+        MwObjective {
+            inner: Arc::new(inner),
+            pool,
+        }
+    }
+
+    /// The shared worker pool.
+    pub fn pool(&self) -> &Arc<MwPool> {
+        &self.pool
+    }
+}
+
+/// A sampling stream whose `extend` runs on a worker.
+pub struct MwStream<S> {
+    state: Option<S>,
+    pool: Arc<MwPool>,
+}
+
+impl<S: SampleStream + Send + 'static> SampleStream for MwStream<S> {
+    fn extend(&mut self, dt: f64) {
+        let mut s = self.state.take().expect("stream state lost");
+        // Ship the state to a worker, sample there, ship it back.
+        let s = self.pool.call(move |_worker| {
+            s.extend(dt);
+            s
+        });
+        self.state = Some(s);
+    }
+
+    fn estimate(&self) -> Estimate {
+        self.state.as_ref().expect("stream state lost").estimate()
+    }
+}
+
+impl<F> StochasticObjective for MwObjective<F>
+where
+    F: StochasticObjective + Send + Sync + 'static,
+    F::Stream: Send + 'static,
+{
+    type Stream = MwStream<F::Stream>;
+
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn open(&self, x: &[f64], seed: u64) -> Self::Stream {
+        MwStream {
+            state: Some(self.inner.open(x, seed)),
+            pool: Arc::clone(&self.pool),
+        }
+    }
+
+    fn true_value(&self, x: &[f64]) -> Option<f64> {
+        self.inner.true_value(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noisy_simplex::prelude::*;
+    use stoch_eval::functions::Rosenbrock;
+    use stoch_eval::noise::{ConstantNoise, ZeroNoise};
+    use stoch_eval::objective::Objective;
+    use stoch_eval::sampler::Noisy;
+
+    #[test]
+    fn mw_stream_matches_local_stream() {
+        // Same seeds => the MW-dispatched stream must produce exactly the
+        // same estimates as a locally-driven one.
+        let local = Noisy::new(Rosenbrock::new(2), ConstantNoise(5.0));
+        let pool = Arc::new(MwPool::new(2));
+        let remote = MwObjective::new(
+            Noisy::new(Rosenbrock::new(2), ConstantNoise(5.0)),
+            pool,
+        );
+        let mut a = local.open(&[0.5, 0.5], 99);
+        let mut b = remote.open(&[0.5, 0.5], 99);
+        for _ in 0..5 {
+            a.extend(2.0);
+            b.extend(2.0);
+            let (ea, eb) = (a.estimate(), b.estimate());
+            assert_eq!(ea.value, eb.value);
+            assert_eq!(ea.std_err, eb.std_err);
+            assert_eq!(ea.time, eb.time);
+        }
+    }
+
+    #[test]
+    fn full_optimization_runs_over_the_pool() {
+        let pool = Arc::new(MwPool::new(4));
+        let obj = MwObjective::new(Noisy::new(Rosenbrock::new(2), ZeroNoise), Arc::clone(&pool));
+        let init = init::random_uniform(2, -2.0, 2.0, 42);
+        let res = Det::new().run(
+            &obj,
+            init,
+            Termination::tolerance(1e-12),
+            TimeMode::Parallel,
+            7,
+        );
+        assert!(Rosenbrock::new(2).value(&res.best_point) < 1e-5);
+        // The pool actually did the evaluations.
+        assert!(pool.job_counts().iter().sum::<u64>() > 0);
+    }
+}

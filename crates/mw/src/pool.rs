@@ -1,0 +1,269 @@
+//! The MW worker pool: real OS threads fed over channels.
+//!
+//! This is the in-process substitute for the paper's MPI-connected worker
+//! ranks (see DESIGN.md, substitutions): the master submits jobs, workers
+//! execute them, and results return over a per-job channel — structurally
+//! the send/recv pattern of the original `MWRMComm` layer. Tasks and workers
+//! never communicate with each other, only with the master, exactly as in
+//! §3.1.
+
+use crossbeam_channel::{bounded, unbounded, Receiver, Sender};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce(usize) + Send + 'static>;
+
+/// Per-worker execution counters.
+#[derive(Debug, Default)]
+pub struct WorkerStats {
+    /// Jobs executed by this worker.
+    pub jobs: AtomicU64,
+    /// Total busy time in nanoseconds.
+    pub busy_nanos: AtomicU64,
+}
+
+/// The worker executing a job died (or panicked) before reporting a result.
+///
+/// In the paper's deployment this is the Condor-style opportunistic case:
+/// a worker node is reclaimed mid-task and the master must reassign the
+/// work (§4.2, "When a worker is restarted by the master...").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerLost;
+
+impl std::fmt::Display for WorkerLost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MW worker died before reporting its result")
+    }
+}
+
+impl std::error::Error for WorkerLost {}
+
+/// A handle on a submitted job's eventual result.
+pub struct JobHandle<R> {
+    rx: Receiver<R>,
+}
+
+impl<R> JobHandle<R> {
+    /// Block until the worker finishes and return the result.
+    ///
+    /// # Panics
+    /// If the worker died while executing the job; use
+    /// [`JobHandle::wait_result`] to recover instead.
+    pub fn wait(self) -> R {
+        self.rx.recv().expect("MW worker dropped the result")
+    }
+
+    /// Block until the worker finishes; reports [`WorkerLost`] if the
+    /// worker died mid-job.
+    pub fn wait_result(self) -> Result<R, WorkerLost> {
+        self.rx.recv().map_err(|_| WorkerLost)
+    }
+
+    /// Non-blocking poll.
+    pub fn try_wait(&self) -> Option<R> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// A pool of MW workers.
+pub struct MwPool {
+    job_tx: Option<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+    stats: Arc<Vec<WorkerStats>>,
+}
+
+impl MwPool {
+    /// Spawn `n_workers` worker threads.
+    pub fn new(n_workers: usize) -> Self {
+        Self::with_fault_injection(n_workers, &[])
+    }
+
+    /// Spawn workers with fault injection: worker `w` dies (stops pulling
+    /// work, dropping its in-flight job's result) immediately after
+    /// executing `faults[w]` jobs. Workers beyond `faults.len()` are
+    /// immortal. Used to test master-side reassignment.
+    pub fn with_fault_injection(n_workers: usize, faults: &[Option<u64>]) -> Self {
+        assert!(n_workers >= 1);
+        let (job_tx, job_rx) = unbounded::<Job>();
+        let stats: Arc<Vec<WorkerStats>> =
+            Arc::new((0..n_workers).map(|_| WorkerStats::default()).collect());
+        let handles = (0..n_workers)
+            .map(|w| {
+                let rx = job_rx.clone();
+                let stats = Arc::clone(&stats);
+                let die_after = faults.get(w).copied().flatten();
+                std::thread::Builder::new()
+                    .name(format!("mw-worker-{w}"))
+                    .spawn(move || {
+                        // MWWorker loop: execute a task, report the result,
+                        // wait for another task.
+                        let mut executed = 0u64;
+                        while let Ok(job) = rx.recv() {
+                            if die_after.map(|n| executed >= n).unwrap_or(false) {
+                                // Injected fault: the node is reclaimed with
+                                // a job in hand — its result is never sent.
+                                drop(job);
+                                return;
+                            }
+                            let t0 = std::time::Instant::now();
+                            job(w);
+                            executed += 1;
+                            let dt = t0.elapsed().as_nanos() as u64;
+                            stats[w].jobs.fetch_add(1, Ordering::Relaxed);
+                            stats[w].busy_nanos.fetch_add(dt, Ordering::Relaxed);
+                        }
+                    })
+                    .expect("failed to spawn MW worker")
+            })
+            .collect();
+        MwPool {
+            job_tx: Some(job_tx),
+            handles,
+            stats,
+        }
+    }
+
+    /// Number of workers.
+    pub fn n_workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Submit a job; returns immediately with a handle.
+    pub fn submit<R, F>(&self, f: F) -> JobHandle<R>
+    where
+        R: Send + 'static,
+        F: FnOnce(usize) -> R + Send + 'static,
+    {
+        let (tx, rx) = bounded(1);
+        let job: Job = Box::new(move |worker| {
+            // A dropped receiver just means the master lost interest.
+            let _ = tx.send(f(worker));
+        });
+        self.job_tx
+            .as_ref()
+            .expect("pool already shut down")
+            .send(job)
+            .expect("all MW workers exited");
+        JobHandle { rx }
+    }
+
+    /// Submit and block for the result (RPC style).
+    pub fn call<R, F>(&self, f: F) -> R
+    where
+        R: Send + 'static,
+        F: FnOnce(usize) -> R + Send + 'static,
+    {
+        self.submit(f).wait()
+    }
+
+    /// Snapshot of per-worker job counts.
+    pub fn job_counts(&self) -> Vec<u64> {
+        self.stats
+            .iter()
+            .map(|s| s.jobs.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Snapshot of per-worker busy time in seconds.
+    pub fn busy_seconds(&self) -> Vec<f64> {
+        self.stats
+            .iter()
+            .map(|s| s.busy_nanos.load(Ordering::Relaxed) as f64 * 1e-9)
+            .collect()
+    }
+
+    /// Shut the pool down, joining all workers.
+    pub fn shutdown(mut self) {
+        self.job_tx.take();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MwPool {
+    fn drop(&mut self) {
+        self.job_tx.take();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn call_returns_result() {
+        let pool = MwPool::new(2);
+        let r = pool.call(|_w| 2 + 2);
+        assert_eq!(r, 4);
+    }
+
+    #[test]
+    fn submit_runs_concurrently() {
+        let pool = MwPool::new(4);
+        let handles: Vec<_> = (0..8).map(|i| pool.submit(move |_| i * i)).collect();
+        let results: Vec<i32> = handles.into_iter().map(|h| h.wait()).collect();
+        assert_eq!(results, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+    }
+
+    #[test]
+    fn stats_count_jobs() {
+        let pool = MwPool::new(3);
+        for _ in 0..30 {
+            pool.call(|_| ());
+        }
+        let counts = pool.job_counts();
+        assert_eq!(counts.iter().sum::<u64>(), 30);
+    }
+
+    #[test]
+    fn workers_see_their_ids() {
+        let pool = MwPool::new(4);
+        let ids: Vec<usize> = (0..32).map(|_| pool.call(|w| w)).collect();
+        assert!(ids.iter().all(|&w| w < 4));
+    }
+
+    #[test]
+    fn shutdown_joins_cleanly() {
+        let pool = MwPool::new(2);
+        pool.call(|_| ());
+        pool.shutdown();
+    }
+
+    #[test]
+    fn injected_fault_surfaces_as_worker_lost() {
+        let pool = MwPool::with_fault_injection(2, &[Some(0), None]);
+        let mut lost = 0;
+        let mut ok = 0;
+        for _ in 0..20 {
+            match pool.submit(|w| w).wait_result() {
+                Ok(_) => ok += 1,
+                Err(WorkerLost) => lost += 1,
+            }
+        }
+        assert_eq!(lost, 1, "exactly the one in-flight job on the dying worker is lost");
+        assert_eq!(ok, 19);
+    }
+
+    #[test]
+    fn pool_survives_partial_worker_death() {
+        let pool = MwPool::with_fault_injection(3, &[Some(2), None, None]);
+        let results: Vec<Result<usize, WorkerLost>> = (0..40)
+            .map(|_| pool.submit(|w| w).wait_result())
+            .collect();
+        let ok = results.iter().filter(|r| r.is_ok()).count();
+        assert!(ok >= 39, "{ok} of 40 succeeded");
+    }
+
+    #[test]
+    fn heavy_fanout_completes() {
+        let pool = MwPool::new(8);
+        let handles: Vec<_> = (0..1000u64).map(|i| pool.submit(move |_| i)).collect();
+        let sum: u64 = handles.into_iter().map(|h| h.wait()).sum();
+        assert_eq!(sum, 999 * 1000 / 2);
+    }
+}

@@ -1,0 +1,351 @@
+//! The analytic test-function suite.
+//!
+//! * [`Rosenbrock`] — Eq. 3.1/3.2 of the paper (the "banana" valley); the
+//!   main workload for Tables 3.1–3.2 and Figs 3.4–3.18.
+//! * [`Powell`] — Eq. 3.3; the workload for Fig. 3.6.
+//! * [`Sphere`], [`BoxWilsonQuadratic`] — smooth sanity workloads (Box &
+//!   Wilson 1951 is the original noisy-quadratic response-surface problem).
+//! * [`Rastrigin`] — a multimodal stress test (future-work suite extension).
+//! * [`McKinnon`] — the classic Nelder–Mead counterexample where DET stalls.
+
+use crate::objective::Objective;
+
+/// The generalized Rosenbrock function in `d ≥ 2` dimensions:
+///
+/// ```text
+/// f(θ) = Σ_{i=1}^{d-1} (1 − θ_i)² + 100 (θ_{i+1} − θ_i²)²
+/// ```
+///
+/// Global minimum `f(1,…,1) = 0`.
+#[derive(Debug, Clone, Copy)]
+pub struct Rosenbrock {
+    dim: usize,
+}
+
+impl Rosenbrock {
+    /// Rosenbrock in `dim` dimensions (`dim ≥ 2`).
+    pub fn new(dim: usize) -> Self {
+        assert!(dim >= 2, "Rosenbrock requires dim >= 2");
+        Rosenbrock { dim }
+    }
+}
+
+impl Objective for Rosenbrock {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn value(&self, x: &[f64]) -> f64 {
+        debug_assert_eq!(x.len(), self.dim);
+        let mut s = 0.0;
+        for i in 0..self.dim - 1 {
+            let a = 1.0 - x[i];
+            let b = x[i + 1] - x[i] * x[i];
+            s += a * a + 100.0 * b * b;
+        }
+        s
+    }
+
+    fn minimizer(&self) -> Option<Vec<f64>> {
+        Some(vec![1.0; self.dim])
+    }
+
+    fn minimum(&self) -> Option<f64> {
+        Some(0.0)
+    }
+}
+
+/// Powell's singular function (Eq. 3.3), 4-dimensional:
+///
+/// ```text
+/// f(θ) = (θ1 + 10θ2)² + 5(θ3 − θ4)² + (θ2 − 2θ3)⁴ + 10(θ1 − θ4)⁴
+/// ```
+///
+/// Global minimum `f(0,0,0,0) = 0` with a singular Hessian at the optimum.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Powell;
+
+impl Objective for Powell {
+    fn dim(&self) -> usize {
+        4
+    }
+
+    fn value(&self, x: &[f64]) -> f64 {
+        debug_assert_eq!(x.len(), 4);
+        let a = x[0] + 10.0 * x[1];
+        let b = x[2] - x[3];
+        let c = x[1] - 2.0 * x[2];
+        let d = x[0] - x[3];
+        a * a + 5.0 * b * b + c.powi(4) + 10.0 * d.powi(4)
+    }
+
+    fn minimizer(&self) -> Option<Vec<f64>> {
+        Some(vec![0.0; 4])
+    }
+
+    fn minimum(&self) -> Option<f64> {
+        Some(0.0)
+    }
+}
+
+/// The sphere `f(θ) = Σ θ_i²`.
+#[derive(Debug, Clone, Copy)]
+pub struct Sphere {
+    dim: usize,
+}
+
+impl Sphere {
+    /// Sphere in `dim` dimensions.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim >= 1);
+        Sphere { dim }
+    }
+}
+
+impl Objective for Sphere {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+    fn value(&self, x: &[f64]) -> f64 {
+        x.iter().map(|v| v * v).sum()
+    }
+    fn minimizer(&self) -> Option<Vec<f64>> {
+        Some(vec![0.0; self.dim])
+    }
+    fn minimum(&self) -> Option<f64> {
+        Some(0.0)
+    }
+}
+
+/// A general positive-definite quadratic `f(θ) = Σ a_i (θ_i − c_i)²` — the
+/// Box & Wilson (1951) noisy response-surface setting.
+#[derive(Debug, Clone)]
+pub struct BoxWilsonQuadratic {
+    /// Per-axis curvatures (all must be > 0).
+    pub curvatures: Vec<f64>,
+    /// Location of the optimum.
+    pub center: Vec<f64>,
+}
+
+impl BoxWilsonQuadratic {
+    /// Isotropic quadratic with unit curvature centered at `center`.
+    pub fn isotropic(center: Vec<f64>) -> Self {
+        let d = center.len();
+        BoxWilsonQuadratic {
+            curvatures: vec![1.0; d],
+            center,
+        }
+    }
+
+    /// General axis-aligned quadratic.
+    pub fn new(curvatures: Vec<f64>, center: Vec<f64>) -> Self {
+        assert_eq!(curvatures.len(), center.len());
+        assert!(curvatures.iter().all(|&a| a > 0.0));
+        BoxWilsonQuadratic { curvatures, center }
+    }
+}
+
+impl Objective for BoxWilsonQuadratic {
+    fn dim(&self) -> usize {
+        self.center.len()
+    }
+    fn value(&self, x: &[f64]) -> f64 {
+        x.iter()
+            .zip(&self.center)
+            .zip(&self.curvatures)
+            .map(|((&xi, &ci), &ai)| ai * (xi - ci) * (xi - ci))
+            .sum()
+    }
+    fn minimizer(&self) -> Option<Vec<f64>> {
+        Some(self.center.clone())
+    }
+    fn minimum(&self) -> Option<f64> {
+        Some(0.0)
+    }
+}
+
+/// Rastrigin: `f(θ) = 10d + Σ (θ_i² − 10 cos 2πθ_i)` — highly multimodal.
+#[derive(Debug, Clone, Copy)]
+pub struct Rastrigin {
+    dim: usize,
+}
+
+impl Rastrigin {
+    /// Rastrigin in `dim` dimensions.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim >= 1);
+        Rastrigin { dim }
+    }
+}
+
+impl Objective for Rastrigin {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+    fn value(&self, x: &[f64]) -> f64 {
+        let two_pi = std::f64::consts::TAU;
+        10.0 * self.dim as f64
+            + x.iter()
+                .map(|&v| v * v - 10.0 * (two_pi * v).cos())
+                .sum::<f64>()
+    }
+    fn minimizer(&self) -> Option<Vec<f64>> {
+        Some(vec![0.0; self.dim])
+    }
+    fn minimum(&self) -> Option<f64> {
+        Some(0.0)
+    }
+}
+
+/// McKinnon's 2-d counterexample on which classical Nelder–Mead converges to
+/// a non-stationary point from a specific start:
+///
+/// ```text
+/// f(x, y) = θφ|x|^τ + y + y²   (x ≤ 0)
+///           θ x^τ    + y + y²   (x > 0)
+/// ```
+///
+/// with the standard choice `τ = 2, θ = 6, φ = 60`. Minimum at `(0, −1/2)`,
+/// value `−1/4`.
+#[derive(Debug, Clone, Copy)]
+pub struct McKinnon {
+    tau: f64,
+    theta: f64,
+    phi: f64,
+}
+
+impl Default for McKinnon {
+    fn default() -> Self {
+        McKinnon {
+            tau: 2.0,
+            theta: 6.0,
+            phi: 60.0,
+        }
+    }
+}
+
+impl Objective for McKinnon {
+    fn dim(&self) -> usize {
+        2
+    }
+    fn value(&self, x: &[f64]) -> f64 {
+        let (a, y) = (x[0], x[1]);
+        let head = if a <= 0.0 {
+            self.theta * self.phi * a.abs().powf(self.tau)
+        } else {
+            self.theta * a.powf(self.tau)
+        };
+        head + y + y * y
+    }
+    fn minimizer(&self) -> Option<Vec<f64>> {
+        Some(vec![0.0, -0.5])
+    }
+    fn minimum(&self) -> Option<f64> {
+        Some(-0.25)
+    }
+}
+
+/// A deterministic objective defined by a closure (for user code and tests).
+pub struct FnObjective<F: Fn(&[f64]) -> f64 + Sync> {
+    dim: usize,
+    f: F,
+}
+
+impl<F: Fn(&[f64]) -> f64 + Sync> FnObjective<F> {
+    /// Wrap closure `f` over a `dim`-dimensional space.
+    pub fn new(dim: usize, f: F) -> Self {
+        FnObjective { dim, f }
+    }
+}
+
+impl<F: Fn(&[f64]) -> f64 + Sync> Objective for FnObjective<F> {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+    fn value(&self, x: &[f64]) -> f64 {
+        (self.f)(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_min<O: Objective>(obj: &O) {
+        let m = obj.minimizer().unwrap();
+        let fm = obj.minimum().unwrap();
+        assert!(
+            (obj.value(&m) - fm).abs() < 1e-12,
+            "value at minimizer {} != {}",
+            obj.value(&m),
+            fm
+        );
+    }
+
+    #[test]
+    fn rosenbrock_minimum_and_values() {
+        let r3 = Rosenbrock::new(3);
+        assert_min(&r3);
+        // Hand-computed: f(0,0,0) = 2 terms of (1-0)^2 = 2.
+        assert_eq!(r3.value(&[0.0, 0.0, 0.0]), 2.0);
+        // f(-1,1,1): (1-(-1))^2 + 100(1-1)^2 + (1-1)^2 + 100(1-1)^2 = 4
+        assert_eq!(r3.value(&[-1.0, 1.0, 1.0]), 4.0);
+        let r4 = Rosenbrock::new(4);
+        assert_min(&r4);
+        assert_eq!(r4.value(&[0.0, 0.0, 0.0, 0.0]), 3.0);
+    }
+
+    #[test]
+    fn rosenbrock_valley_is_lower_than_walls() {
+        let r = Rosenbrock::new(2);
+        // Along the parabola x2 = x1^2 the 100(..)^2 term vanishes.
+        assert!(r.value(&[0.5, 0.25]) < r.value(&[0.5, 1.0]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rosenbrock_rejects_dim_1() {
+        let _ = Rosenbrock::new(1);
+    }
+
+    #[test]
+    fn powell_minimum_and_symmetry() {
+        assert_min(&Powell);
+        // Hand-computed at (3, -1, 0, 1):
+        // (3-10)^2 + 5(0-1)^2 + (-1)^4 + 10(3-1)^4 = 49 + 5 + 1 + 160 = 215
+        assert_eq!(Powell.value(&[3.0, -1.0, 0.0, 1.0]), 215.0);
+    }
+
+    #[test]
+    fn sphere_and_quadratic() {
+        assert_min(&Sphere::new(5));
+        assert_eq!(Sphere::new(3).value(&[1.0, 2.0, 2.0]), 9.0);
+        let q = BoxWilsonQuadratic::new(vec![2.0, 3.0], vec![1.0, -1.0]);
+        assert_min(&q);
+        assert_eq!(q.value(&[2.0, 0.0]), 2.0 + 3.0);
+    }
+
+    #[test]
+    fn rastrigin_minimum_and_multimodality() {
+        let r = Rastrigin::new(2);
+        assert_min(&r);
+        // Local minima near integer lattice points have value > 0.
+        assert!(r.value(&[1.0, 0.0]) > 0.9);
+    }
+
+    #[test]
+    fn mckinnon_minimum_and_kink() {
+        let m = McKinnon::default();
+        assert_min(&m);
+        // Continuous across x = 0 but much steeper on the negative side.
+        let eps = 1e-3;
+        assert!(m.value(&[-eps, 0.0]) > m.value(&[eps, 0.0]));
+    }
+
+    #[test]
+    fn fn_objective_wraps_closures() {
+        let o = FnObjective::new(2, |x: &[f64]| x[0] + x[1]);
+        assert_eq!(o.dim(), 2);
+        assert_eq!(o.value(&[1.0, 2.0]), 3.0);
+    }
+}

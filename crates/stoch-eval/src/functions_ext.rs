@@ -1,0 +1,254 @@
+//! Extended test-function suite (the paper's §5.2 future work: "the suite
+//! of test problems ... should be enlarged to include test problems
+//! exhibiting diverse factors like degree of difficulty, dimensionality of
+//! system, response surface geometry").
+//!
+//! * [`Ackley`] — exponential flat plateau with a needle-like basin.
+//! * [`Griewank`] — oscillatory product term over a parabolic bowl.
+//! * [`Zakharov`] — ill-conditioned polynomial valley.
+//! * [`Levy`] — sinusoidal multimodality with a unique global optimum.
+//! * [`IllConditionedQuadratic`] — tunable condition number.
+
+use crate::objective::Objective;
+use std::f64::consts::{PI, TAU};
+
+/// Ackley's function: global minimum 0 at the origin, nearly flat far away.
+#[derive(Debug, Clone, Copy)]
+pub struct Ackley {
+    dim: usize,
+}
+
+impl Ackley {
+    /// Ackley in `dim` dimensions.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim >= 1);
+        Ackley { dim }
+    }
+}
+
+impl Objective for Ackley {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+    fn value(&self, x: &[f64]) -> f64 {
+        let n = self.dim as f64;
+        let sum_sq: f64 = x.iter().map(|v| v * v).sum();
+        let sum_cos: f64 = x.iter().map(|v| (TAU * v).cos()).sum();
+        -20.0 * (-0.2 * (sum_sq / n).sqrt()).exp() - (sum_cos / n).exp()
+            + 20.0
+            + std::f64::consts::E
+    }
+    fn minimizer(&self) -> Option<Vec<f64>> {
+        Some(vec![0.0; self.dim])
+    }
+    fn minimum(&self) -> Option<f64> {
+        Some(0.0)
+    }
+}
+
+/// Griewank's function: `1 + Σx²/4000 − Π cos(x_i/√i)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Griewank {
+    dim: usize,
+}
+
+impl Griewank {
+    /// Griewank in `dim` dimensions.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim >= 1);
+        Griewank { dim }
+    }
+}
+
+impl Objective for Griewank {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+    fn value(&self, x: &[f64]) -> f64 {
+        let sum: f64 = x.iter().map(|v| v * v).sum::<f64>() / 4000.0;
+        let prod: f64 = x
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v / ((i + 1) as f64).sqrt()).cos())
+            .product();
+        1.0 + sum - prod
+    }
+    fn minimizer(&self) -> Option<Vec<f64>> {
+        Some(vec![0.0; self.dim])
+    }
+    fn minimum(&self) -> Option<f64> {
+        Some(0.0)
+    }
+}
+
+/// Zakharov's function: `Σx² + (Σ 0.5 i x_i)² + (Σ 0.5 i x_i)⁴`.
+#[derive(Debug, Clone, Copy)]
+pub struct Zakharov {
+    dim: usize,
+}
+
+impl Zakharov {
+    /// Zakharov in `dim` dimensions.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim >= 1);
+        Zakharov { dim }
+    }
+}
+
+impl Objective for Zakharov {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+    fn value(&self, x: &[f64]) -> f64 {
+        let s1: f64 = x.iter().map(|v| v * v).sum();
+        let s2: f64 = x
+            .iter()
+            .enumerate()
+            .map(|(i, v)| 0.5 * (i + 1) as f64 * v)
+            .sum();
+        s1 + s2 * s2 + s2.powi(4)
+    }
+    fn minimizer(&self) -> Option<Vec<f64>> {
+        Some(vec![0.0; self.dim])
+    }
+    fn minimum(&self) -> Option<f64> {
+        Some(0.0)
+    }
+}
+
+/// Levy's function: multimodal with global minimum 0 at `(1, …, 1)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Levy {
+    dim: usize,
+}
+
+impl Levy {
+    /// Levy in `dim` dimensions.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim >= 1);
+        Levy { dim }
+    }
+}
+
+impl Objective for Levy {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+    fn value(&self, x: &[f64]) -> f64 {
+        let w: Vec<f64> = x.iter().map(|&v| 1.0 + (v - 1.0) / 4.0).collect();
+        let n = w.len();
+        let head = (PI * w[0]).sin().powi(2);
+        let mid: f64 = w[..n - 1]
+            .iter()
+            .map(|&wi| (wi - 1.0).powi(2) * (1.0 + 10.0 * (PI * wi + 1.0).sin().powi(2)))
+            .sum();
+        let tail = (w[n - 1] - 1.0).powi(2) * (1.0 + (TAU * w[n - 1]).sin().powi(2));
+        head + mid + tail
+    }
+    fn minimizer(&self) -> Option<Vec<f64>> {
+        Some(vec![1.0; self.dim])
+    }
+    fn minimum(&self) -> Option<f64> {
+        Some(0.0)
+    }
+}
+
+/// An axis-aligned quadratic with a specified condition number: curvatures
+/// spread geometrically from 1 to `condition`.
+#[derive(Debug, Clone)]
+pub struct IllConditionedQuadratic {
+    dim: usize,
+    condition: f64,
+}
+
+impl IllConditionedQuadratic {
+    /// Quadratic in `dim` dimensions with condition number `condition ≥ 1`.
+    pub fn new(dim: usize, condition: f64) -> Self {
+        assert!(dim >= 1 && condition >= 1.0);
+        IllConditionedQuadratic { dim, condition }
+    }
+
+    /// Per-axis curvature.
+    pub fn curvature(&self, i: usize) -> f64 {
+        if self.dim == 1 {
+            return 1.0;
+        }
+        self.condition.powf(i as f64 / (self.dim - 1) as f64)
+    }
+}
+
+impl Objective for IllConditionedQuadratic {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+    fn value(&self, x: &[f64]) -> f64 {
+        x.iter()
+            .enumerate()
+            .map(|(i, &v)| self.curvature(i) * v * v)
+            .sum()
+    }
+    fn minimizer(&self) -> Option<Vec<f64>> {
+        Some(vec![0.0; self.dim])
+    }
+    fn minimum(&self) -> Option<f64> {
+        Some(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_min<O: Objective>(obj: &O) {
+        let m = obj.minimizer().unwrap();
+        assert!(
+            (obj.value(&m) - obj.minimum().unwrap()).abs() < 1e-10,
+            "value at minimizer = {}",
+            obj.value(&m)
+        );
+    }
+
+    #[test]
+    fn ackley_minimum_and_plateau() {
+        let a = Ackley::new(3);
+        assert_min(&a);
+        // Far away the function plateaus near 20 + e - (exp of avg cos).
+        let far = a.value(&[30.0, 30.0, 30.0]);
+        assert!(far > 15.0 && far < 25.0, "far = {far}");
+        assert!(a.value(&[0.1, 0.0, 0.0]) > 0.1);
+    }
+
+    #[test]
+    fn griewank_minimum_and_ripples() {
+        let g = Griewank::new(2);
+        assert_min(&g);
+        // The cosine product creates local minima near multiples of pi*sqrt(i).
+        assert!(g.value(&[3.14, 0.0]) > g.value(&[0.0, 0.0]));
+        assert!(g.value(&[100.0, 0.0]) > 2.0);
+    }
+
+    #[test]
+    fn zakharov_minimum_and_coupling() {
+        let z = Zakharov::new(3);
+        assert_min(&z);
+        // Hand-computed at (1, 0, 0): 1 + 0.25 + 0.0625 = 1.3125.
+        assert!((z.value(&[1.0, 0.0, 0.0]) - 1.3125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn levy_minimum_and_multimodality() {
+        let l = Levy::new(2);
+        assert_min(&l);
+        assert!(l.value(&[-6.0, 5.0]) > 1.0);
+    }
+
+    #[test]
+    fn ill_conditioned_quadratic_spreads_curvature() {
+        let q = IllConditionedQuadratic::new(4, 1000.0);
+        assert_min(&q);
+        assert_eq!(q.curvature(0), 1.0);
+        assert!((q.curvature(3) - 1000.0).abs() < 1e-9);
+        // The last axis is 1000x steeper than the first.
+        assert!((q.value(&[0.0, 0.0, 0.0, 1.0]) / q.value(&[1.0, 0.0, 0.0, 0.0]) - 1000.0).abs() < 1e-6);
+    }
+}

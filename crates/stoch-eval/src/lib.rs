@@ -1,0 +1,47 @@
+//! `stoch-eval` — the noisy-evaluation substrate for stochastic optimization.
+//!
+//! This crate models objective functions whose evaluation is a *sampling*
+//! process, following Chahal (2011), Eq. 1.1–1.2: the observed value at a
+//! point `θ` after sampling for virtual time `t` is
+//!
+//! ```text
+//! g(θ) = f(θ) + ε(t),     ε(t) ~ N(0, σ0(θ)² / t)
+//! ```
+//!
+//! Sampling longer shrinks the noise as `1/√t`. Crucially, extending a
+//! point's sampling time *refines* the running estimate rather than redrawing
+//! an independent value — see [`sampler::GaussianStream`].
+//!
+//! The crate provides:
+//!
+//! * [`objective`] — the [`objective::StochasticObjective`] /
+//!   [`objective::SampleStream`] traits every optimizer in the workspace is
+//!   generic over, plus the deterministic [`objective::Objective`] trait.
+//! * [`sampler`] — the consistent Gaussian sampling stream and an empirical
+//!   (batch-based) error estimator.
+//! * [`noise`] — noise-magnitude models (`σ0(θ)`).
+//! * [`functions`] — the analytic test suite (Rosenbrock, Powell, sphere,
+//!   Box–Wilson quadratic, Rastrigin, McKinnon).
+//! * [`clock`] — virtual-time accounting (serial and parallel modes).
+//! * [`stats`] — Welford accumulators, quantiles, histograms, and the paired
+//!   log-ratio analysis used by the paper's comparison figures.
+//! * [`rng`] — reproducible, splittable seeding.
+
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod functions;
+pub mod functions_ext;
+pub mod noise;
+pub mod objective;
+pub mod rng;
+pub mod sampler;
+pub mod stats;
+
+pub use clock::{TimeMode, VirtualClock};
+pub use functions::{BoxWilsonQuadratic, McKinnon, Powell, Rastrigin, Rosenbrock, Sphere};
+pub use functions_ext::{Ackley, Griewank, IllConditionedQuadratic, Levy, Zakharov};
+pub use noise::{ConstantNoise, NoiseModel, RelativeNoise, ZeroNoise};
+pub use objective::{Estimate, Objective, SampleStream, StochasticObjective};
+pub use sampler::{EmpiricalStream, GaussianStream, Noisy};
+pub use stats::{Histogram, Summary, Welford};

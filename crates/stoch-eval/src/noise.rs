@@ -1,0 +1,107 @@
+//! Noise-magnitude models: how the inherent sampling noise `σ0(θ)` varies
+//! over parameter space.
+//!
+//! The paper (Eq. 1.2) allows the inherent variance `(σ0_k)²` to depend on
+//! the location in parameter space ("some models may be noisier than
+//! others"), with no expectation that it is known ahead of time. The
+//! experiments in Ch. 3 use a constant `σ0`; we provide that plus a relative
+//! model for robustness testing.
+
+use crate::objective::Objective;
+
+/// How the inherent (per-unit-time) noise magnitude varies with location.
+pub trait NoiseModel: Sync {
+    /// The inherent standard deviation `σ0` at `x`, given the underlying
+    /// noise-free value `f(x)` (some models scale with the signal).
+    fn sigma0(&self, x: &[f64], f_value: f64) -> f64;
+}
+
+/// Constant noise magnitude everywhere (what the paper's experiments use:
+/// `σ0 ∈ {1, 100, 1000}`).
+#[derive(Debug, Clone, Copy)]
+pub struct ConstantNoise(pub f64);
+
+impl NoiseModel for ConstantNoise {
+    fn sigma0(&self, _x: &[f64], _f: f64) -> f64 {
+        self.0
+    }
+}
+
+/// Noise proportional to the magnitude of the underlying value, with a floor.
+///
+/// Mimics sampling estimators whose variance scales with the quantity being
+/// measured (e.g. pressure fluctuations in MD).
+#[derive(Debug, Clone, Copy)]
+pub struct RelativeNoise {
+    /// Fractional noise level (e.g. `0.1` for 10%).
+    pub fraction: f64,
+    /// Lower bound on `σ0` so noise never vanishes entirely.
+    pub floor: f64,
+}
+
+impl NoiseModel for RelativeNoise {
+    fn sigma0(&self, _x: &[f64], f: f64) -> f64 {
+        (self.fraction * f.abs()).max(self.floor)
+    }
+}
+
+/// No noise at all — turns a stochastic wrapper into a deterministic oracle.
+/// Useful for validating that the stochastic algorithms reduce to classical
+/// Nelder–Mead behaviour when the noise vanishes.
+#[derive(Debug, Clone, Copy)]
+pub struct ZeroNoise;
+
+impl NoiseModel for ZeroNoise {
+    fn sigma0(&self, _x: &[f64], _f: f64) -> f64 {
+        0.0
+    }
+}
+
+/// Noise magnitude that depends on position through a user closure.
+pub struct FnNoise<F: Fn(&[f64], f64) -> f64 + Sync>(pub F);
+
+impl<F: Fn(&[f64], f64) -> f64 + Sync> NoiseModel for FnNoise<F> {
+    fn sigma0(&self, x: &[f64], f: f64) -> f64 {
+        (self.0)(x, f)
+    }
+}
+
+/// Convenience: evaluate `σ0` for a noise model over an objective at `x`.
+pub fn sigma0_at<O: Objective, N: NoiseModel>(obj: &O, noise: &N, x: &[f64]) -> f64 {
+    noise.sigma0(x, obj.value(x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_noise_ignores_location() {
+        let n = ConstantNoise(100.0);
+        assert_eq!(n.sigma0(&[0.0], 0.0), 100.0);
+        assert_eq!(n.sigma0(&[1e9, -3.0], 1e12), 100.0);
+    }
+
+    #[test]
+    fn relative_noise_scales_and_floors() {
+        let n = RelativeNoise {
+            fraction: 0.1,
+            floor: 0.5,
+        };
+        assert_eq!(n.sigma0(&[], 100.0), 10.0);
+        assert_eq!(n.sigma0(&[], -100.0), 10.0);
+        assert_eq!(n.sigma0(&[], 0.0), 0.5);
+        assert_eq!(n.sigma0(&[], 1.0), 0.5);
+    }
+
+    #[test]
+    fn zero_noise_is_zero() {
+        assert_eq!(ZeroNoise.sigma0(&[1.0], 42.0), 0.0);
+    }
+
+    #[test]
+    fn fn_noise_delegates() {
+        let n = FnNoise(|x: &[f64], _f| x[0].abs() + 1.0);
+        assert_eq!(n.sigma0(&[3.0], 0.0), 4.0);
+    }
+}

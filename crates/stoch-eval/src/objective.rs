@@ -1,0 +1,154 @@
+//! Core traits: deterministic objectives, stochastic objectives, and sampling
+//! streams.
+//!
+//! Optimizers in the `noisy-simplex` crate never see raw function values;
+//! they see [`Estimate`]s produced by [`SampleStream`]s, and may ask a stream
+//! to keep sampling (`extend`) to shrink its standard error. This is the
+//! contract that lets the same algorithm code drive an analytic test function
+//! with synthetic Gaussian noise and a molecular-dynamics simulation whose
+//! noise comes from genuine thermal sampling.
+
+/// The result of sampling a point for some amount of virtual time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// Current running estimate of the objective value at the point.
+    pub value: f64,
+    /// Standard error of `value` (expected to shrink as `1/√t`).
+    pub std_err: f64,
+    /// Total virtual time the point has been sampled for.
+    pub time: f64,
+}
+
+impl Estimate {
+    /// An estimate with no uncertainty (used by deterministic evaluation).
+    pub fn exact(value: f64) -> Self {
+        Estimate {
+            value,
+            std_err: 0.0,
+            time: 0.0,
+        }
+    }
+
+    /// Lower edge of the `k`-standard-error confidence interval.
+    #[inline]
+    pub fn lo(&self, k: f64) -> f64 {
+        self.value - k * self.std_err
+    }
+
+    /// Upper edge of the `k`-standard-error confidence interval.
+    #[inline]
+    pub fn hi(&self, k: f64) -> f64 {
+        self.value + k * self.std_err
+    }
+}
+
+/// An ongoing sampling computation at a fixed point in parameter space.
+///
+/// Implementations must guarantee *consistency*: extending a stream refines
+/// the running estimate (variance strictly decreasing in expectation); it
+/// must not redraw an independent value. See `DESIGN.md` §6.
+pub trait SampleStream {
+    /// Advance sampling by virtual duration `dt > 0`.
+    fn extend(&mut self, dt: f64);
+
+    /// The current estimate (value, standard error, accumulated time).
+    fn estimate(&self) -> Estimate;
+}
+
+/// A deterministic multivariate objective `f: R^d -> R`.
+pub trait Objective: Sync {
+    /// Dimensionality `d` of the parameter space.
+    fn dim(&self) -> usize;
+
+    /// Evaluate the underlying (noise-free) function.
+    fn value(&self, x: &[f64]) -> f64;
+
+    /// Known global minimizer, if any (used by experiment measurement only).
+    fn minimizer(&self) -> Option<Vec<f64>> {
+        None
+    }
+
+    /// Known global minimum value, if any.
+    fn minimum(&self) -> Option<f64> {
+        None
+    }
+}
+
+impl<T: Objective + ?Sized> Objective for &T {
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+    fn value(&self, x: &[f64]) -> f64 {
+        (**self).value(x)
+    }
+    fn minimizer(&self) -> Option<Vec<f64>> {
+        (**self).minimizer()
+    }
+    fn minimum(&self) -> Option<f64> {
+        (**self).minimum()
+    }
+}
+
+/// An objective whose evaluation is a sampling process.
+///
+/// `open` starts a fresh sampling computation at `x`; the returned stream is
+/// then driven by the optimizer. The `seed` makes streams reproducible and
+/// independent across points.
+pub trait StochasticObjective: Sync {
+    /// The sampling-stream type produced at each point.
+    type Stream: SampleStream;
+
+    /// Dimensionality of the parameter space.
+    fn dim(&self) -> usize;
+
+    /// Begin sampling at point `x`.
+    fn open(&self, x: &[f64], seed: u64) -> Self::Stream;
+
+    /// The underlying noise-free value, when known analytically.
+    ///
+    /// Optimizers must never call this; it exists so experiment harnesses can
+    /// measure the true error `R` of a result. Substrates where the truth is
+    /// unknown (e.g. molecular dynamics) return `None`.
+    fn true_value(&self, _x: &[f64]) -> Option<f64> {
+        None
+    }
+}
+
+impl<T: StochasticObjective + ?Sized> StochasticObjective for &T {
+    type Stream = T::Stream;
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+    fn open(&self, x: &[f64], seed: u64) -> Self::Stream {
+        (**self).open(x, seed)
+    }
+    fn true_value(&self, x: &[f64]) -> Option<f64> {
+        (**self).true_value(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimate_interval_edges() {
+        let e = Estimate {
+            value: 10.0,
+            std_err: 2.0,
+            time: 1.0,
+        };
+        assert_eq!(e.lo(1.0), 8.0);
+        assert_eq!(e.hi(1.0), 12.0);
+        assert_eq!(e.lo(2.0), 6.0);
+        assert_eq!(e.hi(0.0), 10.0);
+    }
+
+    #[test]
+    fn exact_estimate_has_zero_error() {
+        let e = Estimate::exact(3.5);
+        assert_eq!(e.value, 3.5);
+        assert_eq!(e.std_err, 0.0);
+        assert_eq!(e.lo(5.0), e.hi(5.0));
+    }
+}

@@ -1,0 +1,383 @@
+//! Sampling streams: the consistent Gaussian model of Eq. 1.1–1.2, and an
+//! empirical batch-based estimator.
+//!
+//! # Consistency
+//!
+//! The paper's noise model says the observed value after sampling time `t` is
+//! `f + ε`, `ε ~ N(0, σ0²/t)`. When an optimizer "resamples" a point it is
+//! *continuing* the same simulation, so the new estimate must be a refinement
+//! of the old one, not an independent redraw. [`GaussianStream`] realises
+//! this with a Brownian accumulator: each increment `dt` adds
+//! `N(f·dt, σ0²·dt)` to a running sum `S`, and the estimate is `S/t` which
+//! has exactly variance `σ0²/t`. Successive estimates are correlated in the
+//! way a true running average is.
+
+use crate::noise::NoiseModel;
+use crate::objective::{Estimate, Objective, SampleStream, StochasticObjective};
+use crate::rng::rng_from_seed;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Draw a standard normal variate via the Marsaglia polar method.
+///
+/// We implement this by hand to keep the workspace on the approved
+/// dependency set (`rand` only, no `rand_distr`).
+#[inline]
+pub fn standard_normal(rng: &mut StdRng) -> f64 {
+    loop {
+        let u: f64 = rng.gen_range(-1.0..1.0);
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// A consistent Gaussian sampling stream at a fixed point.
+///
+/// Estimate after total time `t`: `S/t ~ N(f, σ0²/t)`. The reported standard
+/// error is the *oracle* value `σ0/√t`, matching the paper's assumption that
+/// the expectation value of the noise is available to the algorithm.
+#[derive(Debug, Clone)]
+pub struct GaussianStream {
+    f: f64,
+    sigma0: f64,
+    t: f64,
+    sum: f64,
+    rng: StdRng,
+}
+
+impl GaussianStream {
+    /// Start a stream at a point whose noise-free value is `f` with inherent
+    /// noise magnitude `sigma0`.
+    pub fn new(f: f64, sigma0: f64, seed: u64) -> Self {
+        GaussianStream {
+            f,
+            sigma0,
+            t: 0.0,
+            sum: 0.0,
+            rng: rng_from_seed(seed),
+        }
+    }
+
+    /// The underlying noise-free value (test/measurement use only).
+    pub fn underlying(&self) -> f64 {
+        self.f
+    }
+
+    /// The inherent noise magnitude `σ0`.
+    pub fn sigma0(&self) -> f64 {
+        self.sigma0
+    }
+}
+
+impl SampleStream for GaussianStream {
+    fn extend(&mut self, dt: f64) {
+        assert!(dt > 0.0, "sampling increment must be positive, got {dt}");
+        // Brownian increment: N(f*dt, sigma0^2 * dt).
+        let z = if self.sigma0 > 0.0 {
+            standard_normal(&mut self.rng)
+        } else {
+            0.0
+        };
+        self.sum += self.f * dt + self.sigma0 * dt.sqrt() * z;
+        self.t += dt;
+    }
+
+    fn estimate(&self) -> Estimate {
+        if self.t <= 0.0 {
+            // An unsampled stream is maximally uncertain; report the prior
+            // mean with infinite error so no confidence comparison passes.
+            return Estimate {
+                value: self.f,
+                std_err: f64::INFINITY,
+                time: 0.0,
+            };
+        }
+        Estimate {
+            value: self.sum / self.t,
+            std_err: if self.sigma0 > 0.0 {
+                self.sigma0 / self.t.sqrt()
+            } else {
+                0.0
+            },
+            time: self.t,
+        }
+    }
+}
+
+/// A stream that estimates its own standard error empirically from discrete
+/// sample batches (no oracle knowledge of `σ0`).
+///
+/// Each `extend(dt)` draws `ceil(dt / dt_sample)` unit samples
+/// `N(f, σ0²/dt_sample)` and folds them into a Welford accumulator; the
+/// reported error is the standard error of the mean. This is the "realistic"
+/// mode: the paper notes the inherent variance is not known ahead of time.
+#[derive(Debug, Clone)]
+pub struct EmpiricalStream {
+    f: f64,
+    sigma0: f64,
+    dt_sample: f64,
+    n: u64,
+    mean: f64,
+    m2: f64,
+    rng: StdRng,
+}
+
+impl EmpiricalStream {
+    /// Start an empirical stream; `dt_sample` is the virtual duration of one
+    /// discrete sample (one MD segment, one simulation batch, ...).
+    pub fn new(f: f64, sigma0: f64, dt_sample: f64, seed: u64) -> Self {
+        assert!(dt_sample > 0.0);
+        EmpiricalStream {
+            f,
+            sigma0,
+            dt_sample,
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            rng: rng_from_seed(seed),
+        }
+    }
+
+    fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+}
+
+impl SampleStream for EmpiricalStream {
+    fn extend(&mut self, dt: f64) {
+        assert!(dt > 0.0);
+        let batches = (dt / self.dt_sample).ceil().max(1.0) as u64;
+        let unit_sd = self.sigma0 / self.dt_sample.sqrt();
+        for _ in 0..batches {
+            let z = if self.sigma0 > 0.0 {
+                standard_normal(&mut self.rng)
+            } else {
+                0.0
+            };
+            self.push(self.f + unit_sd * z);
+        }
+    }
+
+    fn estimate(&self) -> Estimate {
+        if self.n < 2 {
+            return Estimate {
+                value: if self.n == 1 { self.mean } else { self.f },
+                std_err: f64::INFINITY,
+                time: self.n as f64 * self.dt_sample,
+            };
+        }
+        let var = self.m2 / (self.n - 1) as f64;
+        Estimate {
+            value: self.mean,
+            std_err: (var / self.n as f64).sqrt(),
+            time: self.n as f64 * self.dt_sample,
+        }
+    }
+}
+
+/// Wrap a deterministic [`Objective`] with a [`NoiseModel`] to obtain a
+/// [`StochasticObjective`] whose streams follow Eq. 1.1–1.2.
+#[derive(Debug, Clone)]
+pub struct Noisy<O, N> {
+    objective: O,
+    noise: N,
+    empirical: bool,
+    dt_sample: f64,
+}
+
+impl<O: Objective, N: NoiseModel> Noisy<O, N> {
+    /// Oracle-error mode (default; matches the paper's experiments).
+    pub fn new(objective: O, noise: N) -> Self {
+        Noisy {
+            objective,
+            noise,
+            empirical: false,
+            dt_sample: 1.0,
+        }
+    }
+
+    /// Empirical-error mode: streams estimate their own standard error from
+    /// batches of duration `dt_sample`.
+    pub fn empirical(objective: O, noise: N, dt_sample: f64) -> Self {
+        Noisy {
+            objective,
+            noise,
+            empirical: true,
+            dt_sample,
+        }
+    }
+
+    /// Access the wrapped deterministic objective.
+    pub fn objective(&self) -> &O {
+        &self.objective
+    }
+}
+
+/// Stream type produced by [`Noisy`]: oracle Gaussian or empirical.
+#[derive(Debug, Clone)]
+pub enum NoisyStream {
+    /// Oracle-error Gaussian stream.
+    Oracle(GaussianStream),
+    /// Batch-based empirical stream.
+    Empirical(EmpiricalStream),
+}
+
+impl SampleStream for NoisyStream {
+    fn extend(&mut self, dt: f64) {
+        match self {
+            NoisyStream::Oracle(s) => s.extend(dt),
+            NoisyStream::Empirical(s) => s.extend(dt),
+        }
+    }
+    fn estimate(&self) -> Estimate {
+        match self {
+            NoisyStream::Oracle(s) => s.estimate(),
+            NoisyStream::Empirical(s) => s.estimate(),
+        }
+    }
+}
+
+impl<O: Objective, N: NoiseModel> StochasticObjective for Noisy<O, N> {
+    type Stream = NoisyStream;
+
+    fn dim(&self) -> usize {
+        self.objective.dim()
+    }
+
+    fn open(&self, x: &[f64], seed: u64) -> NoisyStream {
+        let f = self.objective.value(x);
+        let sigma0 = self.noise.sigma0(x, f);
+        if self.empirical {
+            NoisyStream::Empirical(EmpiricalStream::new(f, sigma0, self.dt_sample, seed))
+        } else {
+            NoisyStream::Oracle(GaussianStream::new(f, sigma0, seed))
+        }
+    }
+
+    fn true_value(&self, x: &[f64]) -> Option<f64> {
+        Some(self.objective.value(x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::{ConstantNoise, ZeroNoise};
+    use crate::objective::Objective;
+
+    struct Const(f64);
+    impl Objective for Const {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn value(&self, _x: &[f64]) -> f64 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn unsampled_stream_is_infinitely_uncertain() {
+        let s = GaussianStream::new(5.0, 1.0, 1);
+        let e = s.estimate();
+        assert!(e.std_err.is_infinite());
+        assert_eq!(e.time, 0.0);
+    }
+
+    #[test]
+    fn oracle_error_shrinks_as_inverse_sqrt_t() {
+        let mut s = GaussianStream::new(0.0, 10.0, 2);
+        s.extend(4.0);
+        assert!((s.estimate().std_err - 5.0).abs() < 1e-12);
+        s.extend(12.0); // t = 16
+        assert!((s.estimate().std_err - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_noise_stream_is_exact() {
+        let mut s = GaussianStream::new(3.25, 0.0, 3);
+        s.extend(1.0);
+        let e = s.estimate();
+        assert_eq!(e.value, 3.25);
+        assert_eq!(e.std_err, 0.0);
+    }
+
+    #[test]
+    fn estimate_converges_to_underlying() {
+        let mut s = GaussianStream::new(7.0, 50.0, 4);
+        s.extend(1.0);
+        let rough = (s.estimate().value - 7.0).abs();
+        s.extend(1e6);
+        let fine = (s.estimate().value - 7.0).abs();
+        assert!(fine < rough.max(1.0));
+        assert!(fine < 0.5, "fine error {fine} too large");
+    }
+
+    #[test]
+    fn refinement_is_consistent_running_average() {
+        // Extending must update the estimate as a weighted running average:
+        // after a huge extension the earlier noise contribution washes out.
+        let mut s = GaussianStream::new(0.0, 100.0, 5);
+        s.extend(1.0);
+        let e1 = s.estimate().value;
+        s.extend(1e8);
+        let e2 = s.estimate().value;
+        assert!(e2.abs() < e1.abs().max(0.5));
+    }
+
+    #[test]
+    fn empirical_error_tracks_oracle() {
+        let mut s = EmpiricalStream::new(0.0, 10.0, 1.0, 6);
+        s.extend(10_000.0);
+        let e = s.estimate();
+        let oracle = 10.0 / 10_000.0_f64.sqrt();
+        assert!(
+            (e.std_err - oracle).abs() / oracle < 0.2,
+            "empirical {} vs oracle {}",
+            e.std_err,
+            oracle
+        );
+        assert!(e.value.abs() < 5.0 * oracle);
+    }
+
+    #[test]
+    fn noisy_wrapper_reports_truth_and_respects_zero_noise() {
+        let obj = Noisy::new(Const(9.0), ZeroNoise);
+        assert_eq!(obj.true_value(&[0.0]), Some(9.0));
+        let mut st = obj.open(&[0.0], 0);
+        st.extend(1.0);
+        assert_eq!(st.estimate().value, 9.0);
+        assert_eq!(st.estimate().std_err, 0.0);
+    }
+
+    #[test]
+    fn noisy_streams_with_different_seeds_differ() {
+        let obj = Noisy::new(Const(0.0), ConstantNoise(10.0));
+        let mut a = obj.open(&[0.0], 1);
+        let mut b = obj.open(&[0.0], 2);
+        a.extend(1.0);
+        b.extend(1.0);
+        assert_ne!(a.estimate().value, b.estimate().value);
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = rng_from_seed(99);
+        let n = 200_000;
+        let (mut sum, mut sum2) = (0.0, 0.0);
+        for _ in 0..n {
+            let z = standard_normal(&mut rng);
+            sum += z;
+            sum2 += z * z;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+}

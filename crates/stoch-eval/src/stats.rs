@@ -1,0 +1,447 @@
+//! Statistics used by the experiment harness: streaming moments, quantiles,
+//! histograms, and the paired log-ratio analysis behind Figs 3.5–3.17.
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+#[derive(Debug, Clone, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one observation in.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (`NaN` if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (`NaN` if fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            f64::NAN
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_err(&self) -> f64 {
+        (self.variance() / self.n as f64).sqrt()
+    }
+
+    /// Merge two accumulators (parallel reduction).
+    pub fn merge(&self, other: &Welford) -> Welford {
+        if self.n == 0 {
+            return other.clone();
+        }
+        if other.n == 0 {
+            return self.clone();
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n as f64;
+        let m2 =
+            self.m2 + other.m2 + delta * delta * self.n as f64 * other.n as f64 / n as f64;
+        Welford { n, mean, m2 }
+    }
+}
+
+/// Five-number-style summary of a sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median (linear-interpolated).
+    pub median: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarize a sample (empty samples yield NaNs, n = 0).
+    pub fn of(data: &[f64]) -> Summary {
+        if data.is_empty() {
+            return Summary {
+                n: 0,
+                mean: f64::NAN,
+                std_dev: f64::NAN,
+                min: f64::NAN,
+                median: f64::NAN,
+                max: f64::NAN,
+            };
+        }
+        let mut w = Welford::new();
+        for &x in data {
+            w.push(x);
+        }
+        let mut sorted: Vec<f64> = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+        Summary {
+            n: data.len(),
+            mean: w.mean(),
+            std_dev: if data.len() > 1 { w.std_dev() } else { 0.0 },
+            min: sorted[0],
+            median: quantile_sorted(&sorted, 0.5),
+            max: sorted[sorted.len() - 1],
+        }
+    }
+}
+
+/// Linear-interpolated quantile of an already-sorted sample, `q ∈ [0, 1]`.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    assert!((0.0..=1.0).contains(&q));
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Linear-interpolated quantile of an unsorted sample.
+pub fn quantile(data: &[f64], q: f64) -> f64 {
+    let mut sorted: Vec<f64> = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    quantile_sorted(&sorted, q)
+}
+
+/// A fixed-range histogram with uniform bins, matching the paper's
+/// count-vs-log-ratio panels.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    below: u64,
+    above: u64,
+}
+
+impl Histogram {
+    /// Histogram over `[lo, hi)` with `bins` uniform bins.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(hi > lo && bins > 0);
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            below: 0,
+            above: 0,
+        }
+    }
+
+    /// Add one observation. Out-of-range values are folded into the edge
+    /// bins' overflow counters (reported separately).
+    pub fn push(&mut self, x: f64) {
+        if x < self.lo {
+            self.below += 1;
+        } else if x >= self.hi {
+            self.above += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.counts.len() as f64;
+            let idx = ((x - self.lo) / w) as usize;
+            let idx = idx.min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Add many observations.
+    pub fn extend_from(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.push(x);
+        }
+    }
+
+    /// Bin counts (in-range only).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Observations below `lo` / at-or-above `hi`.
+    pub fn overflow(&self) -> (u64, u64) {
+        (self.below, self.above)
+    }
+
+    /// Total observations pushed, including overflow.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.below + self.above
+    }
+
+    /// Centers of the bins.
+    pub fn centers(&self) -> Vec<f64> {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        (0..self.counts.len())
+            .map(|i| self.lo + (i as f64 + 0.5) * w)
+            .collect()
+    }
+
+    /// Render as an ASCII bar chart, one bin per row.
+    pub fn render(&self, width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let centers = self.centers();
+        let mut out = String::new();
+        for (c, n) in centers.iter().zip(&self.counts) {
+            let bar = "#".repeat((*n as usize * width) / max as usize);
+            out.push_str(&format!("{c:>8.2} |{bar:<width$}| {n}\n"));
+        }
+        if self.below + self.above > 0 {
+            out.push_str(&format!(
+                "  (out of range: {} below, {} at/above)\n",
+                self.below, self.above
+            ));
+        }
+        out
+    }
+}
+
+/// `log10(a/b)` with clamping so that exact zeros (an optimizer landing on
+/// the true minimum) do not produce infinities: values are floored at
+/// `floor_value` before taking the ratio. The paper plots exactly this
+/// quantity; negative means the numerator method got closer to the minimum.
+pub fn log10_ratio(a: f64, b: f64, floor_value: f64) -> f64 {
+    let a = a.abs().max(floor_value);
+    let b = b.abs().max(floor_value);
+    (a / b).log10()
+}
+
+/// Paired comparison of two methods' final minima across replicates:
+/// the distribution of `log10(min_a / min_b)` plus headline fractions.
+#[derive(Debug, Clone)]
+pub struct PairedComparison {
+    /// Per-replicate `log10(min_a/min_b)` values.
+    pub log_ratios: Vec<f64>,
+    /// Fraction of replicates where method A strictly beat method B
+    /// (ratio < -tie_band).
+    pub frac_a_wins: f64,
+    /// Fraction within the tie band.
+    pub frac_tie: f64,
+    /// Fraction where B beat A.
+    pub frac_b_wins: f64,
+}
+
+impl PairedComparison {
+    /// Build from paired final minima; `tie_band` is the |log10 ratio| below
+    /// which the pair counts as a tie (the paper treats ~0 as "comparable").
+    pub fn new(mins_a: &[f64], mins_b: &[f64], floor_value: f64, tie_band: f64) -> Self {
+        assert_eq!(mins_a.len(), mins_b.len());
+        let log_ratios: Vec<f64> = mins_a
+            .iter()
+            .zip(mins_b)
+            .map(|(&a, &b)| log10_ratio(a, b, floor_value))
+            .collect();
+        let n = log_ratios.len().max(1) as f64;
+        let a = log_ratios.iter().filter(|&&r| r < -tie_band).count() as f64;
+        let b = log_ratios.iter().filter(|&&r| r > tie_band).count() as f64;
+        PairedComparison {
+            frac_a_wins: a / n,
+            frac_b_wins: b / n,
+            frac_tie: 1.0 - (a + b) / n,
+            log_ratios,
+        }
+    }
+
+    /// Histogram of the log ratios over `[lo, hi)`.
+    pub fn histogram(&self, lo: f64, hi: f64, bins: usize) -> Histogram {
+        let mut h = Histogram::new(lo, hi, bins);
+        h.extend_from(&self.log_ratios);
+        h
+    }
+
+    /// Two-sided sign-test p-value for "the two methods are equally likely
+    /// to win" — ties excluded, exact binomial tail. Small p means the win
+    /// imbalance is unlikely under the null.
+    pub fn sign_test_p(&self, tie_band: f64) -> f64 {
+        let wins_a = self.log_ratios.iter().filter(|&&r| r < -tie_band).count() as u64;
+        let wins_b = self.log_ratios.iter().filter(|&&r| r > tie_band).count() as u64;
+        sign_test(wins_a, wins_b)
+    }
+}
+
+/// Exact two-sided sign test: probability, under a fair coin, of a split at
+/// least as extreme as `(wins_a, wins_b)`.
+pub fn sign_test(wins_a: u64, wins_b: u64) -> f64 {
+    let n = wins_a + wins_b;
+    if n == 0 {
+        return 1.0;
+    }
+    let k = wins_a.min(wins_b);
+    // P(X <= k) for X ~ Binomial(n, 1/2), computed in log space for
+    // numerical stability at large n.
+    let ln_half = 0.5f64.ln();
+    let mut ln_choose = 0.0; // ln C(n, 0)
+    let mut tail = 0.0f64;
+    for i in 0..=k {
+        if i > 0 {
+            ln_choose += ((n - i + 1) as f64).ln() - (i as f64).ln();
+        }
+        tail += (ln_choose + n as f64 * ln_half).exp();
+    }
+    (2.0 * tail).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_closed_form() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &data {
+            w.push(x);
+        }
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        // Population variance is 4.0; sample variance = 4.0 * 8/7.
+        assert!((w.variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut all = Welford::new();
+        let mut left = Welford::new();
+        let mut right = Welford::new();
+        for (i, &x) in data.iter().enumerate() {
+            all.push(x);
+            if i < 37 {
+                left.push(x)
+            } else {
+                right.push(x)
+            }
+        }
+        let merged = left.merge(&right);
+        assert_eq!(merged.count(), all.count());
+        assert!((merged.mean() - all.mean()).abs() < 1e-12);
+        assert!((merged.variance() - all.variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn welford_empty_and_single() {
+        let w = Welford::new();
+        assert!(w.mean().is_nan());
+        let mut w = Welford::new();
+        w.push(3.0);
+        assert_eq!(w.mean(), 3.0);
+        assert!(w.variance().is_nan());
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&data, 0.0), 1.0);
+        assert_eq!(quantile(&data, 1.0), 4.0);
+        assert_eq!(quantile(&data, 0.5), 2.5);
+        assert!((quantile(&data, 0.25) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_of_sample() {
+        let s = Summary::of(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.n, 3);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.median, 2.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!((s.std_dev - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_bins_and_overflow() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [-1.0, 0.0, 1.9, 2.0, 5.5, 9.99, 10.0, 42.0] {
+            h.push(x);
+        }
+        assert_eq!(h.counts(), &[2, 1, 1, 0, 1]);
+        assert_eq!(h.overflow(), (1, 2));
+        assert_eq!(h.total(), 8);
+        assert_eq!(h.centers()[0], 1.0);
+    }
+
+    #[test]
+    fn histogram_renders_without_panic() {
+        let mut h = Histogram::new(-2.0, 2.0, 4);
+        h.extend_from(&[-1.5, 0.0, 0.1, 1.5, 1.5]);
+        let s = h.render(20);
+        assert!(s.contains('#'));
+        assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    fn log_ratio_clamps_zeros() {
+        assert_eq!(log10_ratio(0.0, 1.0, 1e-12), -12.0);
+        assert_eq!(log10_ratio(1.0, 0.0, 1e-12), 12.0);
+        assert_eq!(log10_ratio(100.0, 1.0, 1e-12), 2.0);
+    }
+
+    #[test]
+    fn sign_test_values() {
+        // Balanced split: p = 1.
+        assert!((sign_test(5, 5) - 1.0).abs() < 0.3);
+        // 10-0: p = 2 * (1/2)^10 ≈ 0.00195.
+        assert!((sign_test(10, 0) - 2.0 * 0.5f64.powi(10)).abs() < 1e-12);
+        // Empty: no evidence.
+        assert_eq!(sign_test(0, 0), 1.0);
+        // Symmetry.
+        assert!((sign_test(3, 12) - sign_test(12, 3)).abs() < 1e-12);
+        // Monotone: more extreme splits are less likely.
+        assert!(sign_test(9, 1) < sign_test(7, 3));
+    }
+
+    #[test]
+    fn paired_sign_test_detects_dominance() {
+        let a = vec![1e-6; 12];
+        let b = vec![1.0; 12];
+        let c = PairedComparison::new(&a, &b, 1e-12, 0.25);
+        assert!(c.sign_test_p(0.25) < 0.001);
+        let even: Vec<f64> = (0..12).map(|i| if i % 2 == 0 { 1e-6 } else { 1e6 }).collect();
+        let c2 = PairedComparison::new(&even, &b, 1e-12, 0.25);
+        assert!(c2.sign_test_p(0.25) > 0.5);
+    }
+
+    #[test]
+    fn paired_comparison_fractions() {
+        let a = [1e-6, 1.0, 1.0, 1e3];
+        let b = [1.0, 1.0, 1e-6, 1.0];
+        let c = PairedComparison::new(&a, &b, 1e-12, 0.5);
+        assert!((c.frac_a_wins - 0.25).abs() < 1e-12);
+        assert!((c.frac_b_wins - 0.5).abs() < 1e-12);
+        assert!((c.frac_tie - 0.25).abs() < 1e-12);
+        let h = c.histogram(-8.0, 8.0, 16);
+        assert_eq!(h.total(), 4);
+    }
+}

@@ -1,0 +1,140 @@
+//! Block-averaging error analysis (Flyvbjerg–Petersen) for correlated
+//! time-series, as produced by MD sampling.
+//!
+//! Successive MD samples are correlated, so the naive standard error of the
+//! mean (`σ/√n`) underestimates the true uncertainty. Block averaging
+//! repeatedly coarsens the series by averaging pairs; the apparent standard
+//! error grows until blocks are longer than the correlation time, then
+//! plateaus. The plateau value is the honest error bar — exactly the
+//! quantity the paper's noise model `σ²(t) = σ0²/t` abstracts.
+
+use stoch_eval::stats::Welford;
+
+/// Result of a block-averaging analysis.
+#[derive(Debug, Clone)]
+pub struct BlockAnalysis {
+    /// Sample mean.
+    pub mean: f64,
+    /// Naive standard error (assumes independent samples).
+    pub naive_std_err: f64,
+    /// Plateau (blocked) standard error — the honest error bar.
+    pub std_err: f64,
+    /// Estimated statistical inefficiency `s = (σ_block/σ_naive)²`
+    /// (≈ 2× the correlation time in sample units; 1 for white noise).
+    pub statistical_inefficiency: f64,
+    /// Apparent standard error at each blocking level.
+    pub levels: Vec<f64>,
+}
+
+/// Run the blocking analysis on a series. Needs at least 8 samples;
+/// returns `None` otherwise.
+pub fn block_analysis(series: &[f64]) -> Option<BlockAnalysis> {
+    if series.len() < 8 {
+        return None;
+    }
+    let stats = |xs: &[f64]| -> (f64, f64, u64) {
+        let mut w = Welford::new();
+        for &x in xs {
+            w.push(x);
+        }
+        (w.mean(), w.std_err(), w.count())
+    };
+    let (mean, naive, _) = stats(series);
+
+    let mut levels = Vec::new();
+    let mut current: Vec<f64> = series.to_vec();
+    loop {
+        let (_, se, n) = stats(&current);
+        levels.push(se);
+        if n < 8 {
+            break;
+        }
+        // Coarsen: average adjacent pairs.
+        current = current
+            .chunks_exact(2)
+            .map(|p| 0.5 * (p[0] + p[1]))
+            .collect();
+    }
+
+    // Plateau estimate: the maximum apparent error across levels is a
+    // robust choice when the plateau is noisy (standard practice).
+    let plateau = levels.iter().cloned().fold(0.0f64, f64::max);
+    let ineff = if naive > 0.0 {
+        (plateau / naive) * (plateau / naive)
+    } else {
+        1.0
+    };
+    Some(BlockAnalysis {
+        mean,
+        naive_std_err: naive,
+        std_err: plateau,
+        statistical_inefficiency: ineff.max(1.0),
+        levels,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use stoch_eval::rng::rng_from_seed;
+    use stoch_eval::sampler::standard_normal;
+
+    #[test]
+    fn too_short_series_is_rejected() {
+        assert!(block_analysis(&[1.0; 7]).is_none());
+        assert!(block_analysis(&[1.0; 8]).is_some());
+    }
+
+    #[test]
+    fn white_noise_has_unit_inefficiency() {
+        let mut rng = rng_from_seed(1);
+        let xs: Vec<f64> = (0..4096).map(|_| standard_normal(&mut rng)).collect();
+        let a = block_analysis(&xs).unwrap();
+        assert!(
+            a.statistical_inefficiency < 2.0,
+            "inefficiency {} for white noise",
+            a.statistical_inefficiency
+        );
+        // Naive error is accurate for independent samples: 1/sqrt(4096).
+        assert!((a.naive_std_err - 1.0 / 64.0).abs() < 0.004);
+        assert!(a.mean.abs() < 0.1);
+    }
+
+    #[test]
+    fn correlated_series_inflates_the_error_bar() {
+        // AR(1) with strong correlation: x_{t+1} = 0.95 x_t + noise.
+        let mut rng = rng_from_seed(2);
+        let mut x = 0.0;
+        let xs: Vec<f64> = (0..8192)
+            .map(|_| {
+                x = 0.95 * x + standard_normal(&mut rng);
+                x
+            })
+            .collect();
+        let a = block_analysis(&xs).unwrap();
+        assert!(
+            a.std_err > 3.0 * a.naive_std_err,
+            "blocked {} vs naive {}",
+            a.std_err,
+            a.naive_std_err
+        );
+        assert!(a.statistical_inefficiency > 9.0);
+    }
+
+    #[test]
+    fn constant_series_has_zero_error() {
+        let a = block_analysis(&[5.0; 64]).unwrap();
+        assert_eq!(a.mean, 5.0);
+        assert_eq!(a.std_err, 0.0);
+    }
+
+    #[test]
+    fn levels_start_at_naive_error() {
+        let mut rng = rng_from_seed(3);
+        let xs: Vec<f64> = (0..128).map(|_| rng.gen::<f64>()).collect();
+        let a = block_analysis(&xs).unwrap();
+        assert!((a.levels[0] - a.naive_std_err).abs() < 1e-12);
+        assert!(a.levels.len() >= 4);
+    }
+}

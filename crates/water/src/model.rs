@@ -1,0 +1,154 @@
+//! The 4-site rigid water model (TIP4P functional form, Fig 3.19 of the
+//! paper): Lennard-Jones on the oxygen site, partial charges on the two
+//! hydrogens (`+q_H` each) and on the massless M site (`−2q_H`) displaced
+//! from the oxygen along the HOH bisector.
+//!
+//! The optimization parameterizes `θ = (ε, σ, q_H)`; the geometry
+//! (`r_OH`, `∠HOH`, `r_OM`) is fixed, as in the paper.
+
+use crate::vec3::Vec3;
+
+/// Parameters of a TIP4P-form water model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WaterModel {
+    /// Lennard-Jones well depth on oxygen, kcal/mol.
+    pub epsilon: f64,
+    /// Lennard-Jones diameter on oxygen, Å.
+    pub sigma: f64,
+    /// Partial charge on each hydrogen, e (the M site carries `−2 q_H`).
+    pub q_h: f64,
+    /// O–H bond length, Å.
+    pub r_oh: f64,
+    /// H–O–H angle, degrees.
+    pub theta_deg: f64,
+    /// O–M displacement along the bisector, Å.
+    pub r_om: f64,
+}
+
+/// The published TIP4P parameters (Jorgensen et al. 1983):
+/// `ε = 0.1550 kcal/mol`, `σ = 3.1540 Å`, `q_H = 0.5200 e`.
+pub const TIP4P: WaterModel = WaterModel {
+    epsilon: 0.1550,
+    sigma: 3.1540,
+    q_h: 0.5200,
+    r_oh: 0.9572,
+    theta_deg: 104.52,
+    r_om: 0.15,
+};
+
+impl WaterModel {
+    /// A model with the TIP4P geometry but free `(ε, σ, q_H)` — the
+    /// parameter vector the optimizers move.
+    pub fn with_params(epsilon: f64, sigma: f64, q_h: f64) -> Self {
+        WaterModel {
+            epsilon,
+            sigma,
+            q_h,
+            ..TIP4P
+        }
+    }
+
+    /// Parameter vector `(ε, σ, q_H)` as a slice-compatible array.
+    pub fn params(&self) -> [f64; 3] {
+        [self.epsilon, self.sigma, self.q_h]
+    }
+
+    /// H–H distance implied by the rigid geometry, Å.
+    pub fn r_hh(&self) -> f64 {
+        2.0 * self.r_oh * (self.theta_deg.to_radians() / 2.0).sin()
+    }
+
+    /// Charge on the M site, e.
+    pub fn q_m(&self) -> f64 {
+        -2.0 * self.q_h
+    }
+
+    /// Virtual-site coefficient `a` such that
+    /// `r_M = r_O + a (r_H1 − r_O) + a (r_H2 − r_O)`.
+    ///
+    /// Because the geometry is rigid, `a = r_OM / (2 r_OH cos(θ/2))` is a
+    /// constant, and the force on M redistributes linearly:
+    /// `F_O += (1−2a) F_M`, `F_Hi += a F_M`.
+    pub fn msite_coeff(&self) -> f64 {
+        self.r_om / (2.0 * self.r_oh * (self.theta_deg.to_radians() / 2.0).cos())
+    }
+
+    /// The M-site position for given atom positions.
+    pub fn msite(&self, o: Vec3, h1: Vec3, h2: Vec3) -> Vec3 {
+        let a = self.msite_coeff();
+        o + a * (h1 - o) + a * (h2 - o)
+    }
+
+    /// Reference site positions for a molecule at the origin in the xy
+    /// plane: O at origin, hydrogens symmetric about +x.
+    pub fn reference_sites(&self) -> (Vec3, Vec3, Vec3) {
+        let half = self.theta_deg.to_radians() / 2.0;
+        let o = Vec3::zero();
+        let h1 = Vec3::new(self.r_oh * half.cos(), self.r_oh * half.sin(), 0.0);
+        let h2 = Vec3::new(self.r_oh * half.cos(), -self.r_oh * half.sin(), 0.0);
+        (o, h1, h2)
+    }
+
+    /// Lennard-Jones `A = 4εσ¹²` coefficient.
+    pub fn lj_a(&self) -> f64 {
+        4.0 * self.epsilon * self.sigma.powi(12)
+    }
+
+    /// Lennard-Jones `B = 4εσ⁶` coefficient.
+    pub fn lj_b(&self) -> f64 {
+        4.0 * self.epsilon * self.sigma.powi(6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tip4p_published_values() {
+        assert_eq!(TIP4P.epsilon, 0.1550);
+        assert_eq!(TIP4P.sigma, 3.1540);
+        assert_eq!(TIP4P.q_h, 0.5200);
+        assert_eq!(TIP4P.q_m(), -1.04);
+    }
+
+    #[test]
+    fn hh_distance_matches_geometry() {
+        // 2 * 0.9572 * sin(52.26°) = 1.5139 Å.
+        assert!((TIP4P.r_hh() - 1.5139).abs() < 1e-3);
+    }
+
+    #[test]
+    fn msite_sits_on_bisector_at_r_om() {
+        let (o, h1, h2) = TIP4P.reference_sites();
+        let m = TIP4P.msite(o, h1, h2);
+        assert!((m.norm() - TIP4P.r_om).abs() < 1e-12, "|m| = {}", m.norm());
+        // On the bisector: same y-magnitude symmetry → y = 0.
+        assert!(m.y.abs() < 1e-12);
+        assert!(m.x > 0.0);
+    }
+
+    #[test]
+    fn msite_is_translation_invariant() {
+        let (o, h1, h2) = TIP4P.reference_sites();
+        let t = Vec3::new(3.0, -2.0, 7.0);
+        let m0 = TIP4P.msite(o, h1, h2);
+        let m1 = TIP4P.msite(o + t, h1 + t, h2 + t);
+        assert!((m1 - (m0 + t)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn reference_geometry_is_rigid_consistent() {
+        let (o, h1, h2) = TIP4P.reference_sites();
+        assert!(((h1 - o).norm() - TIP4P.r_oh).abs() < 1e-12);
+        assert!(((h2 - o).norm() - TIP4P.r_oh).abs() < 1e-12);
+        assert!(((h1 - h2).norm() - TIP4P.r_hh()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lj_coefficients() {
+        let m = WaterModel::with_params(1.0, 2.0, 0.5);
+        assert_eq!(m.lj_a(), 4.0 * 4096.0);
+        assert_eq!(m.lj_b(), 4.0 * 64.0);
+    }
+}

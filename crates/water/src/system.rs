@@ -1,0 +1,232 @@
+//! The simulation system: N rigid water molecules in a periodic cubic box.
+//!
+//! Positions are kept *unwrapped* (molecules may drift outside the primary
+//! box); all pair interactions apply the minimum-image convention to the
+//! oxygen–oxygen displacement and shift whole molecules by the same lattice
+//! vector, so rigid intramolecular geometry is never broken by wrapping.
+//! Unwrapped positions also make mean-square-displacement (diffusion)
+//! measurement trivial.
+
+use crate::model::WaterModel;
+use crate::units::{number_density, MASS_H, MASS_O, WATER_MOLAR_MASS};
+use crate::vec3::Vec3;
+use rand::rngs::StdRng;
+use rand::Rng;
+use stoch_eval::rng::rng_from_seed;
+use stoch_eval::sampler::standard_normal;
+
+/// One rigid water molecule: three massive sites (O, H1, H2) with positions
+/// and velocities. The M site is virtual and derived from these.
+#[derive(Debug, Clone, Copy)]
+pub struct Molecule {
+    /// Site positions `[O, H1, H2]`, Å.
+    pub r: [Vec3; 3],
+    /// Site velocities `[O, H1, H2]`, Å/fs.
+    pub v: [Vec3; 3],
+}
+
+/// Atom masses `[O, H, H]` in amu.
+pub const MASSES: [f64; 3] = [MASS_O, MASS_H, MASS_H];
+
+/// The periodic simulation system.
+#[derive(Debug, Clone)]
+pub struct System {
+    /// The water model in force.
+    pub model: WaterModel,
+    /// The molecules.
+    pub molecules: Vec<Molecule>,
+    /// Cubic box edge length, Å.
+    pub box_len: f64,
+}
+
+/// Minimum-image displacement component.
+#[inline]
+pub fn min_image(dx: f64, l: f64) -> f64 {
+    dx - l * (dx / l).round()
+}
+
+/// Minimum-image displacement vector.
+#[inline]
+pub fn min_image_vec(d: Vec3, l: f64) -> Vec3 {
+    Vec3::new(min_image(d.x, l), min_image(d.y, l), min_image(d.z, l))
+}
+
+/// Rotate `v` by the unit quaternion `(w, x, y, z)`.
+fn rotate(v: Vec3, q: [f64; 4]) -> Vec3 {
+    let u = Vec3::new(q[1], q[2], q[3]);
+    let s = q[0];
+    2.0 * u.dot(v) * u + (s * s - u.dot(u)) * v + 2.0 * s * u.cross(v)
+}
+
+/// Draw a uniformly random unit quaternion.
+fn random_quaternion(rng: &mut StdRng) -> [f64; 4] {
+    let u1: f64 = rng.gen();
+    let u2: f64 = rng.gen::<f64>() * std::f64::consts::TAU;
+    let u3: f64 = rng.gen::<f64>() * std::f64::consts::TAU;
+    let a = (1.0 - u1).sqrt();
+    let b = u1.sqrt();
+    [a * u2.sin(), a * u2.cos(), b * u3.sin(), b * u3.cos()]
+}
+
+impl System {
+    /// Build `n³` molecules on a cubic lattice with random orientations at
+    /// the given mass density (g/cm³), with Maxwell–Boltzmann velocities at
+    /// `temperature` (K) and zero total momentum.
+    pub fn lattice(
+        model: WaterModel,
+        n_side: usize,
+        density_g_cm3: f64,
+        temperature: f64,
+        seed: u64,
+    ) -> System {
+        assert!(n_side >= 1);
+        let n = n_side * n_side * n_side;
+        let rho = number_density(density_g_cm3, WATER_MOLAR_MASS);
+        let box_len = (n as f64 / rho).cbrt();
+        let spacing = box_len / n_side as f64;
+        let mut rng = rng_from_seed(seed);
+        let (o_ref, h1_ref, h2_ref) = model.reference_sites();
+
+        let mut molecules = Vec::with_capacity(n);
+        for ix in 0..n_side {
+            for iy in 0..n_side {
+                for iz in 0..n_side {
+                    let center = Vec3::new(
+                        (ix as f64 + 0.5) * spacing,
+                        (iy as f64 + 0.5) * spacing,
+                        (iz as f64 + 0.5) * spacing,
+                    );
+                    let q = random_quaternion(&mut rng);
+                    let r = [
+                        center + rotate(o_ref, q),
+                        center + rotate(h1_ref, q),
+                        center + rotate(h2_ref, q),
+                    ];
+                    molecules.push(Molecule {
+                        r,
+                        v: [Vec3::zero(); 3],
+                    });
+                }
+            }
+        }
+
+        let mut sys = System {
+            model,
+            molecules,
+            box_len,
+        };
+        sys.thermalize(temperature, &mut rng);
+        sys
+    }
+
+    /// Number of molecules.
+    pub fn n_molecules(&self) -> usize {
+        self.molecules.len()
+    }
+
+    /// Box volume, Å³.
+    pub fn volume(&self) -> f64 {
+        self.box_len.powi(3)
+    }
+
+    /// Assign rigid-body Maxwell–Boltzmann velocities at `temperature` and
+    /// remove net momentum.
+    ///
+    /// Each molecule gets an independent COM velocity (no initial angular
+    /// velocity); RATTLE keeps subsequent dynamics on the constraint
+    /// manifold, and a short equilibration redistributes energy into
+    /// rotation.
+    pub fn thermalize(&mut self, temperature: f64, rng: &mut StdRng) {
+        use crate::units::{KB, KCAL_ACC};
+        let m_mol: f64 = MASSES.iter().sum();
+        // v component std: sqrt(kB T / m) in MD units: kB T [kcal/mol],
+        // KE = m v² / (2 KCAL_ACC) => v_std = sqrt(KCAL_ACC kB T / m).
+        let v_std = (KCAL_ACC * KB * temperature / m_mol).sqrt();
+        let mut total = Vec3::zero();
+        for mol in &mut self.molecules {
+            let v = Vec3::new(
+                v_std * standard_normal(rng),
+                v_std * standard_normal(rng),
+                v_std * standard_normal(rng),
+            );
+            mol.v = [v, v, v];
+            total += v;
+        }
+        let correction = total / self.molecules.len() as f64;
+        for mol in &mut self.molecules {
+            for v in &mut mol.v {
+                *v -= correction;
+            }
+        }
+    }
+
+    /// Net linear momentum (amu·Å/fs).
+    pub fn momentum(&self) -> Vec3 {
+        let mut p = Vec3::zero();
+        for mol in &self.molecules {
+            for (v, m) in mol.v.iter().zip(&MASSES) {
+                p += *v * *m;
+            }
+        }
+        p
+    }
+
+    /// Check every molecule's rigid constraints to within `tol` Å.
+    pub fn constraints_satisfied(&self, tol: f64) -> bool {
+        let d_oh = self.model.r_oh;
+        let d_hh = self.model.r_hh();
+        self.molecules.iter().all(|m| {
+            ((m.r[0] - m.r[1]).norm() - d_oh).abs() < tol
+                && ((m.r[0] - m.r[2]).norm() - d_oh).abs() < tol
+                && ((m.r[1] - m.r[2]).norm() - d_hh).abs() < tol
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::TIP4P;
+
+    #[test]
+    fn min_image_wraps_to_half_box() {
+        assert_eq!(min_image(6.0, 10.0), -4.0);
+        assert_eq!(min_image(-6.0, 10.0), 4.0);
+        assert_eq!(min_image(3.0, 10.0), 3.0);
+        let v = min_image_vec(Vec3::new(9.0, -9.0, 0.5), 10.0);
+        assert_eq!(v, Vec3::new(-1.0, 1.0, 0.5));
+    }
+
+    #[test]
+    fn lattice_has_right_density_and_geometry() {
+        let sys = System::lattice(TIP4P, 3, 0.997, 298.0, 1);
+        assert_eq!(sys.n_molecules(), 27);
+        let rho = sys.n_molecules() as f64 / sys.volume();
+        assert!((rho - 0.03333).abs() < 3e-4, "rho = {rho}");
+        assert!(sys.constraints_satisfied(1e-9));
+    }
+
+    #[test]
+    fn thermalize_zeroes_momentum() {
+        let sys = System::lattice(TIP4P, 2, 0.997, 298.0, 2);
+        assert!(sys.momentum().norm() < 1e-10);
+    }
+
+    #[test]
+    fn rotation_preserves_lengths() {
+        let mut rng = rng_from_seed(3);
+        for _ in 0..10 {
+            let q = random_quaternion(&mut rng);
+            let v = Vec3::new(1.0, 2.0, 3.0);
+            assert!((rotate(v, q).norm() - v.norm()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn lattice_is_reproducible() {
+        let a = System::lattice(TIP4P, 2, 0.997, 298.0, 9);
+        let b = System::lattice(TIP4P, 2, 0.997, 298.0, 9);
+        assert_eq!(a.molecules[3].r[1], b.molecules[3].r[1]);
+        assert_eq!(a.molecules[5].v[0], b.molecules[5].v[0]);
+    }
+}

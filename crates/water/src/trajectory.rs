@@ -1,0 +1,104 @@
+//! XYZ-format trajectory output, so simulations can be inspected in any
+//! molecular viewer (VMD, OVITO, ...). The M site is written as a dummy
+//! atom optionally.
+
+use crate::system::System;
+use std::fmt::Write as _;
+use std::io::{self, Write};
+
+/// Writes frames in the (extended) XYZ format.
+pub struct XyzWriter<W: Write> {
+    sink: W,
+    /// Include the virtual M site as a dummy "X" atom.
+    pub include_msite: bool,
+    frames: usize,
+}
+
+impl<W: Write> XyzWriter<W> {
+    /// Wrap a sink (file, buffer, ...).
+    pub fn new(sink: W) -> Self {
+        XyzWriter {
+            sink,
+            include_msite: false,
+            frames: 0,
+        }
+    }
+
+    /// Number of frames written so far.
+    pub fn frames(&self) -> usize {
+        self.frames
+    }
+
+    /// Append one frame with a comment line carrying the time and box.
+    pub fn write_frame(&mut self, sys: &System, time_fs: f64) -> io::Result<()> {
+        let per_mol = if self.include_msite { 4 } else { 3 };
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", sys.n_molecules() * per_mol);
+        let _ = writeln!(
+            out,
+            "t={time_fs:.1} fs box={:.4} {:.4} {:.4}",
+            sys.box_len, sys.box_len, sys.box_len
+        );
+        for m in &sys.molecules {
+            let _ = writeln!(out, "O  {:.6} {:.6} {:.6}", m.r[0].x, m.r[0].y, m.r[0].z);
+            let _ = writeln!(out, "H  {:.6} {:.6} {:.6}", m.r[1].x, m.r[1].y, m.r[1].z);
+            let _ = writeln!(out, "H  {:.6} {:.6} {:.6}", m.r[2].x, m.r[2].y, m.r[2].z);
+            if self.include_msite {
+                let ms = sys.model.msite(m.r[0], m.r[1], m.r[2]);
+                let _ = writeln!(out, "X  {:.6} {:.6} {:.6}", ms.x, ms.y, ms.z);
+            }
+        }
+        self.sink.write_all(out.as_bytes())?;
+        self.frames += 1;
+        Ok(())
+    }
+
+    /// Flush and recover the sink.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::TIP4P;
+
+    #[test]
+    fn frame_format_is_valid_xyz() {
+        let sys = System::lattice(TIP4P, 2, 0.997, 298.0, 1);
+        let mut w = XyzWriter::new(Vec::new());
+        w.write_frame(&sys, 0.0).unwrap();
+        w.write_frame(&sys, 1.0).unwrap();
+        assert_eq!(w.frames(), 2);
+        let buf = w.finish().unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let mut lines = text.lines();
+        // Frame 1 header: atom count then comment.
+        assert_eq!(lines.next().unwrap(), "24"); // 8 molecules * 3 atoms
+        assert!(lines.next().unwrap().starts_with("t=0.0 fs box="));
+        // First atom line parses.
+        let first = lines.next().unwrap();
+        assert!(first.starts_with("O  "));
+        let coords: Vec<f64> = first
+            .split_whitespace()
+            .skip(1)
+            .map(|s| s.parse().unwrap())
+            .collect();
+        assert_eq!(coords.len(), 3);
+        // Two frames in total: 2 * (2 + 24) lines.
+        assert_eq!(text.lines().count(), 2 * 26);
+    }
+
+    #[test]
+    fn msite_inclusion_adds_a_dummy_atom_per_molecule() {
+        let sys = System::lattice(TIP4P, 2, 0.997, 298.0, 2);
+        let mut w = XyzWriter::new(Vec::new());
+        w.include_msite = true;
+        w.write_frame(&sys, 0.0).unwrap();
+        let text = String::from_utf8(w.finish().unwrap()).unwrap();
+        assert_eq!(text.lines().next().unwrap(), "32"); // 8 * 4
+        assert_eq!(text.matches("\nX  ").count(), 8);
+    }
+}

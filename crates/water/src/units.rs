@@ -1,0 +1,76 @@
+//! Unit system and physical constants.
+//!
+//! Internal MD units: length Å, time fs, mass amu, energy kcal/mol,
+//! charge in elementary charges. Conversions to the paper's reporting units
+//! (kJ/mol, atm, cm²/s) are provided.
+
+/// Boltzmann constant, kcal/(mol·K).
+pub const KB: f64 = 1.987_204_1e-3;
+
+/// Coulomb prefactor `e²/(4πε₀)` in kcal·Å/mol.
+pub const COULOMB: f64 = 332.063_71;
+
+/// Acceleration conversion: `a [Å/fs²] = KCAL_ACC · F[kcal/mol/Å] / m[amu]`.
+pub const KCAL_ACC: f64 = 4.184e-4;
+
+/// Kinetic-energy conversion: `KE [kcal/mol] = (m v²/2) / KCAL_ACC` with `v`
+/// in Å/fs and `m` in amu.
+pub const KE_TO_KCAL: f64 = 1.0 / KCAL_ACC;
+
+/// Pressure conversion: kcal/(mol·Å³) → atm.
+pub const KCAL_A3_TO_ATM: f64 = 68_568.4;
+
+/// Energy conversion: kcal → kJ.
+pub const KCAL_TO_KJ: f64 = 4.184;
+
+/// Diffusion conversion: Å²/fs → cm²/s.
+pub const A2_FS_TO_CM2_S: f64 = 0.1;
+
+/// Molar mass of water, g/mol.
+pub const WATER_MOLAR_MASS: f64 = 18.015_28;
+
+/// Avogadro-based density conversion: molecules per Å³ for a density in
+/// g/cm³ of a species with molar mass `m` g/mol.
+pub fn number_density(density_g_cm3: f64, molar_mass: f64) -> f64 {
+    // rho [g/cm3] * 6.02214e23 [1/mol] / m [g/mol] * 1e-24 [cm3/Å3]
+    density_g_cm3 * 0.602_214_076 / molar_mass
+}
+
+/// Mass of an oxygen atom, amu.
+pub const MASS_O: f64 = 15.999_4;
+/// Mass of a hydrogen atom, amu.
+pub const MASS_H: f64 = 1.008;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn water_number_density_at_ambient() {
+        // 0.997 g/cm3 water = 0.03334 molecules per Å³ (textbook value).
+        let n = number_density(0.997, WATER_MOLAR_MASS);
+        assert!((n - 0.033_33).abs() < 3e-4, "got {n}");
+    }
+
+    #[test]
+    fn kinetic_temperature_roundtrip() {
+        // A 1-amu particle at v = 1 Å/fs carries KE = 0.5/KCAL_ACC kcal/mol
+        // ≈ 1195 kcal/mol; check the constant's self-consistency.
+        let ke = 0.5 * 1.0 * 1.0 * KE_TO_KCAL;
+        assert!((ke - 0.5 / 4.184e-4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pressure_conversion_magnitude() {
+        // 1 kcal/mol/Å³ ≈ 6.9e4 atm (kBT per water volume scale check:
+        // kB*298K / 30 Å³ ≈ 0.0197 kcal/mol/Å³ ≈ 1354 atm).
+        let p = KB * 298.0 / 30.0 * KCAL_A3_TO_ATM;
+        assert!((p - 1353.0).abs() < 10.0, "got {p}");
+    }
+
+    #[test]
+    fn diffusion_conversion() {
+        // Water self-diffusion 2.3e-5 cm²/s = 2.3e-4 Å²/fs.
+        assert!((2.3e-4 * A2_FS_TO_CM2_S / 2.3e-5 - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,74 @@
+//! Bringing your own objective: implement `StochasticObjective` (or wrap a
+//! deterministic function in `Noisy`) and drive any of the algorithms —
+//! including the extension baselines — on it.
+//!
+//! The example models a 2-d "simulation" whose noise level depends on the
+//! location in parameter space (noisier far from the origin), then compares
+//! the full algorithm roster.
+//!
+//! ```sh
+//! cargo run --release --example custom_function
+//! ```
+
+use noisy_simplex::prelude::*;
+use stoch_eval::functions::FnObjective;
+use stoch_eval::noise::FnNoise;
+use stoch_eval::objective::Objective;
+use stoch_eval::sampler::Noisy;
+
+fn main() {
+    // Underlying truth: a tilted quadratic bowl with minimum at (2, -1).
+    let truth = FnObjective::new(2, |x: &[f64]| {
+        let (a, b) = (x[0] - 2.0, x[1] + 1.0);
+        3.0 * a * a + b * b + 0.5 * a * b
+    });
+    // Location-dependent noise: measurements are noisier away from origin.
+    let noise = FnNoise(|x: &[f64], _f: f64| 5.0 + 2.0 * (x[0].abs() + x[1].abs()));
+    let objective = Noisy::new(truth, noise);
+    let truth = FnObjective::new(2, |x: &[f64]| {
+        let (a, b) = (x[0] - 2.0, x[1] + 1.0);
+        3.0 * a * a + b * b + 0.5 * a * b
+    });
+
+    let term = Termination {
+        tolerance: Some(1e-5),
+        max_time: Some(5e4),
+        max_iterations: Some(20_000),
+    };
+
+    println!("method        iters   true f at result   distance to (2,-1)");
+    let simplexes: [(&str, SimplexMethod); 5] = [
+        ("DET", SimplexMethod::Det(Det::new())),
+        ("MN", SimplexMethod::Mn(MaxNoise::with_k(2.0))),
+        ("PC", SimplexMethod::Pc(PointComparison::new())),
+        ("PC+MN", SimplexMethod::PcMn(PcMn::new())),
+        ("Anderson", SimplexMethod::Anderson(AndersonNm::with_k1(1024.0))),
+    ];
+    for (name, m) in simplexes {
+        let init = init::random_uniform(2, -8.0, 8.0, 3);
+        let res = m.run(&objective, init, term, TimeMode::Parallel, 5);
+        report(name, &truth, &res.best_point, res.iterations);
+    }
+
+    // Extension baselines on the same substrate.
+    let spsa = Spsa::default().run(&objective, vec![-5.0, 5.0], term, TimeMode::Parallel, 5);
+    report("SPSA", &truth, &spsa.best_point, spsa.iterations);
+    let sa = SimulatedAnnealing::default().run(
+        &objective,
+        vec![-5.0, 5.0],
+        term,
+        TimeMode::Parallel,
+        5,
+    );
+    report("SA", &truth, &sa.best_point, sa.iterations);
+    let rs = RandomSearch::new(-8.0, 8.0).run(&objective, term, TimeMode::Parallel, 5);
+    report("random", &truth, &rs.best_point, rs.iterations);
+}
+
+fn report<O: Objective>(name: &str, truth: &O, p: &[f64], iters: u64) {
+    let d = ((p[0] - 2.0).powi(2) + (p[1] + 1.0).powi(2)).sqrt();
+    println!(
+        "{name:<12} {iters:>6}   {:>16.5}   {d:>18.4}",
+        truth.value(p)
+    );
+}

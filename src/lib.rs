@@ -1,0 +1,17 @@
+//! Umbrella crate for the `noisy-simplex` reproduction workspace.
+//!
+//! This crate exists to host the cross-crate integration tests (`tests/`) and
+//! the runnable examples (`examples/`). The actual functionality lives in:
+//!
+//! * [`noisy_simplex`] — the paper's optimization algorithms (DET, MN, PC,
+//!   PC+MN, Anderson, extension baselines).
+//! * [`stoch_eval`] — the noisy-evaluation substrate (virtual time, sampling
+//!   streams, test functions, statistics).
+//! * [`mw_framework`] — the master–worker parallel execution framework.
+//! * [`water_md`] — the TIP4P water molecular-dynamics substrate and its fast
+//!   surrogate, used for the parameterization application.
+
+pub use mw_framework;
+pub use noisy_simplex;
+pub use stoch_eval;
+pub use water_md;

@@ -1,0 +1,198 @@
+//! Cross-crate integration tests: the full optimization pipeline from
+//! noisy substrate through each algorithm to measured results.
+
+use noisy_simplex::prelude::*;
+use stoch_eval::functions::{Powell, Rosenbrock, Sphere};
+use stoch_eval::noise::{ConstantNoise, ZeroNoise};
+use stoch_eval::objective::Objective;
+use stoch_eval::sampler::Noisy;
+use stoch_eval::stats::PairedComparison;
+
+fn term(max_time: f64) -> Termination {
+    Termination {
+        tolerance: Some(1e-6),
+        max_time: Some(max_time),
+        max_iterations: Some(50_000),
+    }
+}
+
+#[test]
+fn all_five_methods_solve_the_noise_free_sphere() {
+    let sphere = Sphere::new(3);
+    let obj = Noisy::new(sphere, ZeroNoise);
+    let methods = [
+        SimplexMethod::Det(Det::new()),
+        SimplexMethod::Mn(MaxNoise::with_k(2.0)),
+        SimplexMethod::Pc(PointComparison::new()),
+        SimplexMethod::PcMn(PcMn::new()),
+        SimplexMethod::Anderson(AndersonNm::with_k1(1024.0)),
+    ];
+    for (i, m) in methods.iter().enumerate() {
+        let init = init::random_uniform(3, -4.0, 4.0, 50 + i as u64);
+        let res = m.run(&obj, init, Termination::tolerance(1e-12), TimeMode::Parallel, i as u64);
+        let f = sphere.value(&res.best_point);
+        assert!(f < 1e-6, "{} reached only f = {f}", m.name());
+    }
+}
+
+#[test]
+fn stochastic_methods_beat_det_on_noisy_rosenbrock() {
+    // The paper's core claim (Fig 3.5a shape): over paired replicates, MN's
+    // final true minima are at least as good as DET's on (geometric)
+    // average, and strictly better in a nontrivial fraction.
+    let rosen = Rosenbrock::new(4);
+    let obj = Noisy::new(rosen, ConstantNoise(100.0));
+    let n = 10;
+    let run = |method: &SimplexMethod| -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let init = init::random_uniform(4, -5.0, 5.0, 900 + i);
+                let res = m_run(method, &obj, init, i);
+                rosen.value(&res.best_point)
+            })
+            .collect()
+    };
+    let det = run(&SimplexMethod::Det(Det::new()));
+    let mn = run(&SimplexMethod::Mn(MaxNoise::with_k(2.0)));
+    let cmp = PairedComparison::new(&mn, &det, 1e-12, 0.25);
+    assert!(
+        cmp.frac_a_wins > cmp.frac_b_wins,
+        "MN should win more often: {:?} vs {:?}",
+        cmp.frac_a_wins,
+        cmp.frac_b_wins
+    );
+    let mean_ratio: f64 = cmp.log_ratios.iter().sum::<f64>() / n as f64;
+    assert!(mean_ratio < 0.0, "mean log ratio {mean_ratio}");
+}
+
+fn m_run<F: stoch_eval::objective::StochasticObjective>(
+    m: &SimplexMethod,
+    obj: &F,
+    init: Vec<Vec<f64>>,
+    seed: u64,
+) -> RunResult {
+    m.run(obj, init, term(5e4), TimeMode::Parallel, seed)
+}
+
+#[test]
+fn pc_ties_or_beats_mn_in_most_replicates() {
+    // Fig 3.5b shape.
+    let rosen = Rosenbrock::new(4);
+    let obj = Noisy::new(rosen, ConstantNoise(1000.0));
+    let n = 10;
+    let run = |method: &SimplexMethod| -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let init = init::random_uniform(4, -5.0, 5.0, 700 + i);
+                let res = m_run(method, &obj, init, i);
+                rosen.value(&res.best_point)
+            })
+            .collect()
+    };
+    let mn = run(&SimplexMethod::Mn(MaxNoise::with_k(2.0)));
+    let pc = run(&SimplexMethod::Pc(PointComparison::new()));
+    let cmp = PairedComparison::new(&pc, &mn, 1e-12, 0.25);
+    assert!(
+        cmp.frac_a_wins + cmp.frac_tie >= 0.5,
+        "PC should tie-or-beat MN in most replicates (got {:.0}%)",
+        100.0 * (cmp.frac_a_wins + cmp.frac_tie)
+    );
+}
+
+#[test]
+fn pcmn_uses_fewer_steps_than_pc_on_powell() {
+    let obj = Noisy::new(Powell, ConstantNoise(1000.0));
+    let mut pc_total = 0;
+    let mut pcmn_total = 0;
+    for i in 0..4u64 {
+        let init = init::random_uniform(4, -5.0, 5.0, 300 + i);
+        pc_total += PointComparison::new()
+            .run(&obj, init.clone(), term(5e4), TimeMode::Parallel, i)
+            .iterations;
+        pcmn_total += PcMn::new()
+            .run(&obj, init, term(5e4), TimeMode::Parallel, i)
+            .iterations;
+    }
+    // The paper's large step reduction (178 vs 900) is reported on
+    // Rosenbrock (covered by the unit tests); on Powell the two are close,
+    // so only guard against PC+MN becoming step-hungry.
+    assert!(
+        pcmn_total as f64 <= pc_total as f64 * 1.5,
+        "PC+MN {pcmn_total} steps vs PC {pc_total}"
+    );
+}
+
+#[test]
+fn serial_time_accounting_exceeds_parallel() {
+    let obj = Noisy::new(Rosenbrock::new(3), ConstantNoise(10.0));
+    let init = init::random_uniform(3, -6.0, 3.0, 5);
+    let capped = Termination {
+        tolerance: None,
+        max_time: None,
+        max_iterations: Some(30),
+    };
+    let par = MaxNoise::with_k(2.0).run(&obj, init.clone(), capped, TimeMode::Parallel, 1);
+    let ser = MaxNoise::with_k(2.0).run(&obj, init, capped, TimeMode::Serial, 1);
+    assert!(
+        ser.elapsed > par.elapsed,
+        "serial {} should exceed parallel {}",
+        ser.elapsed,
+        par.elapsed
+    );
+    // In parallel mode total CPU sampling exceeds elapsed wall time.
+    assert!(par.total_sampling > par.elapsed);
+}
+
+#[test]
+fn traces_are_consistent_with_results() {
+    let obj = Noisy::new(Rosenbrock::new(3), ConstantNoise(100.0));
+    let init = init::random_uniform(3, -6.0, 3.0, 6);
+    let res = PointComparison::new().run(&obj, init, term(2e4), TimeMode::Parallel, 2);
+    assert_eq!(res.trace.len() as u64, res.iterations);
+    if let Some(last) = res.trace.points().last() {
+        assert!(last.time <= res.elapsed + 1e-9);
+        assert_eq!(last.iteration, res.iterations);
+    }
+    // Step-kind counts partition the iterations.
+    let total = res.trace.count(StepKind::Reflect)
+        + res.trace.count(StepKind::Expand)
+        + res.trace.count(StepKind::Contract)
+        + res.trace.count(StepKind::Collapse);
+    assert_eq!(total as u64, res.iterations);
+}
+
+#[test]
+fn anderson_small_k1_is_not_more_accurate_than_large() {
+    let rosen = Rosenbrock::new(3);
+    let obj = Noisy::new(rosen, ConstantNoise(100.0));
+    let mut small_log = 0.0;
+    let mut large_log = 0.0;
+    for i in 0..5u64 {
+        let init = init::random_uniform(3, -6.0, 3.0, 400 + i);
+        let s = AndersonNm::with_k1(1.0).run(&obj, init.clone(), term(5e4), TimeMode::Parallel, i);
+        let l = AndersonNm::with_k1(2f64.powi(20)).run(&obj, init, term(5e4), TimeMode::Parallel, i);
+        small_log += rosen.value(&s.best_point).max(1e-12).log10();
+        large_log += rosen.value(&l.best_point).max(1e-12).log10();
+    }
+    assert!(small_log >= large_log - 1.0, "small {small_log} vs large {large_log}");
+}
+
+#[test]
+fn extension_baselines_run_on_the_same_substrate() {
+    let sphere = Sphere::new(3);
+    let obj = Noisy::new(sphere, ConstantNoise(1.0));
+    let capped = Termination {
+        tolerance: None,
+        max_time: None,
+        max_iterations: Some(1_000),
+    };
+    let spsa = Spsa::default().run(&obj, vec![3.0; 3], capped, TimeMode::Parallel, 1);
+    let sa = SimulatedAnnealing::default().run(&obj, vec![3.0; 3], capped, TimeMode::Parallel, 1);
+    let rs = RandomSearch::new(-5.0, 5.0).run(&obj, capped, TimeMode::Parallel, 1);
+    for (name, r) in [("spsa", &spsa), ("sa", &sa), ("random", &rs)] {
+        assert!(
+            sphere.value(&r.best_point) < 27.0,
+            "{name} did not improve at all"
+        );
+    }
+}

@@ -1,0 +1,325 @@
+//! Property-based tests (proptest) for the core data structures and
+//! invariants across the workspace.
+
+use noisy_simplex::geometry::{
+    centroid_excluding, collapse_towards, contract, diameter, expand, order, reflect,
+};
+use proptest::prelude::*;
+use stoch_eval::objective::SampleStream;
+use stoch_eval::sampler::GaussianStream;
+use stoch_eval::stats::{quantile, Histogram, Welford};
+
+fn small_points(d: usize, n: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(-100.0f64..100.0, d..=d),
+        n..=n,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn reflection_is_an_involution(pts in small_points(3, 4)) {
+        // Reflecting the reflection around the same centroid returns the
+        // original worst point.
+        let cent = centroid_excluding(&pts, 0);
+        let r = reflect(&cent, &pts[0], 1.0);
+        let rr = reflect(&cent, &r, 1.0);
+        for (a, b) in rr.iter().zip(&pts[0]) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn contraction_point_lies_between_worst_and_centroid(pts in small_points(3, 4), beta in 0.01f64..0.99) {
+        let cent = centroid_excluding(&pts, 0);
+        let c = contract(&cent, &pts[0], beta);
+        for i in 0..3 {
+            let lo = pts[0][i].min(cent[i]) - 1e-9;
+            let hi = pts[0][i].max(cent[i]) + 1e-9;
+            prop_assert!(c[i] >= lo && c[i] <= hi);
+        }
+    }
+
+    #[test]
+    fn expansion_is_beyond_the_reflection(pts in small_points(2, 3)) {
+        // exp − ref is parallel to ref − cent with positive coefficient
+        // (gamma − 1), so the expansion extends the reflection direction.
+        let cent = centroid_excluding(&pts, 0);
+        let r = reflect(&cent, &pts[0], 1.0);
+        let e = expand(&cent, &r, 2.0);
+        for i in 0..2 {
+            let dr = r[i] - cent[i];
+            let de = e[i] - r[i];
+            prop_assert!((de - dr).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn collapse_never_grows_the_simplex(pts in small_points(3, 4), keep in 0usize..4) {
+        let before = diameter(&pts);
+        let mut pts2 = pts.clone();
+        collapse_towards(&mut pts2, keep, 0.5);
+        prop_assert!(diameter(&pts2) <= before + 1e-9);
+        // The kept vertex does not move.
+        prop_assert_eq!(&pts2[keep], &pts[keep]);
+    }
+
+    #[test]
+    fn ordering_picks_extremes(values in proptest::collection::vec(-1e6f64..1e6, 3..10)) {
+        let o = order(&values);
+        for &v in &values {
+            prop_assert!(values[o.min] <= v);
+            prop_assert!(values[o.max] >= v);
+        }
+        prop_assert!(values[o.smax] <= values[o.max]);
+        prop_assert!(o.smax != o.max || values.len() == 2);
+    }
+
+    #[test]
+    fn gaussian_stream_error_is_monotone_decreasing(
+        f in -1e3f64..1e3,
+        sigma0 in 0.1f64..1e3,
+        seed in 0u64..1000,
+        steps in 1usize..20,
+    ) {
+        let mut s = GaussianStream::new(f, sigma0, seed);
+        let mut last = f64::INFINITY;
+        for _ in 0..steps {
+            s.extend(1.0);
+            let e = s.estimate();
+            prop_assert!(e.std_err <= last);
+            prop_assert!(e.std_err > 0.0);
+            last = e.std_err;
+        }
+    }
+
+    #[test]
+    fn gaussian_stream_estimate_is_within_8_sigma(
+        f in -1e3f64..1e3,
+        sigma0 in 0.1f64..100.0,
+        seed in 0u64..1000,
+    ) {
+        let mut s = GaussianStream::new(f, sigma0, seed);
+        s.extend(100.0);
+        let e = s.estimate();
+        prop_assert!((e.value - f).abs() < 8.0 * e.std_err,
+            "estimate {} truth {f} stderr {}", e.value, e.std_err);
+    }
+
+    #[test]
+    fn welford_mean_within_range(data in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+        let mut w = Welford::new();
+        for &x in &data { w.push(x); }
+        let lo = data.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(w.mean() >= lo - 1e-6 && w.mean() <= hi + 1e-6);
+        prop_assert_eq!(w.count(), data.len() as u64);
+    }
+
+    #[test]
+    fn histogram_conserves_counts(
+        data in proptest::collection::vec(-20.0f64..20.0, 0..200),
+        bins in 1usize..50,
+    ) {
+        let mut h = Histogram::new(-10.0, 10.0, bins);
+        h.extend_from(&data);
+        prop_assert_eq!(h.total(), data.len() as u64);
+        let in_range: u64 = h.counts().iter().sum();
+        let expected = data.iter().filter(|&&x| (-10.0..10.0).contains(&x)).count() as u64;
+        prop_assert_eq!(in_range, expected);
+    }
+
+    #[test]
+    fn quantiles_are_monotone(data in proptest::collection::vec(-1e3f64..1e3, 2..60)) {
+        let q25 = quantile(&data, 0.25);
+        let q50 = quantile(&data, 0.5);
+        let q75 = quantile(&data, 0.75);
+        prop_assert!(q25 <= q50 && q50 <= q75);
+    }
+
+    #[test]
+    fn min_image_is_within_half_box(dx in -1e3f64..1e3, l in 1.0f64..100.0) {
+        let m = water_md::system::min_image(dx, l);
+        prop_assert!(m.abs() <= l / 2.0 + 1e-9);
+        // Same lattice class: difference is an integer multiple of l.
+        let k = (dx - m) / l;
+        prop_assert!((k - k.round()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn msite_coefficient_invariance(
+        eps in 0.05f64..0.3,
+        sigma in 2.5f64..3.6,
+        q in 0.3f64..0.7,
+    ) {
+        // The virtual-site coefficient depends only on the fixed geometry,
+        // not on the fitted parameters.
+        let m = water_md::WaterModel::with_params(eps, sigma, q);
+        prop_assert!((m.msite_coeff() - water_md::TIP4P.msite_coeff()).abs() < 1e-12);
+        // And the charges balance: 2 qH + qM = 0.
+        prop_assert!((2.0 * m.q_h + m.q_m()).abs() < 1e-12);
+    }
+}
+
+mod compare_props {
+    use noisy_simplex::compare::{confident_less, Decision};
+    use proptest::prelude::*;
+    use stoch_eval::objective::Estimate;
+
+    fn est(v: f64, s: f64) -> Estimate {
+        Estimate {
+            value: v,
+            std_err: s,
+            time: 1.0,
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn decisions_are_antisymmetric(
+            a in -1e3f64..1e3, sa in 0.0f64..10.0,
+            b in -1e3f64..1e3, sb in 0.0f64..10.0,
+            k in 0.1f64..3.0,
+        ) {
+            // a<b decided Yes  <=>  b<a decided No (and vice versa);
+            // Unknown is symmetric.
+            let ab = confident_less(est(a, sa), est(b, sb), k, true);
+            let ba = confident_less(est(b, sb), est(a, sa), k, true);
+            match ab {
+                Decision::Yes => prop_assert_eq!(ba, Decision::No),
+                Decision::Unknown => prop_assert_eq!(ba, Decision::Unknown),
+                Decision::No => {
+                    // Ties (a == b with zero error) are No both ways.
+                    prop_assert!(ba == Decision::Yes || (a == b && sa == 0.0 && sb == 0.0));
+                }
+            }
+        }
+
+        #[test]
+        fn larger_k_never_creates_decisions(
+            a in -1e3f64..1e3, sa in 0.01f64..10.0,
+            b in -1e3f64..1e3, sb in 0.01f64..10.0,
+        ) {
+            // If a comparison is undecidable at k, it stays undecidable at
+            // a larger k (wider intervals).
+            let d1 = confident_less(est(a, sa), est(b, sb), 1.0, true);
+            let d2 = confident_less(est(a, sa), est(b, sb), 2.0, true);
+            if d1 == Decision::Unknown {
+                prop_assert_eq!(d2, Decision::Unknown);
+            }
+        }
+
+        #[test]
+        fn shrinking_error_eventually_decides(
+            a in -1e3f64..1e3,
+            b in -1e3f64..1e3,
+        ) {
+            prop_assume!((a - b).abs() > 1e-6);
+            // With small enough error bars the decision matches the truth.
+            let d = confident_less(est(a, 1e-9), est(b, 1e-9), 1.0, true);
+            if a < b {
+                prop_assert_eq!(d, Decision::Yes);
+            } else {
+                prop_assert_eq!(d, Decision::No);
+            }
+        }
+    }
+}
+
+mod water_force_props {
+    use proptest::prelude::*;
+    use water_md::forces::compute_forces;
+    use water_md::model::TIP4P;
+    use water_md::system::{Molecule, System};
+    use water_md::vec3::Vec3;
+
+    fn random_system(centers: Vec<(f64, f64, f64)>, box_len: f64) -> System {
+        let (o, h1, h2) = TIP4P.reference_sites();
+        let molecules = centers
+            .into_iter()
+            .map(|(x, y, z)| {
+                let c = Vec3::new(x, y, z);
+                Molecule {
+                    r: [o + c, h1 + c, h2 + c],
+                    v: [Vec3::zero(); 3],
+                }
+            })
+            .collect();
+        System {
+            model: TIP4P,
+            molecules,
+            box_len,
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn newtons_third_law_holds_for_random_configurations(
+            centers in proptest::collection::vec((0.0f64..18.0, 0.0f64..18.0, 0.0f64..18.0), 2..6),
+        ) {
+            let sys = random_system(centers, 18.0);
+            let f = compute_forces(&sys, 8.0);
+            let mut total = Vec3::zero();
+            for mol in &f.f {
+                for fv in mol {
+                    total += *fv;
+                }
+            }
+            prop_assert!(total.norm() < 1e-7, "net force {}", total.norm());
+            prop_assert!(f.potential.is_finite());
+            prop_assert!(f.virial.is_finite());
+        }
+
+        #[test]
+        fn energy_is_invariant_under_global_translation(
+            centers in proptest::collection::vec((2.0f64..16.0, 2.0f64..16.0, 2.0f64..16.0), 2..4),
+            shift in (-30.0f64..30.0, -30.0f64..30.0, -30.0f64..30.0),
+        ) {
+            let sys = random_system(centers.clone(), 18.0);
+            let mut shifted = sys.clone();
+            let s = Vec3::new(shift.0, shift.1, shift.2);
+            for mol in &mut shifted.molecules {
+                for r in &mut mol.r {
+                    *r += s;
+                }
+            }
+            let e0 = compute_forces(&sys, 8.0).potential;
+            let e1 = compute_forces(&shifted, 8.0).potential;
+            prop_assert!((e0 - e1).abs() < 1e-7 * e0.abs().max(1.0),
+                "translation changed energy: {e0} vs {e1}");
+        }
+    }
+}
+
+#[test]
+fn simplex_run_is_deterministic_under_fixed_seed() {
+    use noisy_simplex::prelude::*;
+    use stoch_eval::functions::Rosenbrock;
+    use stoch_eval::noise::ConstantNoise;
+    use stoch_eval::sampler::Noisy;
+    let obj = Noisy::new(Rosenbrock::new(3), ConstantNoise(100.0));
+    let run = || {
+        let init = init::random_uniform(3, -6.0, 3.0, 12);
+        PointComparison::new().run(
+            &obj,
+            init,
+            Termination {
+                tolerance: None,
+                max_time: Some(1e4),
+                max_iterations: None,
+            },
+            TimeMode::Parallel,
+            3,
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.best_point, b.best_point);
+    assert_eq!(a.iterations, b.iterations);
+}

@@ -1,0 +1,200 @@
+//! Integration tests for the MW deployment: the optimizers run unchanged
+//! over the worker pool, and the scale-up machinery produces consistent
+//! accounting.
+
+use mw_framework::{scaleup_rosenbrock, Allocation, MwObjective, MwPool};
+use noisy_simplex::prelude::*;
+use std::sync::Arc;
+use stoch_eval::functions::Rosenbrock;
+use stoch_eval::noise::ConstantNoise;
+use stoch_eval::objective::Objective;
+use stoch_eval::sampler::Noisy;
+
+#[test]
+fn every_method_runs_over_the_mw_pool() {
+    let pool = Arc::new(MwPool::new(3));
+    let obj = MwObjective::new(
+        Noisy::new(Rosenbrock::new(2), ConstantNoise(5.0)),
+        Arc::clone(&pool),
+    );
+    let term = Termination {
+        tolerance: Some(1e-3),
+        max_time: Some(5e3),
+        max_iterations: Some(500),
+    };
+    let methods = [
+        SimplexMethod::Det(Det::new()),
+        SimplexMethod::Mn(MaxNoise::with_k(2.0)),
+        SimplexMethod::Pc(PointComparison::new()),
+        SimplexMethod::PcMn(PcMn::new()),
+        SimplexMethod::Anderson(AndersonNm::with_k1(256.0)),
+    ];
+    for (i, m) in methods.iter().enumerate() {
+        let init = init::random_uniform(2, -3.0, 3.0, i as u64);
+        let res = m.run(&obj, init, term, TimeMode::Parallel, i as u64);
+        assert!(res.iterations > 0, "{} made no progress over MW", m.name());
+    }
+    let jobs: u64 = pool.job_counts().iter().sum();
+    assert!(jobs > 100, "pool executed only {jobs} jobs");
+}
+
+#[test]
+fn mw_runs_are_reproducible_despite_threading() {
+    // The pool executes sampling on arbitrary workers, but seeds determine
+    // the streams completely: two identical deployments must agree exactly.
+    let run = || {
+        let pool = Arc::new(MwPool::new(4));
+        let obj = MwObjective::new(
+            Noisy::new(Rosenbrock::new(3), ConstantNoise(50.0)),
+            pool,
+        );
+        let init = init::random_uniform(3, -6.0, 3.0, 9);
+        MaxNoise::with_k(2.0).run(
+            &obj,
+            init,
+            Termination {
+                tolerance: None,
+                max_time: None,
+                max_iterations: Some(40),
+            },
+            TimeMode::Parallel,
+            13,
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.best_point, b.best_point);
+    assert_eq!(a.best_observed, b.best_observed);
+    assert_eq!(a.elapsed, b.elapsed);
+}
+
+#[test]
+fn scaleup_descends_and_accounts_processors() {
+    let res = scaleup_rosenbrock(20, 2, 0.2, 1.0, 200, 1e-9, 5);
+    assert_eq!(res.alloc, Allocation::new(20, 2));
+    assert_eq!(res.alloc.total(), 20 * 2 + 3 * 2 + 2 * 20 + 7);
+    assert!(res.steps > 0 && res.steps <= 200);
+    let first = res.trace.first().unwrap().best_value;
+    let last = res.trace.last().unwrap().best_value;
+    assert!(last < first, "no descent over MW: {first} -> {last}");
+    assert!(res.secs_per_step > 0.0);
+}
+
+#[test]
+fn scaleup_step_cost_grows_mildly_with_dimension() {
+    // Fig 3.18c shape: per-step cost grows with d, but sublinearly relative
+    // to the 5x dimension jump (the paper calls it "minor").
+    let small = scaleup_rosenbrock(10, 1, 0.2, 1.0, 150, 1e-12, 6);
+    let large = scaleup_rosenbrock(50, 1, 0.2, 1.0, 150, 1e-12, 6);
+    assert!(
+        large.secs_per_step < small.secs_per_step * 50.0,
+        "per-step cost exploded: {} -> {}",
+        small.secs_per_step,
+        large.secs_per_step
+    );
+}
+
+#[test]
+fn manual_master_worker_simplex_over_the_comm_layer() {
+    // Drive one full DET optimization where every evaluation crosses the
+    // MWRMComm-style message layer as packed bytes: master (rank 0) ships
+    // points to two workers, workers evaluate Rosenbrock and ship values
+    // back. Exercises pack/unpack/send/recv end to end.
+    use mw_framework::comm::network;
+    use noisy_simplex::geometry::{centroid_excluding, contract, expand, order, reflect};
+
+    const TAG_POINT: u32 = 1;
+    const TAG_VALUE: u32 = 2;
+    const TAG_STOP: u32 = 3;
+
+    let mut eps = network(2);
+    let w1 = eps.pop().unwrap();
+    let mut master = eps.pop().unwrap();
+
+    let worker = |mut ep: mw_framework::comm::Endpoint| {
+        std::thread::spawn(move || loop {
+            // A stop message carries an empty point.
+            let (_, x): (usize, Vec<f64>) = match ep.recv(Some(0), None) {
+                Ok(v) => v,
+                Err(_) => return,
+            };
+            if x.is_empty() {
+                return;
+            }
+            let f = Rosenbrock::new(2).value(&x);
+            ep.send(0, TAG_VALUE, &f).unwrap();
+        })
+    };
+    let h1 = worker(w1);
+
+    let eval = |master: &mut mw_framework::comm::Endpoint, x: &[f64]| -> f64 {
+        master.send(1, TAG_POINT, &x.to_vec()).unwrap();
+        let (_, f): (usize, f64) = master.recv(Some(1), Some(TAG_VALUE)).unwrap();
+        f
+    };
+
+    let mut points = noisy_simplex::init::random_uniform(2, -2.0, 2.0, 3);
+    let mut values: Vec<f64> = points.iter().map(|p| eval(&mut master, p)).collect();
+    for _ in 0..200 {
+        let ord = order(&values);
+        if values[ord.max] - values[ord.min] < 1e-10 {
+            break;
+        }
+        let cent = centroid_excluding(&points, ord.max);
+        let refl = reflect(&cent, &points[ord.max], 1.0);
+        let f_ref = eval(&mut master, &refl);
+        if f_ref < values[ord.min] {
+            let exp = expand(&cent, &refl, 2.0);
+            let f_exp = eval(&mut master, &exp);
+            if f_exp < f_ref {
+                points[ord.max] = exp;
+                values[ord.max] = f_exp;
+            } else {
+                points[ord.max] = refl;
+                values[ord.max] = f_ref;
+            }
+        } else if f_ref < values[ord.max] {
+            points[ord.max] = refl;
+            values[ord.max] = f_ref;
+        } else {
+            let con = contract(&cent, &points[ord.max], 0.5);
+            let f_con = eval(&mut master, &con);
+            if f_con < values[ord.max] {
+                points[ord.max] = con;
+                values[ord.max] = f_con;
+            } else {
+                let keep = points[ord.min].clone();
+                for (i, p) in points.iter_mut().enumerate() {
+                    if i == ord.min {
+                        continue;
+                    }
+                    for (pj, kj) in p.iter_mut().zip(&keep) {
+                        *pj = 0.5 * *pj + 0.5 * kj;
+                    }
+                }
+                for (i, p) in points.clone().iter().enumerate() {
+                    if i != ord.min {
+                        values[i] = eval(&mut master, p);
+                    }
+                }
+            }
+        }
+    }
+    let best = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(best < 1e-3, "comm-layer simplex reached only {best}");
+    master.send(1, TAG_STOP, &Vec::<f64>::new()).unwrap();
+    h1.join().unwrap();
+}
+
+#[test]
+fn mw_objective_reports_true_values() {
+    let pool = Arc::new(MwPool::new(1));
+    let inner = Noisy::new(Rosenbrock::new(2), ConstantNoise(1.0));
+    let obj = MwObjective::new(inner, pool);
+    use stoch_eval::objective::StochasticObjective;
+    let x = [0.3, 0.7];
+    assert_eq!(
+        obj.true_value(&x),
+        Some(Rosenbrock::new(2).value(&x))
+    );
+}
