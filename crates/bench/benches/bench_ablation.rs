@@ -52,7 +52,10 @@ fn bench_continuous_sampling(c: &mut Criterion) {
 fn bench_time_modes(c: &mut Criterion) {
     let obj = Noisy::new(Rosenbrock::new(3), ConstantNoise(50.0));
     let mut g = c.benchmark_group("ablation_time_mode");
-    for (name, mode) in [("parallel", TimeMode::Parallel), ("serial", TimeMode::Serial)] {
+    for (name, mode) in [
+        ("parallel", TimeMode::Parallel),
+        ("serial", TimeMode::Serial),
+    ] {
         g.bench_function(name, |b| {
             let mut seed = 0u64;
             b.iter_batched(
@@ -60,9 +63,7 @@ fn bench_time_modes(c: &mut Criterion) {
                     seed += 1;
                     (init::random_uniform(3, -6.0, 3.0, seed), seed)
                 },
-                |(init, s)| {
-                    black_box(MaxNoise::with_k(2.0).run(&obj, init, term(), mode, s))
-                },
+                |(init, s)| black_box(MaxNoise::with_k(2.0).run(&obj, init, term(), mode, s)),
                 BatchSize::SmallInput,
             )
         });
@@ -91,8 +92,7 @@ fn bench_error_estimators(c: &mut Criterion) {
                             s,
                         ))
                     } else {
-                        let obj =
-                            Noisy::empirical(Rosenbrock::new(3), ConstantNoise(50.0), 1.0);
+                        let obj = Noisy::empirical(Rosenbrock::new(3), ConstantNoise(50.0), 1.0);
                         black_box(PointComparison::new().run(
                             &obj,
                             init,
@@ -123,7 +123,7 @@ fn bench_sampling_growth(c: &mut Criterion) {
             },
             params: MnParams { k: 2.0 },
         };
-        g.bench_function(&format!("growth_{growth}"), |b| {
+        g.bench_function(format!("growth_{growth}"), |b| {
             let mut seed = 0u64;
             b.iter_batched(
                 || {

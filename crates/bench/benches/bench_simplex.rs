@@ -26,7 +26,10 @@ fn bench_methods(c: &mut Criterion) {
         ("mn", SimplexMethod::Mn(MaxNoise::with_k(2.0))),
         ("pc", SimplexMethod::Pc(PointComparison::new())),
         ("pcmn", SimplexMethod::PcMn(PcMn::new())),
-        ("anderson", SimplexMethod::Anderson(AndersonNm::with_k1(1024.0))),
+        (
+            "anderson",
+            SimplexMethod::Anderson(AndersonNm::with_k1(1024.0)),
+        ),
     ];
     for (name, m) in methods {
         g.bench_function(name, |b| {
@@ -36,9 +39,7 @@ fn bench_methods(c: &mut Criterion) {
                     seed += 1;
                     (init::random_uniform(4, -5.0, 5.0, seed), seed)
                 },
-                |(init, s)| {
-                    black_box(m.run(&obj, init, short_term(), TimeMode::Parallel, s))
-                },
+                |(init, s)| black_box(m.run(&obj, init, short_term(), TimeMode::Parallel, s)),
                 BatchSize::SmallInput,
             )
         });

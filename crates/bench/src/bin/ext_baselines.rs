@@ -17,8 +17,8 @@ use stoch_eval::sampler::Noisy;
 fn term() -> Termination {
     Termination {
         tolerance: Some(1e-6),
-        max_time: Some(3e4),
-        max_iterations: Some(20_000),
+        max_time: Some(repro_bench::time_budget_or(3e4)),
+        max_iterations: Some(repro_bench::iteration_cap_or(20_000)),
     }
 }
 
@@ -71,12 +71,19 @@ where
         Pso::in_box(lo, hi).run(objective, term(), TimeMode::Parallel, s)
     });
     report("PSO+MN", &mut |s| {
-        PsoSimplex::new(Pso::in_box(lo, hi), SimplexMethod::Mn(MaxNoise::with_k(2.0)))
-            .run(objective, term(), TimeMode::Parallel, s)
+        PsoSimplex::new(
+            Pso::in_box(lo, hi),
+            SimplexMethod::Mn(MaxNoise::with_k(2.0)),
+        )
+        .run(objective, term(), TimeMode::Parallel, s)
     });
     report("restart-MN", &mut |s| {
-        RestartedSimplex::new(SimplexMethod::Mn(MaxNoise::with_k(2.0)), lo, hi)
-            .run(objective, term(), TimeMode::Parallel, s)
+        RestartedSimplex::new(SimplexMethod::Mn(MaxNoise::with_k(2.0)), lo, hi).run(
+            objective,
+            term(),
+            TimeMode::Parallel,
+            s,
+        )
     });
     report("random", &mut |s| {
         RandomSearch::new(lo, hi).run(objective, term(), TimeMode::Parallel, s)
@@ -84,6 +91,7 @@ where
 }
 
 fn main() {
+    repro_bench::smoke_args();
     println!("# Extension: optimizer roster under a shared 3e4 virtual-time budget");
     println!("# mean_true_f is the geometric mean of the true value at the result");
 
@@ -93,5 +101,11 @@ fn main() {
 
     let rast = Rastrigin::new(2);
     let obj = Noisy::new(rast, ConstantNoise(1.0));
-    sweep("Rastrigin 2-d (multimodal), sigma0 = 1", &obj, &rast, -5.0, 5.0);
+    sweep(
+        "Rastrigin 2-d (multimodal), sigma0 = 1",
+        &obj,
+        &rast,
+        -5.0,
+        5.0,
+    );
 }

@@ -11,6 +11,7 @@ use stoch_eval::objective::Objective;
 use stoch_eval::sampler::Noisy;
 
 fn main() {
+    repro_bench::smoke_args();
     println!("# Extension: dimensionality sweep, noisy Rosenbrock (sigma0=100), 5 seeds each");
     csv_row(
         &["d", "method", "mean_N", "mean_R", "mean_D"]

@@ -6,10 +6,12 @@
 //! more steps and time to converge, with only a minor per-step overhead
 //! growth (its I/O; our dispatch + O(d²) geometry).
 
-use mw_framework::scaleup::scaleup_rosenbrock;
-use repro_bench::csv_row;
+use mw_framework::scaleup::scaleup_rosenbrock_with_metrics;
+use repro_bench::{csv_row, harness_args};
 
 fn main() {
+    let args = harness_args();
+    let registry = args.registry();
     println!("# Fig 3.18: MW scale-up, DET on Rosenbrock, Ns=1");
     let steps: u64 = std::env::var("REPRO_SCALEUP_STEPS")
         .ok()
@@ -24,7 +26,16 @@ fn main() {
     );
     let mut per_step = Vec::new();
     for d in [20usize, 50, 100] {
-        let res = scaleup_rosenbrock(d, 1, 0.5, 1.0, steps, 1e-9, 42 + d as u64);
+        let res = scaleup_rosenbrock_with_metrics(
+            d,
+            1,
+            0.5,
+            1.0,
+            steps,
+            1e-9,
+            42 + d as u64,
+            registry.as_ref(),
+        );
         let stride = (res.trace.len() / 80).max(1);
         for p in res.trace.iter().step_by(stride) {
             csv_row(&[
@@ -52,4 +63,5 @@ fn main() {
             format!("{sps:.6}"),
         ]);
     }
+    args.write_metrics(registry.as_ref());
 }

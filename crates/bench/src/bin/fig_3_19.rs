@@ -7,7 +7,7 @@
 //! Output: long-format CSV `panel,series,r,g`.
 
 use noisy_simplex::prelude::*;
-use repro_bench::csv_row;
+use repro_bench::{csv_row, harness_args, water_termination};
 use water_md::cost::WaterObjective;
 use water_md::reference::{Experiment, INITIAL_VERTICES};
 use water_md::surrogate::SurrogateWater;
@@ -25,13 +25,11 @@ fn emit_curve(panel: &str, series: &str, f: impl Fn(f64) -> f64) {
 }
 
 fn main() {
+    let args = harness_args();
+    let registry = args.registry();
     let objective = WaterObjective::new(SurrogateWater);
     let init: Vec<Vec<f64>> = INITIAL_VERTICES[..4].iter().map(|v| v.to_vec()).collect();
-    let term = Termination {
-        tolerance: Some(1e-4),
-        max_time: Some(2e5),
-        max_iterations: Some(10_000),
-    };
+    let term = water_termination();
 
     println!("# Fig 3.19: gOO(r) panels");
     csv_row(
@@ -58,10 +56,18 @@ fn main() {
         ("d_PC+MN", SimplexMethod::PcMn(PcMn::new())),
     ];
     for (panel, method) in methods {
-        let res = method.run(&objective, init.clone(), term, TimeMode::Parallel, 11);
+        let res = method.run_with_metrics(
+            &objective,
+            init.clone(),
+            term,
+            TimeMode::Parallel,
+            11,
+            registry.as_ref(),
+        );
         let p = [res.best_point[0], res.best_point[1], res.best_point[2]];
         emit_curve(panel, "optimized", |r| SurrogateWater.g_oo_curve(&p, r));
         emit_curve(panel, "TIP4P", |r| SurrogateWater.g_oo_curve(&tip4p, r));
         emit_curve(panel, "experiment", Experiment::g_oo);
     }
+    args.write_metrics(registry.as_ref());
 }

@@ -4,12 +4,14 @@
 //! one.
 
 use noisy_simplex::prelude::*;
-use repro_bench::csv_row;
+use repro_bench::{csv_row, harness_args, water_termination};
 use water_md::cost::WaterObjective;
 use water_md::reference::{Experiment, INITIAL_VERTICES};
 use water_md::surrogate::SurrogateWater;
 
 fn main() {
+    let args = harness_args();
+    let registry = args.registry();
     let objective = WaterObjective::new(SurrogateWater);
     let init: Vec<Vec<f64>> = INITIAL_VERTICES[..4].iter().map(|v| v.to_vec()).collect();
 
@@ -24,17 +26,16 @@ fn main() {
     // Run MN with several iteration caps to capture intermediate states.
     // (The engine is deterministic for a fixed seed, so truncated runs
     // retrace the same trajectory.)
-    let full = MaxNoise::with_k(2.0).run(
+    let full = MaxNoise::with_k(2.0).run_with_metrics(
         &objective,
         init.clone(),
-        Termination {
-            tolerance: Some(1e-4),
-            max_time: Some(2e5),
-            max_iterations: Some(10_000),
-        },
+        water_termination(),
         TimeMode::Parallel,
         11,
+        registry.as_ref(),
     );
+    // Only the full run is accounted in --metrics-out: the truncated stage
+    // replays below retrace the same trajectory and would double-count.
     let total = full.iterations.max(4);
     let stages: Vec<u64> = vec![1, total / 4, total / 2, 3 * total / 4, total];
 
@@ -69,4 +70,5 @@ fn main() {
             format!("{:.4}", Experiment::g_oo(r)),
         ]);
     }
+    args.write_metrics(registry.as_ref());
 }

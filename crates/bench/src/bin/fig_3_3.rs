@@ -7,6 +7,7 @@ use stoch_eval::functions::Rosenbrock;
 use stoch_eval::objective::Objective;
 
 fn main() {
+    repro_bench::smoke_args();
     println!("# Fig 3.3: Rosenbrock surface, x in [-2, 2.5], y in [-1, 2]");
     csv_row(
         &["x", "y", "f"]

@@ -27,6 +27,7 @@ fn emit_series(input: u64, method: &str, param: &str, res: &RunResult) {
 }
 
 fn main() {
+    repro_bench::smoke_args();
     let objective = Noisy::new(Rosenbrock::new(3), ConstantNoise(100.0));
     println!("# Fig 3.4: value vs time, MN (left) vs Anderson (right), 5 inputs");
     csv_row(

@@ -16,6 +16,7 @@ use stoch_eval::noise::ConstantNoise;
 use stoch_eval::sampler::Noisy;
 
 fn main() {
+    repro_bench::smoke_args();
     let rosen = Rosenbrock::new(4);
     let n = replicates();
     println!("# Fig 3.5: Rosenbrock 4-d, {n} initial simplexes per panel");
@@ -30,6 +31,10 @@ fn main() {
         let pcmn = run(SimplexMethod::PcMn(PcMn::new()), 1);
         print_ratio_panel(&format!("(a) log10(MN/DET), noise={sigma0}"), &mn, &det);
         print_ratio_panel(&format!("(b) log10(PC/MN), noise={sigma0}"), &pc, &mn);
-        print_ratio_panel(&format!("(c) log10((PC+MN)/PC), noise={sigma0}"), &pcmn, &pc);
+        print_ratio_panel(
+            &format!("(c) log10((PC+MN)/PC), noise={sigma0}"),
+            &pcmn,
+            &pc,
+        );
     }
 }

@@ -8,6 +8,7 @@ use stoch_eval::noise::ConstantNoise;
 use stoch_eval::sampler::Noisy;
 
 fn main() {
+    repro_bench::smoke_args();
     let rosen = Rosenbrock::new(4);
     let n = replicates();
     let objective = Noisy::new(rosen, ConstantNoise(1000.0));

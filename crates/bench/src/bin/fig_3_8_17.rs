@@ -23,6 +23,7 @@ fn pc(conds: PcConditions) -> SimplexMethod {
 }
 
 fn main() {
+    repro_bench::smoke_args();
     let rosen = Rosenbrock::new(4);
     let n = replicates();
     let objective = Noisy::new(rosen, ConstantNoise(1000.0));

@@ -8,13 +8,15 @@
 //! large k1 approaches MN's accuracy.
 
 use noisy_simplex::prelude::*;
-use repro_bench::{csv_row, fmt, standard_termination};
+use repro_bench::{csv_row, fmt, harness_args, standard_termination};
 use stoch_eval::functions::Rosenbrock;
 use stoch_eval::noise::ConstantNoise;
 use stoch_eval::objective::Objective;
 use stoch_eval::sampler::Noisy;
 
 fn main() {
+    let args = harness_args();
+    let registry = args.registry();
     let rosen = Rosenbrock::new(3);
     let objective = Noisy::new(rosen, ConstantNoise(100.0));
     let minimizer = rosen.minimizer().unwrap();
@@ -33,12 +35,13 @@ fn main() {
     for input in 1..=5u64 {
         let init = init::random_uniform(3, -6.0, 3.0, 100 + input);
         for (label, k1) in &k1s {
-            let res = AndersonNm::with_k1(*k1).run(
+            let res = AndersonNm::with_k1(*k1).run_with_metrics(
                 &objective,
                 init.clone(),
                 standard_termination(),
                 TimeMode::Parallel,
                 input * 100 + *k1 as u64 % 97,
+                registry.as_ref(),
             );
             let m = res.measures(&objective, &minimizer, 0.0);
             csv_row(&[
@@ -50,4 +53,5 @@ fn main() {
             ]);
         }
     }
+    args.write_metrics(registry.as_ref());
 }

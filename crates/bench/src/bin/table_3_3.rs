@@ -9,12 +9,19 @@ use mw_framework::Allocation;
 use repro_bench::csv_row;
 
 fn main() {
+    repro_bench::smoke_args();
     println!("# Table 3.3: MW processor allocation (Ns = 1)");
     csv_row(
-        &["d", "workers(d+3)", "servers(d+3)", "clients((d+3)Ns)", "total(dNs+3Ns+2d+7)"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect::<Vec<_>>(),
+        &[
+            "d",
+            "workers(d+3)",
+            "servers(d+3)",
+            "clients((d+3)Ns)",
+            "total(dNs+3Ns+2d+7)",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>(),
     );
     for d in [20usize, 50, 100] {
         let a = Allocation::new(d, 1);

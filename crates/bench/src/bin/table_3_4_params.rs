@@ -14,13 +14,10 @@ use water_md::reference::{paper_final_params, INITIAL_VERTICES};
 use water_md::surrogate::SurrogateWater;
 
 fn main() {
+    repro_bench::smoke_args();
     let objective = WaterObjective::new(SurrogateWater);
     let init: Vec<Vec<f64>> = INITIAL_VERTICES[..4].iter().map(|v| v.to_vec()).collect();
-    let term = Termination {
-        tolerance: Some(1e-4),
-        max_time: Some(2e5),
-        max_iterations: Some(10_000),
-    };
+    let term = repro_bench::water_termination();
 
     println!("# Table 3.4: initial (a) and final (b-d) water-model parameters");
     println!("\n## (a) Initial vertices (poor parameters)");
@@ -31,15 +28,29 @@ fn main() {
             .collect::<Vec<_>>(),
     );
     for v in &INITIAL_VERTICES {
-        csv_row(&[format!("{:.4}", v[0]), format!("{:.3}", v[1]), format!("{:.3}", v[2])]);
+        csv_row(&[
+            format!("{:.4}", v[0]),
+            format!("{:.3}", v[1]),
+            format!("{:.3}", v[2]),
+        ]);
     }
 
     println!("\n## Final parameters per algorithm (paper values in parens)");
     csv_row(
-        &["algorithm", "steps", "epsilon", "sigma", "q_H", "true_cost", "paper_eps", "paper_sigma", "paper_qH"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect::<Vec<_>>(),
+        &[
+            "algorithm",
+            "steps",
+            "epsilon",
+            "sigma",
+            "q_H",
+            "true_cost",
+            "paper_eps",
+            "paper_sigma",
+            "paper_qH",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>(),
     );
     let methods: [(&str, SimplexMethod, [f64; 3]); 3] = [
         (

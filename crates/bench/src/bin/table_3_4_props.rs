@@ -15,13 +15,10 @@ use water_md::surrogate::SurrogateWater;
 const PROP_NAMES: [&str; 6] = ["D(1e-5cm2/s)", "gHH", "gOH", "gOO", "P(atm)", "E(kJ/mol)"];
 
 fn main() {
+    repro_bench::smoke_args();
     let objective = WaterObjective::new(SurrogateWater);
     let init: Vec<Vec<f64>> = INITIAL_VERTICES[..4].iter().map(|v| v.to_vec()).collect();
-    let term = Termination {
-        tolerance: Some(1e-4),
-        max_time: Some(2e5),
-        max_iterations: Some(10_000),
-    };
+    let term = repro_bench::water_termination();
 
     // Re-run the three optimizations.
     let methods: [(&str, SimplexMethod); 3] = [
@@ -40,20 +37,15 @@ fn main() {
 
     println!("# Table 3.4 (properties): value (V) and sampling error (E) per property");
     csv_row(
-        &["property", "MN_V", "MN_E", "PC_V", "PC_E", "PCMN_V", "PCMN_E", "TIP4P", "EXP"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect::<Vec<_>>(),
+        &[
+            "property", "MN_V", "MN_E", "PC_V", "PC_E", "PCMN_V", "PCMN_E", "TIP4P", "EXP",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>(),
     );
 
-    let exp = [
-        Experiment::D,
-        0.0,
-        0.0,
-        0.0,
-        Experiment::P,
-        Experiment::U,
-    ];
+    let exp = [Experiment::D, 0.0, 0.0, 0.0, Experiment::P, Experiment::U];
     let tip4p_published = [
         Tip4pPublished::D,
         f64::NAN,

@@ -3,15 +3,28 @@
 //! `DESIGN.md` §3 for the index and `EXPERIMENTS.md` for recorded results.
 //!
 //! All binaries print their exhibit to stdout (CSV-ish rows plus ASCII
-//! histograms). Knobs via environment variables:
+//! histograms). Common CLI flags (parse them with [`harness_args`] /
+//! [`smoke_args`]):
+//!
+//! * `--smoke` — shrink every budget knob to CI-smoke size (seconds, not
+//!   minutes) unless the corresponding env var is already set.
+//! * `--metrics-out <path>` — write the run-accounting registry (JSON, or
+//!   CSV if the path ends in `.csv`) after the exhibit finishes. Only the
+//!   binaries that thread a registry through their runs accept this.
+//!
+//! Knobs via environment variables:
 //!
 //! * `REPRO_REPLICATES` — override the number of initial simplex states for
 //!   the distribution figures (paper: 100).
 //! * `REPRO_TIME` — override the virtual-walltime budget per run.
+//! * `REPRO_ITERS` — override the iteration cap per run.
+//! * `REPRO_SCALEUP_STEPS` — override the MW scale-up step count
+//!   (`fig_3_18`).
 
 #![warn(missing_docs)]
 
 use noisy_simplex::prelude::*;
+use obs::MetricsRegistry;
 use stoch_eval::objective::{Objective, StochasticObjective};
 use stoch_eval::stats::{Histogram, PairedComparison};
 
@@ -26,10 +39,24 @@ pub fn replicates() -> usize {
 
 /// Virtual-walltime budget per optimization run (override `REPRO_TIME`).
 pub fn time_budget() -> f64 {
+    time_budget_or(1.0e5)
+}
+
+/// Virtual-walltime budget with a caller-chosen default, for exhibits whose
+/// paper setting differs from the standard 1e5 (override `REPRO_TIME`).
+pub fn time_budget_or(default: f64) -> f64 {
     std::env::var("REPRO_TIME")
         .ok()
         .and_then(|s| s.parse().ok())
-        .unwrap_or(1.0e5)
+        .unwrap_or(default)
+}
+
+/// Iteration cap with a caller-chosen default (override `REPRO_ITERS`).
+pub fn iteration_cap_or(default: u64) -> u64 {
+    std::env::var("REPRO_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
 }
 
 /// The termination criteria used by the comparison experiments: Eq. 2.9
@@ -38,13 +65,129 @@ pub fn standard_termination() -> Termination {
     Termination {
         tolerance: Some(1e-6),
         max_time: Some(time_budget()),
-        max_iterations: Some(100_000),
+        max_iterations: Some(iteration_cap_or(100_000)),
+    }
+}
+
+/// The termination criteria for the water-parameterization exhibits
+/// (Figs 3.19/3.20, Table 3.4): looser tolerance, longer budget.
+pub fn water_termination() -> Termination {
+    Termination {
+        tolerance: Some(1e-4),
+        max_time: Some(time_budget_or(2e5)),
+        max_iterations: Some(iteration_cap_or(10_000)),
+    }
+}
+
+/// Common CLI flags shared by the exhibit binaries.
+#[derive(Debug, Clone, Default)]
+pub struct HarnessArgs {
+    /// `--smoke`: budgets were shrunk to CI-smoke size.
+    pub smoke: bool,
+    /// `--metrics-out <path>`: where to write the metrics registry.
+    pub metrics_out: Option<std::path::PathBuf>,
+}
+
+impl HarnessArgs {
+    /// A fresh registry when `--metrics-out` was requested, else `None`.
+    /// Pass `registry.as_ref()` to the `run_with_metrics` entry points.
+    pub fn registry(&self) -> Option<MetricsRegistry> {
+        self.metrics_out.as_ref().map(|_| MetricsRegistry::new())
+    }
+
+    /// Write `registry` to the `--metrics-out` path (CSV if it ends in
+    /// `.csv`, JSON otherwise). No-op when the flag was not given.
+    pub fn write_metrics(&self, registry: Option<&MetricsRegistry>) {
+        let (Some(path), Some(reg)) = (self.metrics_out.as_deref(), registry) else {
+            return;
+        };
+        let body = if path.extension().is_some_and(|e| e == "csv") {
+            reg.to_csv()
+        } else {
+            reg.to_json()
+        };
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("error: cannot write metrics to {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("metrics written to {}", path.display());
+    }
+}
+
+/// Parse the common flags from the process arguments, honouring
+/// `--metrics-out`. Exits with a usage message on unknown flags.
+pub fn harness_args() -> HarnessArgs {
+    parse_args(std::env::args().skip(1), true).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        eprintln!("usage: [--smoke] [--metrics-out <path>]");
+        std::process::exit(2);
+    })
+}
+
+/// Like [`harness_args`] for exhibits that do not produce a metrics
+/// registry: `--smoke` only, `--metrics-out` is rejected.
+pub fn smoke_args() -> HarnessArgs {
+    parse_args(std::env::args().skip(1), false).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        eprintln!("usage: [--smoke]");
+        std::process::exit(2);
+    })
+}
+
+fn parse_args(
+    args: impl Iterator<Item = String>,
+    metrics_supported: bool,
+) -> Result<HarnessArgs, String> {
+    let mut parsed = HarnessArgs::default();
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => parsed.smoke = true,
+            "--metrics-out" if metrics_supported => {
+                let path = args
+                    .next()
+                    .ok_or("error: --metrics-out requires a path argument")?;
+                parsed.metrics_out = Some(path.into());
+            }
+            "--metrics-out" => {
+                return Err("error: this exhibit does not support --metrics-out".into());
+            }
+            other if metrics_supported && other.starts_with("--metrics-out=") => {
+                let path = &other["--metrics-out=".len()..];
+                if path.is_empty() {
+                    return Err("error: --metrics-out requires a path argument".into());
+                }
+                parsed.metrics_out = Some(path.into());
+            }
+            other => return Err(format!("error: unknown argument `{other}`")),
+        }
+    }
+    if parsed.smoke {
+        apply_smoke_defaults();
+    }
+    Ok(parsed)
+}
+
+/// Shrink every budget knob to CI-smoke size. Explicit env settings win:
+/// only unset variables are defaulted, so `REPRO_TIME=500 bin --smoke`
+/// keeps the caller's 500.
+fn apply_smoke_defaults() {
+    for (var, small) in [
+        ("REPRO_TIME", "2000"),
+        ("REPRO_REPLICATES", "4"),
+        ("REPRO_ITERS", "300"),
+        ("REPRO_SCALEUP_STEPS", "40"),
+    ] {
+        if std::env::var_os(var).is_none() {
+            std::env::set_var(var, small);
+        }
     }
 }
 
 /// Run `method` from each of `n` random initial simplexes drawn uniformly
 /// from `[lo, hi)` and return the *true* final minimum values (floored for
 /// log-ratio plots).
+#[allow(clippy::too_many_arguments)]
 pub fn final_minima<F, O>(
     objective: &F,
     underlying: &O,
@@ -144,5 +287,60 @@ mod tests {
         assert_eq!(fmt(0.0), "0");
         assert_eq!(fmt(1.5), "1.5000");
         assert_eq!(fmt(1.0e-6), "1.000e-6");
+    }
+
+    fn args(list: &[&str]) -> std::vec::IntoIter<String> {
+        list.iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    #[test]
+    fn parse_accepts_both_flags() {
+        let a = parse_args(args(&["--smoke", "--metrics-out", "m.json"]), true).unwrap();
+        assert!(a.smoke);
+        assert_eq!(
+            a.metrics_out.as_deref(),
+            Some(std::path::Path::new("m.json"))
+        );
+        let b = parse_args(args(&["--metrics-out=m.csv"]), true).unwrap();
+        assert_eq!(
+            b.metrics_out.as_deref(),
+            Some(std::path::Path::new("m.csv"))
+        );
+        assert!(!b.smoke);
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(parse_args(args(&["--metrics-out"]), true).is_err());
+        assert!(parse_args(args(&["--metrics-out="]), true).is_err());
+        assert!(parse_args(args(&["--frobnicate"]), true).is_err());
+        // Exhibits without a registry reject the flag outright.
+        assert!(parse_args(args(&["--metrics-out", "m.json"]), false).is_err());
+        assert!(parse_args(args(&["--smoke"]), false).unwrap().smoke);
+    }
+
+    #[test]
+    fn registry_exists_only_when_requested() {
+        let none = HarnessArgs::default();
+        assert!(none.registry().is_none());
+        none.write_metrics(None); // must be a no-op, not a crash
+
+        let dir = std::env::temp_dir().join("repro-bench-metrics-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.json");
+        let some = HarnessArgs {
+            smoke: false,
+            metrics_out: Some(path.clone()),
+        };
+        let reg = some.registry().expect("registry expected");
+        reg.counter("engine.rounds").add(3);
+        some.write_metrics(Some(&reg));
+        let body = std::fs::read_to_string(&path).unwrap();
+        let parsed = obs::json::parse(&body).expect("valid JSON metrics file");
+        assert!(parsed.get("engine.rounds").is_some());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

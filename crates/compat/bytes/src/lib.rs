@@ -1,0 +1,234 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! [`BytesMut`] is a growable byte buffer; [`Bytes`] is a cheaply-cloneable
+//! immutable view backed by a shared `Arc<[u8]>` with a cursor, so
+//! `clone`/`split_to` never copy the payload. Only the little-endian
+//! accessors this workspace's `comm` layer uses are provided.
+
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+
+/// Read-side cursor operations (subset of upstream `Buf`).
+pub trait Buf {
+    /// Bytes left between the cursor and the end.
+    fn remaining(&self) -> usize;
+    /// True when at least one byte remains.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+    /// Move the cursor forward by `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8;
+    /// Read a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64;
+    /// Read a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+/// Write-side append operations (subset of upstream `BufMut`).
+pub trait BufMut {
+    /// Append a raw byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Append a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+/// A growable, writable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty buffer with preallocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Convert into an immutable, cheaply-cloneable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from_vec(self.buf)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+}
+
+/// An immutable byte view with a read cursor; clones share the backing
+/// allocation.
+#[derive(Debug, Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Wrap an owned byte vector.
+    pub fn from_vec(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            data: v.into(),
+            start: 0,
+            end,
+        }
+    }
+
+    /// Bytes remaining in the view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The remaining bytes as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    /// Copy the remaining bytes into a fresh vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    /// Split off and return the first `at` bytes; `self` keeps the rest.
+    ///
+    /// # Panics
+    /// If `at` exceeds the remaining length.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let head = Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start,
+            end: self.start + at,
+        };
+        self.start += at;
+        head
+    }
+
+    /// Split off the first `cnt` bytes as a shared view (upstream
+    /// `Buf::copy_to_bytes`; no copy here since views share storage).
+    pub fn copy_to_bytes(&mut self, cnt: usize) -> Bytes {
+        assert!(cnt <= self.len(), "copy_to_bytes out of bounds");
+        self.split_to(cnt)
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes::from_vec(v)
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance out of bounds");
+        self.start += cnt;
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        assert!(self.has_remaining(), "get_u8 past end");
+        let b = self.data[self.start];
+        self.start += 1;
+        b
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        assert!(self.remaining() >= 8, "get_u64_le past end");
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&self.data[self.start..self.start + 8]);
+        self.start += 8;
+        u64::from_le_bytes(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut b = BytesMut::new();
+        b.put_u8(7);
+        b.put_u64_le(0xDEAD_BEEF);
+        b.put_f64_le(-1.25);
+        let mut r = b.freeze();
+        assert_eq!(r.len(), 17);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u64_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_f64_le(), -1.25);
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    fn split_to_shares_storage() {
+        let mut whole = Bytes::from_vec(vec![1, 2, 3, 4, 5]);
+        let head = whole.split_to(2);
+        assert_eq!(head.as_slice(), &[1, 2]);
+        assert_eq!(whole.as_slice(), &[3, 4, 5]);
+    }
+
+    #[test]
+    fn copy_to_bytes_advances_cursor() {
+        let mut b = Bytes::from_vec(vec![9, 8, 7, 6]);
+        let chunk = b.copy_to_bytes(3);
+        assert_eq!(chunk.to_vec(), vec![9, 8, 7]);
+        assert_eq!(b.remaining(), 1);
+        assert_eq!(b.get_u8(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "split_to out of bounds")]
+    fn split_past_end_panics() {
+        Bytes::from_vec(vec![1]).split_to(2);
+    }
+}

@@ -1,0 +1,264 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the API subset used by this workspace's `benches/`:
+//! `Criterion::default().sample_size(n)`, `bench_function`,
+//! `benchmark_group`, `Bencher::iter` / `Bencher::iter_batched`, and the
+//! `criterion_group!` / `criterion_main!` macros (both the plain and the
+//! `name = ...; config = ...; targets = ...` forms).
+//!
+//! Each benchmark is warmed up briefly, then timed over `sample_size`
+//! samples; the mean, standard deviation, and median per-iteration time are
+//! printed to stdout. Set `CRITERION_SAMPLE_MS` to change the per-sample
+//! time slice (default 50 ms; the CI smoke job uses a small value).
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost (accepted for API compatibility;
+/// the stand-in re-runs setup per iteration and subtracts nothing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_size: usize,
+    slice: Duration,
+}
+
+impl Bencher {
+    fn new(sample_size: usize, slice: Duration) -> Self {
+        Bencher {
+            samples: Vec::with_capacity(sample_size),
+            sample_size,
+            slice,
+        }
+    }
+
+    /// Benchmark `routine` by running it repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + calibration: how many iterations fit in one time slice?
+        let t0 = Instant::now();
+        let mut calib = 0u64;
+        while t0.elapsed() < self.slice / 4 || calib == 0 {
+            std::hint::black_box(routine());
+            calib += 1;
+        }
+        let per_iter = t0.elapsed().as_secs_f64() / calib as f64;
+        let iters_per_sample =
+            ((self.slice.as_secs_f64() / per_iter.max(1e-12)) as u64).clamp(1, 1_000_000);
+        for _ in 0..self.sample_size {
+            let s0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            self.samples
+                .push(s0.elapsed().as_secs_f64() / iters_per_sample as f64);
+        }
+    }
+
+    /// Benchmark `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // One warm-up execution.
+        std::hint::black_box(routine(setup()));
+        let mut spent = Duration::ZERO;
+        let budget = self.slice * self.sample_size as u32;
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let s0 = Instant::now();
+            std::hint::black_box(routine(input));
+            let dt = s0.elapsed();
+            spent += dt;
+            self.samples.push(dt.as_secs_f64());
+            if spent > budget {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<40} (no samples)");
+            return;
+        }
+        let n = self.samples.len() as f64;
+        let mean = self.samples.iter().sum::<f64>() / n;
+        let var = self
+            .samples
+            .iter()
+            .map(|s| (s - mean) * (s - mean))
+            .sum::<f64>()
+            / n;
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        println!(
+            "{name:<40} mean {:>12}  sd {:>12}  median {:>12}  ({} samples)",
+            fmt_time(mean),
+            fmt_time(var.sqrt()),
+            fmt_time(median),
+            self.samples.len()
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} us", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+fn sample_slice() -> Duration {
+    let ms = std::env::var("CRITERION_SAMPLE_MS")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(50);
+    Duration::from_millis(ms.max(1))
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size, sample_slice());
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            criterion: self,
+            _name: name,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    _name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark within the group.
+    pub fn bench_function<N: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        mut f: F,
+    ) -> &mut Self {
+        let name = name.into();
+        let mut b = Bencher::new(self.criterion.sample_size, sample_slice());
+        f(&mut b);
+        b.report(&format!("  {name}"));
+        self
+    }
+
+    /// Finish the group (printing is incremental; this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Define a group of benchmark functions (both `criterion_group!(name, f...)`
+/// and the `name = ...; config = ...; targets = ...` forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generate the benchmark binary's `main` from one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        std::env::set_var("CRITERION_SAMPLE_MS", "1");
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        std::env::remove_var("CRITERION_SAMPLE_MS");
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        std::env::set_var("CRITERION_SAMPLE_MS", "1");
+        let mut setups = 0u32;
+        let mut b = Bencher::new(4, Duration::from_millis(1));
+        b.iter_batched(
+            || {
+                setups += 1;
+                setups
+            },
+            |x| x * 2,
+            BatchSize::SmallInput,
+        );
+        assert!(setups >= 4); // warm-up + one per sample (may stop early)
+        std::env::remove_var("CRITERION_SAMPLE_MS");
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert!(fmt_time(2e-9).ends_with("ns"));
+        assert!(fmt_time(2e-6).ends_with("us"));
+        assert!(fmt_time(2e-3).ends_with("ms"));
+        assert!(fmt_time(2.0).ends_with('s'));
+    }
+}

@@ -8,6 +8,7 @@ use crate::pc::PointComparison;
 use crate::pcmn::PcMn;
 use crate::result::RunResult;
 use crate::termination::Termination;
+use obs::MetricsRegistry;
 use stoch_eval::clock::TimeMode;
 use stoch_eval::objective::StochasticObjective;
 
@@ -50,12 +51,33 @@ impl SimplexMethod {
         mode: TimeMode,
         seed: u64,
     ) -> RunResult {
+        self.run_with_metrics(objective, init, term, mode, seed, None)
+    }
+
+    /// [`run`](Self::run) with optional run accounting: when `registry` is
+    /// given, the method records its decision/gate/engine tallies into it
+    /// and summarizes them in [`RunResult::metrics`].
+    pub fn run_with_metrics<F: StochasticObjective>(
+        &self,
+        objective: &F,
+        init: Vec<Vec<f64>>,
+        term: Termination,
+        mode: TimeMode,
+        seed: u64,
+        registry: Option<&MetricsRegistry>,
+    ) -> RunResult {
         match self {
-            SimplexMethod::Det(m) => m.run(objective, init, term, mode, seed),
-            SimplexMethod::Mn(m) => m.run(objective, init, term, mode, seed),
-            SimplexMethod::Pc(m) => m.run(objective, init, term, mode, seed),
-            SimplexMethod::PcMn(m) => m.run(objective, init, term, mode, seed),
-            SimplexMethod::Anderson(m) => m.run(objective, init, term, mode, seed),
+            SimplexMethod::Det(m) => {
+                m.run_with_metrics(objective, init, term, mode, seed, registry)
+            }
+            SimplexMethod::Mn(m) => m.run_with_metrics(objective, init, term, mode, seed, registry),
+            SimplexMethod::Pc(m) => m.run_with_metrics(objective, init, term, mode, seed, registry),
+            SimplexMethod::PcMn(m) => {
+                m.run_with_metrics(objective, init, term, mode, seed, registry)
+            }
+            SimplexMethod::Anderson(m) => {
+                m.run_with_metrics(objective, init, term, mode, seed, registry)
+            }
         }
     }
 }

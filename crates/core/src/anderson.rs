@@ -22,6 +22,7 @@ use crate::engine::Engine;
 use crate::result::RunResult;
 use crate::termination::{StopReason, Termination};
 use crate::trace::{StepKind, Trace, TracePoint};
+use obs::MetricsRegistry;
 use stoch_eval::clock::{TimeMode, VirtualClock};
 use stoch_eval::objective::{SampleStream, StochasticObjective};
 use stoch_eval::rng::SeedSequence;
@@ -53,6 +54,7 @@ impl AndersonNm {
         params: AndersonParams,
         eng: &mut Engine<F>,
     ) -> Option<StopReason> {
+        let metrics = eng.metrics().cloned();
         let mut rounds = 0u32;
         loop {
             let ceiling = Self::threshold(params, eng.level().0);
@@ -61,7 +63,14 @@ impl AndersonNm {
                 .iter()
                 .map(|e| e.std_err * e.std_err)
                 .fold(0.0f64, f64::max);
-            if worst < ceiling {
+            let passed = worst < ceiling;
+            if let Some(m) = &metrics {
+                m.mn_gate_checks.inc();
+                if !passed {
+                    m.mn_gate_failures.inc();
+                }
+            }
+            if passed {
                 return None;
             }
             if let Some(r) = eng.should_stop() {
@@ -71,7 +80,12 @@ impl AndersonNm {
                 return Some(StopReason::Stalled);
             }
             let ids: Vec<usize> = (0..eng.n_vertices()).collect();
+            let t0 = eng.elapsed();
             eng.extend_round(&ids);
+            if let Some(m) = &metrics {
+                m.mn_extension_rounds.inc();
+                m.mn_equalize_time.add(eng.elapsed() - t0);
+            }
             rounds += 1;
         }
     }
@@ -85,6 +99,21 @@ impl AndersonNm {
         mode: TimeMode,
         seed: u64,
     ) -> RunResult {
+        self.run_with_metrics(objective, init, term, mode, seed, None)
+    }
+
+    /// [`run`](Self::run) with optional run accounting (engine tallies; the
+    /// Eq. 2.4 wait loop is recorded under the MN gate metrics since it
+    /// plays the same role).
+    pub fn run_with_metrics<F: StochasticObjective>(
+        &self,
+        objective: &F,
+        init: Vec<Vec<f64>>,
+        term: Termination,
+        mode: TimeMode,
+        seed: u64,
+        registry: Option<&MetricsRegistry>,
+    ) -> RunResult {
         let params = self.params;
         run_classic(
             objective,
@@ -93,6 +122,7 @@ impl AndersonNm {
             term,
             mode,
             seed,
+            registry,
             move |eng| Self::wait(params, eng),
             // Trials receive one sampling round before comparison, exactly
             // as in MN (Algorithm 2): both criteria gate only the vertex
@@ -138,51 +168,50 @@ impl AndersonSearch {
             .collect();
 
         // Sample the structure until every point meets the Eq. 2.4 ceiling.
-        let sample_to_criterion =
-            |streams: &mut Vec<F::Stream>,
-             clock: &mut VirtualClock,
-             total: &mut f64,
-             level: i64,
-             elapsed_cap: Option<f64>|
-             -> bool {
-                let ceiling = AndersonNm::threshold(
-                    AndersonParams {
-                        k1: self.params.k1,
-                        k2: self.params.k2,
-                    },
-                    level,
-                );
-                let mut rounds = 0u32;
-                loop {
-                    let worst = streams
-                        .iter()
-                        .map(|s| {
-                            let e = s.estimate();
-                            e.std_err * e.std_err
-                        })
-                        .fold(0.0f64, f64::max);
-                    if worst < ceiling {
-                        return true;
-                    }
-                    if let Some(cap) = elapsed_cap {
-                        if clock.elapsed() >= cap {
-                            return false;
-                        }
-                    }
-                    if rounds >= MAX_WAIT_ROUNDS {
+        let sample_to_criterion = |streams: &mut Vec<F::Stream>,
+                                   clock: &mut VirtualClock,
+                                   total: &mut f64,
+                                   level: i64,
+                                   elapsed_cap: Option<f64>|
+         -> bool {
+            let ceiling = AndersonNm::threshold(
+                AndersonParams {
+                    k1: self.params.k1,
+                    k2: self.params.k2,
+                },
+                level,
+            );
+            let mut rounds = 0u32;
+            loop {
+                let worst = streams
+                    .iter()
+                    .map(|s| {
+                        let e = s.estimate();
+                        e.std_err * e.std_err
+                    })
+                    .fold(0.0f64, f64::max);
+                if worst < ceiling {
+                    return true;
+                }
+                if let Some(cap) = elapsed_cap {
+                    if clock.elapsed() >= cap {
                         return false;
                     }
-                    clock.begin_round();
-                    for s in streams.iter_mut() {
-                        let dt = policy.next_dt(s.estimate().time);
-                        s.extend(dt);
-                        clock.charge(dt);
-                        *total += dt;
-                    }
-                    clock.end_round();
-                    rounds += 1;
                 }
-            };
+                if rounds >= MAX_WAIT_ROUNDS {
+                    return false;
+                }
+                clock.begin_round();
+                for s in streams.iter_mut() {
+                    let dt = policy.next_dt(s.estimate().time);
+                    s.extend(dt);
+                    clock.charge(dt);
+                    *total += dt;
+                }
+                clock.end_round();
+                rounds += 1;
+            }
+        };
 
         let stop = loop {
             if let Some(r) = term.budget_exceeded(clock.elapsed(), iterations) {
@@ -215,13 +244,7 @@ impl AndersonSearch {
             // REFLECT(S, x*) = { 2x* − x_i } (Eq. 2.6).
             let refl: Vec<Vec<f64>> = points
                 .iter()
-                .map(|p| {
-                    best_x
-                        .iter()
-                        .zip(p)
-                        .map(|(&b, &x)| 2.0 * b - x)
-                        .collect()
-                })
+                .map(|p| best_x.iter().zip(p).map(|(&b, &x)| 2.0 * b - x).collect())
                 .collect();
             let mut refl_streams: Vec<F::Stream> = refl
                 .iter()
@@ -245,12 +268,7 @@ impl AndersonSearch {
                 // Accept the reflection; then probe EXPAND(S, x*) = {2x_i − x*}.
                 let exp: Vec<Vec<f64>> = points
                     .iter()
-                    .map(|p| {
-                        p.iter()
-                            .zip(&best_x)
-                            .map(|(&x, &b)| 2.0 * x - b)
-                            .collect()
-                    })
+                    .map(|p| p.iter().zip(&best_x).map(|(&x, &b)| 2.0 * x - b).collect())
                     .collect();
                 let mut exp_streams: Vec<F::Stream> = exp
                     .iter()
@@ -299,10 +317,7 @@ impl AndersonSearch {
             iterations += 1;
             let values: Vec<f64> = streams.iter().map(|s| s.estimate().value).collect();
             let best_now = values.iter().cloned().fold(f64::INFINITY, f64::min);
-            let best_idx = values
-                .iter()
-                .position(|&v| v == best_now)
-                .unwrap_or(0);
+            let best_idx = values.iter().position(|&v| v == best_now).unwrap_or(0);
             let mut diam = 0.0f64;
             for i in 0..points.len() {
                 for j in i + 1..points.len() {
@@ -334,6 +349,7 @@ impl AndersonSearch {
             total_sampling,
             stop,
             trace,
+            metrics: None,
         }
     }
 }
@@ -357,11 +373,17 @@ mod tests {
 
     #[test]
     fn threshold_tightens_with_contraction_level() {
-        let p = AndersonParams { k1: 1024.0, k2: 0.0 };
+        let p = AndersonParams {
+            k1: 1024.0,
+            k2: 0.0,
+        };
         assert_eq!(AndersonNm::threshold(p, 0), 1024.0);
         assert_eq!(AndersonNm::threshold(p, 1), 512.0);
         assert_eq!(AndersonNm::threshold(p, -1), 2048.0);
-        let p2 = AndersonParams { k1: 1024.0, k2: 1.0 };
+        let p2 = AndersonParams {
+            k1: 1024.0,
+            k2: 1.0,
+        };
         assert_eq!(AndersonNm::threshold(p2, 1), 256.0);
     }
 
@@ -389,7 +411,8 @@ mod tests {
         let mut large_err = 0.0;
         for s in 0..4 {
             let init = random_uniform(3, -6.0, 3.0, 500 + s);
-            let small = AndersonNm::with_k1(1.0).run(&obj, init.clone(), term(), TimeMode::Parallel, s);
+            let small =
+                AndersonNm::with_k1(1.0).run(&obj, init.clone(), term(), TimeMode::Parallel, s);
             let large =
                 AndersonNm::with_k1(2f64.powi(20)).run(&obj, init, term(), TimeMode::Parallel, s);
             small_err += rosen.value(&small.best_point).max(1e-12).log10();

@@ -104,8 +104,16 @@ impl Spsa {
             let delta: Vec<f64> = (0..d)
                 .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
                 .collect();
-            let xp: Vec<f64> = x.iter().zip(&delta).map(|(&xi, &di)| xi + ck * di).collect();
-            let xm: Vec<f64> = x.iter().zip(&delta).map(|(&xi, &di)| xi - ck * di).collect();
+            let xp: Vec<f64> = x
+                .iter()
+                .zip(&delta)
+                .map(|(&xi, &di)| xi + ck * di)
+                .collect();
+            let xm: Vec<f64> = x
+                .iter()
+                .zip(&delta)
+                .map(|(&xi, &di)| xi - ck * di)
+                .collect();
             // The two probes run concurrently in parallel mode.
             clock.begin_round();
             let gp = {
@@ -140,7 +148,14 @@ impl Spsa {
             });
         };
 
-        let best_observed = quick_eval(objective, &x, self.eval_dt, &mut seeds, &mut clock, &mut total);
+        let best_observed = quick_eval(
+            objective,
+            &x,
+            self.eval_dt,
+            &mut seeds,
+            &mut clock,
+            &mut total,
+        );
         RunResult {
             best_point: x,
             best_observed,
@@ -149,6 +164,7 @@ impl Spsa {
             total_sampling: total,
             stop,
             trace,
+            metrics: None,
         }
     }
 }
@@ -194,7 +210,14 @@ impl SimulatedAnnealing {
         let mut trace = Trace::new();
 
         let mut x = x0;
-        let mut gx = quick_eval(objective, &x, self.eval_dt, &mut seeds, &mut clock, &mut total);
+        let mut gx = quick_eval(
+            objective,
+            &x,
+            self.eval_dt,
+            &mut seeds,
+            &mut clock,
+            &mut total,
+        );
         let (mut best_x, mut best_g) = (x.clone(), gx);
         let mut temp = self.t0;
         let mut k: u64 = 0;
@@ -207,7 +230,14 @@ impl SimulatedAnnealing {
                 .iter()
                 .map(|&xi| xi + self.step * standard_normal(&mut rng))
                 .collect();
-            let gc = quick_eval(objective, &cand, self.eval_dt, &mut seeds, &mut clock, &mut total);
+            let gc = quick_eval(
+                objective,
+                &cand,
+                self.eval_dt,
+                &mut seeds,
+                &mut clock,
+                &mut total,
+            );
             let accept = gc < gx || rng.gen::<f64>() < ((gx - gc) / temp.max(1e-300)).exp();
             if accept {
                 x = cand;
@@ -241,6 +271,7 @@ impl SimulatedAnnealing {
             total_sampling: total,
             stop,
             trace,
+            metrics: None,
         }
     }
 }
@@ -282,8 +313,14 @@ impl RandomSearch {
         let mut total = 0.0;
         let mut trace = Trace::new();
         let mut best_x: Vec<f64> = (0..d).map(|_| rng.gen_range(self.lo..self.hi)).collect();
-        let mut best_g =
-            quick_eval(objective, &best_x, self.eval_dt, &mut seeds, &mut clock, &mut total);
+        let mut best_g = quick_eval(
+            objective,
+            &best_x,
+            self.eval_dt,
+            &mut seeds,
+            &mut clock,
+            &mut total,
+        );
         let mut k: u64 = 0;
 
         let stop = loop {
@@ -291,7 +328,14 @@ impl RandomSearch {
                 break r;
             }
             let cand: Vec<f64> = (0..d).map(|_| rng.gen_range(self.lo..self.hi)).collect();
-            let gc = quick_eval(objective, &cand, self.eval_dt, &mut seeds, &mut clock, &mut total);
+            let gc = quick_eval(
+                objective,
+                &cand,
+                self.eval_dt,
+                &mut seeds,
+                &mut clock,
+                &mut total,
+            );
             if gc < best_g {
                 best_g = gc;
                 best_x = cand;
@@ -315,6 +359,7 @@ impl RandomSearch {
             total_sampling: total,
             stop,
             trace,
+            metrics: None,
         }
     }
 }
@@ -367,8 +412,7 @@ mod tests {
     fn random_search_improves_on_first_draw() {
         let sphere = Sphere::new(3);
         let obj = Noisy::new(sphere, ConstantNoise(0.1));
-        let res =
-            RandomSearch::new(-5.0, 5.0).run(&obj, iters(500), TimeMode::Parallel, 3);
+        let res = RandomSearch::new(-5.0, 5.0).run(&obj, iters(500), TimeMode::Parallel, 3);
         assert!(sphere.value(&res.best_point) < 25.0);
         assert_eq!(res.iterations, 500);
     }

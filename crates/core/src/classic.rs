@@ -11,9 +11,11 @@
 use crate::config::SimplexConfig;
 use crate::engine::{Engine, SlotId};
 use crate::geometry::{contract, expand, reflect};
+use crate::metrics::EngineMetrics;
 use crate::result::RunResult;
 use crate::termination::{StopReason, Termination};
 use crate::trace::StepKind;
+use obs::MetricsRegistry;
 use stoch_eval::clock::TimeMode;
 use stoch_eval::objective::StochasticObjective;
 
@@ -25,6 +27,8 @@ pub(crate) const MAX_WAIT_ROUNDS: u32 = 10_000;
 /// * `gate` runs before each iteration's comparisons; it may sample and may
 ///   demand a stop (budget exhausted mid-wait).
 /// * `prepare` samples a freshly-opened trial slot before it is compared.
+/// * `registry`, when given, attaches run accounting to the engine.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_classic<F, G, P>(
     objective: &F,
     init: Vec<Vec<f64>>,
@@ -32,6 +36,7 @@ pub(crate) fn run_classic<F, G, P>(
     term: Termination,
     mode: TimeMode,
     seed: u64,
+    registry: Option<&MetricsRegistry>,
     mut gate: G,
     mut prepare: P,
 ) -> RunResult
@@ -42,6 +47,9 @@ where
 {
     let coeff = cfg.coefficients;
     let mut eng = Engine::new(objective, init, cfg, term, mode, seed);
+    if let Some(reg) = registry {
+        eng.attach_metrics(EngineMetrics::register(reg));
+    }
     loop {
         if let Some(r) = eng.should_stop() {
             return eng.finish(r);

@@ -11,6 +11,7 @@ use crate::classic::run_classic;
 use crate::config::SimplexConfig;
 use crate::result::RunResult;
 use crate::termination::Termination;
+use obs::MetricsRegistry;
 use stoch_eval::clock::TimeMode;
 use stoch_eval::objective::StochasticObjective;
 
@@ -49,6 +50,21 @@ impl Det {
         mode: TimeMode,
         seed: u64,
     ) -> RunResult {
+        self.run_with_metrics(objective, init, term, mode, seed, None)
+    }
+
+    /// [`run`](Self::run) with optional run accounting: when `registry` is
+    /// given, engine step/trial/round tallies are recorded into it and
+    /// summarized in [`RunResult::metrics`].
+    pub fn run_with_metrics<F: StochasticObjective>(
+        &self,
+        objective: &F,
+        init: Vec<Vec<f64>>,
+        term: Termination,
+        mode: TimeMode,
+        seed: u64,
+        registry: Option<&MetricsRegistry>,
+    ) -> RunResult {
         run_classic(
             objective,
             init,
@@ -56,6 +72,7 @@ impl Det {
             term,
             mode,
             seed,
+            registry,
             |_eng| None,
             |eng, id| eng.extend_round(&[id]),
         )
@@ -76,7 +93,13 @@ mod tests {
     fn det_solves_noise_free_sphere() {
         let obj = Noisy::new(Sphere::new(3), ZeroNoise);
         let init = random_uniform(3, -5.0, 5.0, 11);
-        let res = Det::new().run(&obj, init, Termination::tolerance(1e-12), TimeMode::Parallel, 1);
+        let res = Det::new().run(
+            &obj,
+            init,
+            Termination::tolerance(1e-12),
+            TimeMode::Parallel,
+            1,
+        );
         assert_eq!(res.stop, StopReason::Tolerance);
         let f = Sphere::new(3).value(&res.best_point);
         assert!(f < 1e-8, "final value {f}");

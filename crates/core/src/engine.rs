@@ -12,9 +12,8 @@
 //! maximum of the individual extensions in parallel time.
 
 use crate::config::{SamplingPolicy, SimplexConfig};
-use crate::geometry::{
-    self, centroid_excluding, diameter, ContractionLevel, Ordering,
-};
+use crate::geometry::{self, centroid_excluding, diameter, ContractionLevel, Ordering};
+use crate::metrics::EngineMetrics;
 use crate::result::RunResult;
 use crate::termination::{StopReason, Termination};
 use crate::trace::{StepKind, Trace, TracePoint};
@@ -43,6 +42,7 @@ pub struct Engine<'a, F: StochasticObjective> {
     iterations: u64,
     total_sampling: f64,
     level: ContractionLevel,
+    metrics: Option<EngineMetrics>,
 }
 
 impl<'a, F: StochasticObjective> Engine<'a, F> {
@@ -87,10 +87,25 @@ impl<'a, F: StochasticObjective> Engine<'a, F> {
             iterations: 0,
             total_sampling: 0.0,
             level: ContractionLevel::default(),
+            metrics: None,
         };
         let ids: Vec<SlotId> = (0..eng.n_vertices).collect();
         eng.extend_round(&ids);
         eng
+    }
+
+    /// Attach run-accounting handles. All subsequent engine activity (and
+    /// any algorithm-level site accounting) is recorded both into the
+    /// originating registry and into the [`RunResult::metrics`] summary.
+    ///
+    /// [`RunResult::metrics`]: crate::result::RunResult::metrics
+    pub fn attach_metrics(&mut self, metrics: EngineMetrics) {
+        self.metrics = Some(metrics);
+    }
+
+    /// The attached run-accounting handles, if any.
+    pub fn metrics(&self) -> Option<&EngineMetrics> {
+        self.metrics.as_ref()
     }
 
     /// Dimensionality of the parameter space.
@@ -159,6 +174,9 @@ impl<'a, F: StochasticObjective> Engine<'a, F> {
     /// Open a *trial* slot at `x` (reflection/expansion/contraction point).
     /// The stream starts unsampled; callers extend it before comparing.
     pub fn open_trial(&mut self, x: Vec<f64>) -> SlotId {
+        if let Some(m) = &self.metrics {
+            m.trials_opened.inc();
+        }
         let seed = self.seeds.next_seed();
         let stream = self.objective.open(&x, seed);
         self.slots.push(Slot { x, stream });
@@ -182,6 +200,7 @@ impl<'a, F: StochasticObjective> Engine<'a, F> {
         if ids.is_empty() {
             return;
         }
+        let sampled_before = self.total_sampling;
         let policy = self.cfg.sampling;
         let piggyback =
             self.cfg.continuous && self.clock.mode() == stoch_eval::clock::TimeMode::Parallel;
@@ -206,6 +225,10 @@ impl<'a, F: StochasticObjective> Engine<'a, F> {
             }
         }
         self.clock.end_round();
+        if let Some(m) = &self.metrics {
+            m.rounds.inc();
+            m.sampling_time.add(self.total_sampling - sampled_before);
+        }
     }
 
     /// Keep extending slot `id` (alone) until its standard error is at most
@@ -232,6 +255,10 @@ impl<'a, F: StochasticObjective> Engine<'a, F> {
     /// Discard all trial slots (their sampling is abandoned, as when the
     /// master directs "a cessation of work at one point").
     pub fn drop_trials(&mut self) {
+        if let Some(m) = &self.metrics {
+            let dropped = self.slots.len().saturating_sub(self.n_vertices);
+            m.trials_dropped.add(dropped as u64);
+        }
         self.slots.truncate(self.n_vertices);
     }
 
@@ -270,6 +297,9 @@ impl<'a, F: StochasticObjective> Engine<'a, F> {
 
     /// Record a completed iteration with the accepted step kind.
     pub fn record(&mut self, step: StepKind) {
+        if let Some(m) = &self.metrics {
+            m.record_step(step);
+        }
         self.iterations += 1;
         let best = self.ordering().min;
         let e = self.estimate(best);
@@ -318,6 +348,7 @@ impl<'a, F: StochasticObjective> Engine<'a, F> {
             total_sampling: self.total_sampling,
             stop,
             trace: self.trace,
+            metrics: self.metrics.as_ref().map(EngineMetrics::summary),
         }
     }
 }
@@ -330,9 +361,7 @@ mod tests {
     use stoch_eval::noise::{ConstantNoise, ZeroNoise};
     use stoch_eval::sampler::Noisy;
 
-    fn engine_for<'a>(
-        obj: &'a Noisy<Sphere, ZeroNoise>,
-    ) -> Engine<'a, Noisy<Sphere, ZeroNoise>> {
+    fn engine_for<'a>(obj: &'a Noisy<Sphere, ZeroNoise>) -> Engine<'a, Noisy<Sphere, ZeroNoise>> {
         let init = vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 1.0]];
         Engine::new(
             obj,
@@ -361,7 +390,7 @@ mod tests {
         let eng = engine_for(&obj);
         let o = eng.ordering();
         assert_eq!(o.min, 0); // f(0,0)=0
-        // max is one of the two value-1 vertices (tie broken by index).
+                              // max is one of the two value-1 vertices (tie broken by index).
         assert_eq!(o.max, 2);
         let c = eng.centroid_excluding(o.max);
         assert_eq!(c, vec![0.5, 0.0]);

@@ -70,8 +70,14 @@ mod tests {
 
     #[test]
     fn random_uniform_is_reproducible() {
-        assert_eq!(random_uniform(4, -5.0, 5.0, 7), random_uniform(4, -5.0, 5.0, 7));
-        assert_ne!(random_uniform(4, -5.0, 5.0, 7), random_uniform(4, -5.0, 5.0, 8));
+        assert_eq!(
+            random_uniform(4, -5.0, 5.0, 7),
+            random_uniform(4, -5.0, 5.0, 7)
+        );
+        assert_ne!(
+            random_uniform(4, -5.0, 5.0, 7),
+            random_uniform(4, -5.0, 5.0, 8)
+        );
     }
 
     #[test]

@@ -54,6 +54,7 @@ pub mod det;
 pub mod engine;
 pub mod geometry;
 pub mod init;
+pub mod metrics;
 pub mod mn;
 pub mod pc;
 pub mod pcmn;
@@ -74,12 +75,13 @@ pub mod prelude {
     pub use crate::det::Det;
     pub use crate::geometry::Coefficients;
     pub use crate::init;
+    pub use crate::metrics::EngineMetrics;
     pub use crate::mn::MaxNoise;
     pub use crate::pc::PointComparison;
     pub use crate::pcmn::PcMn;
     pub use crate::pso::{Pso, PsoSimplex};
     pub use crate::restart::RestartedSimplex;
-    pub use crate::result::{Measures, RunResult};
+    pub use crate::result::{Measures, RunMetrics, RunResult};
     pub use crate::termination::{StopReason, Termination};
     pub use crate::trace::{StepKind, Trace, TracePoint};
     pub use stoch_eval::clock::TimeMode;

@@ -23,8 +23,46 @@ use crate::config::{MnParams, SimplexConfig};
 use crate::engine::Engine;
 use crate::result::RunResult;
 use crate::termination::{StopReason, Termination};
+use obs::MetricsRegistry;
 use stoch_eval::clock::TimeMode;
 use stoch_eval::objective::StochasticObjective;
+
+/// The MN wait loop shared by [`MaxNoise`] and [`crate::pcmn::PcMn`]
+/// (Algorithm 2 lines 4–6): extend every vertex until the noisiest one is
+/// quiet relative to the simplex's internal spread. Returns a stop reason if
+/// a termination criterion fires mid-wait.
+pub(crate) fn mn_wait<F: StochasticObjective>(k: f64, eng: &mut Engine<F>) -> Option<StopReason> {
+    let metrics = eng.metrics().cloned();
+    let mut rounds = 0u32;
+    loop {
+        let values = eng.vertex_values();
+        let gate = k * internal_variance(&values);
+        let passed = max_noise_variance(eng) <= gate;
+        if let Some(m) = &metrics {
+            m.mn_gate_checks.inc();
+            if !passed {
+                m.mn_gate_failures.inc();
+            }
+        }
+        if passed {
+            return None;
+        }
+        if let Some(r) = eng.should_stop() {
+            return Some(r);
+        }
+        if rounds >= MAX_WAIT_ROUNDS {
+            return Some(StopReason::Stalled);
+        }
+        let ids: Vec<usize> = (0..eng.n_vertices()).collect();
+        let t0 = eng.elapsed();
+        eng.extend_round(&ids);
+        if let Some(m) = &metrics {
+            m.mn_extension_rounds.inc();
+            m.mn_equalize_time.add(eng.elapsed() - t0);
+        }
+        rounds += 1;
+    }
+}
 
 /// The max-noise algorithm (paper Algorithm 2).
 #[derive(Debug, Clone, Default)]
@@ -44,31 +82,6 @@ impl MaxNoise {
         }
     }
 
-    /// The MN wait loop (Algorithm 2 lines 4–6). Returns a stop reason if a
-    /// termination criterion fires mid-wait.
-    fn wait<F: StochasticObjective>(
-        k: f64,
-        eng: &mut Engine<F>,
-    ) -> Option<StopReason> {
-        let mut rounds = 0u32;
-        loop {
-            let values = eng.vertex_values();
-            let gate = k * internal_variance(&values);
-            if max_noise_variance(eng) <= gate {
-                return None;
-            }
-            if let Some(r) = eng.should_stop() {
-                return Some(r);
-            }
-            if rounds >= MAX_WAIT_ROUNDS {
-                return Some(StopReason::Stalled);
-            }
-            let ids: Vec<usize> = (0..eng.n_vertices()).collect();
-            eng.extend_round(&ids);
-            rounds += 1;
-        }
-    }
-
     /// Optimize `objective` from the initial simplex `init`.
     pub fn run<F: StochasticObjective>(
         &self,
@@ -78,6 +91,21 @@ impl MaxNoise {
         mode: TimeMode,
         seed: u64,
     ) -> RunResult {
+        self.run_with_metrics(objective, init, term, mode, seed, None)
+    }
+
+    /// [`run`](Self::run) with optional run accounting: when `registry` is
+    /// given, MN gate statistics and engine tallies are recorded into it and
+    /// summarized in [`RunResult::metrics`].
+    pub fn run_with_metrics<F: StochasticObjective>(
+        &self,
+        objective: &F,
+        init: Vec<Vec<f64>>,
+        term: Termination,
+        mode: TimeMode,
+        seed: u64,
+        registry: Option<&MetricsRegistry>,
+    ) -> RunResult {
         let k = self.params.k;
         run_classic(
             objective,
@@ -86,7 +114,8 @@ impl MaxNoise {
             term,
             mode,
             seed,
-            move |eng| Self::wait(k, eng),
+            registry,
+            move |eng| mn_wait(k, eng),
             move |eng, id| eng.extend_round(&[id]),
         )
     }

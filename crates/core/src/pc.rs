@@ -13,9 +13,11 @@ use crate::compare::{confident_greater, confident_less, Decision};
 use crate::config::{PcParams, SimplexConfig};
 use crate::engine::Engine;
 use crate::geometry::{contract, expand, reflect};
+use crate::metrics::EngineMetrics;
 use crate::result::RunResult;
 use crate::termination::{StopReason, Termination};
 use crate::trace::StepKind;
+use obs::MetricsRegistry;
 use stoch_eval::clock::TimeMode;
 use stoch_eval::objective::StochasticObjective;
 
@@ -33,6 +35,26 @@ pub(crate) fn pc_iteration<F: StochasticObjective>(
     let coeff = eng.config().coefficients;
     let k = params.k;
     let conds = params.conditions;
+    // Clone the handles once per iteration (a handful of Arc bumps) so site
+    // accounting does not fight the borrow checker across `&mut eng` calls.
+    let metrics = eng.metrics().cloned();
+    // A site's condition resolved: affirmative for `yes`, negative for the
+    // paired site checked in the same loop.
+    let decided = |yes: usize, no: usize| {
+        if let Some(m) = &metrics {
+            m.site(yes).decided_true.inc();
+            m.site(no).decided_false.inc();
+        }
+    };
+    // Both sites of a loop stayed undecided for a round costing `dt`.
+    let undecided = |a: usize, b: usize, dt: f64| {
+        if let Some(m) = &metrics {
+            for &s in &[a, b] {
+                m.site(s).undecided_resample.inc();
+                m.site(s).resample_time.add(dt);
+            }
+        }
+    };
 
     let ord = eng.ordering();
     let cent = eng.centroid_excluding(ord.max);
@@ -51,9 +73,11 @@ pub(crate) fn pc_iteration<F: StochasticObjective>(
         let er = eng.estimate(refl);
         let es = eng.estimate(ord.smax);
         if confident_less(er, es, k, conds.uses_bars(1)) == Decision::Yes {
+            decided(1, 5);
             break RBranch::Better; // condition 1
         }
         if confident_less(er, es, k, conds.uses_bars(5)) == Decision::No {
+            decided(5, 1);
             break RBranch::Worse; // condition 5
         }
         if let Some(r) = eng.budget_stop() {
@@ -64,7 +88,9 @@ pub(crate) fn pc_iteration<F: StochasticObjective>(
             eng.drop_trials();
             return Some(StopReason::Stalled);
         }
+        let t0 = eng.elapsed();
         eng.extend_round(&[refl, ord.smax]);
+        undecided(1, 5, eng.elapsed() - t0);
         rounds += 1;
     };
 
@@ -75,10 +101,18 @@ pub(crate) fn pc_iteration<F: StochasticObjective>(
             let er = eng.estimate(refl);
             let emin = eng.estimate(ord.min);
             if confident_greater(er, emin, k, conds.uses_bars(2)) == Decision::Yes {
+                if let Some(m) = &metrics {
+                    m.site(2).decided_true.inc();
+                }
                 eng.replace_vertex(ord.max, refl);
                 eng.drop_trials();
                 eng.record(StepKind::Reflect);
                 return None;
+            }
+            // Site c2 never loops: an undecided comparison falls through to
+            // the expansion attempt, so count it as decided-false.
+            if let Some(m) = &metrics {
+                m.site(2).decided_false.inc();
             }
             // Expansion: decide condition 3 (expansion confidently below the
             // reflection) or condition 4; resample {exp, ref} otherwise.
@@ -90,6 +124,7 @@ pub(crate) fn pc_iteration<F: StochasticObjective>(
                 let ee = eng.estimate(exp);
                 let er = eng.estimate(refl);
                 if confident_less(ee, er, k, conds.uses_bars(3)) == Decision::Yes {
+                    decided(3, 4);
                     eng.replace_vertex(ord.max, exp);
                     eng.level_mut().on_expand();
                     eng.drop_trials();
@@ -97,6 +132,7 @@ pub(crate) fn pc_iteration<F: StochasticObjective>(
                     return None; // condition 3
                 }
                 if confident_less(ee, er, k, conds.uses_bars(4)) == Decision::No {
+                    decided(4, 3);
                     eng.replace_vertex(ord.max, refl);
                     eng.drop_trials();
                     eng.record(StepKind::Reflect);
@@ -110,7 +146,9 @@ pub(crate) fn pc_iteration<F: StochasticObjective>(
                     eng.drop_trials();
                     return Some(StopReason::Stalled);
                 }
+                let t0 = eng.elapsed();
                 eng.extend_round(&[exp, refl]);
+                undecided(3, 4, eng.elapsed() - t0);
                 rounds += 1;
             }
         }
@@ -126,6 +164,7 @@ pub(crate) fn pc_iteration<F: StochasticObjective>(
                 let ec = eng.estimate(con);
                 let em = eng.estimate(ord.max);
                 if confident_less(ec, em, k, conds.uses_bars(6)) == Decision::Yes {
+                    decided(6, 7);
                     eng.replace_vertex(ord.max, con);
                     eng.level_mut().on_contract();
                     eng.drop_trials();
@@ -133,6 +172,7 @@ pub(crate) fn pc_iteration<F: StochasticObjective>(
                     return None; // condition 6
                 }
                 if confident_less(ec, em, k, conds.uses_bars(7)) == Decision::No {
+                    decided(7, 6);
                     eng.drop_trials();
                     eng.collapse(ord.min);
                     eng.record(StepKind::Collapse);
@@ -146,7 +186,9 @@ pub(crate) fn pc_iteration<F: StochasticObjective>(
                     eng.drop_trials();
                     return Some(StopReason::Stalled);
                 }
+                let t0 = eng.elapsed();
                 eng.extend_round(&[con, ord.max]);
+                undecided(6, 7, eng.elapsed() - t0);
                 rounds += 1;
             }
         }
@@ -185,7 +227,25 @@ impl PointComparison {
         mode: TimeMode,
         seed: u64,
     ) -> RunResult {
+        self.run_with_metrics(objective, init, term, mode, seed, None)
+    }
+
+    /// [`run`](Self::run) with optional run accounting: when `registry` is
+    /// given, per-site decision counters (c1…c7) and engine tallies are
+    /// recorded into it and summarized in [`RunResult::metrics`].
+    pub fn run_with_metrics<F: StochasticObjective>(
+        &self,
+        objective: &F,
+        init: Vec<Vec<f64>>,
+        term: Termination,
+        mode: TimeMode,
+        seed: u64,
+        registry: Option<&MetricsRegistry>,
+    ) -> RunResult {
         let mut eng = Engine::new(objective, init, self.cfg.clone(), term, mode, seed);
+        if let Some(reg) = registry {
+            eng.attach_metrics(EngineMetrics::register(reg));
+        }
         loop {
             if let Some(r) = eng.should_stop() {
                 return eng.finish(r);

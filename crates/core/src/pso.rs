@@ -93,9 +93,9 @@ impl Pso {
 
         // Concurrent evaluation of the whole swarm.
         let eval_all = |pos: &[Vec<f64>],
-                            seeds: &mut SeedSequence,
-                            clock: &mut VirtualClock,
-                            total: &mut f64|
+                        seeds: &mut SeedSequence,
+                        clock: &mut VirtualClock,
+                        total: &mut f64|
          -> Vec<f64> {
             clock.begin_round();
             let vals = pos
@@ -169,9 +169,9 @@ impl Pso {
             total_sampling: total,
             stop,
             trace,
+            metrics: None,
         }
     }
-
 }
 
 fn argmin(vals: &[f64]) -> usize {
@@ -248,9 +248,9 @@ impl PsoSimplex {
             max_time: Some(budget * (1.0 - self.explore_fraction)),
             max_iterations: term.max_iterations,
         };
-        let mut refined = self
-            .refiner
-            .run(objective, init, refine_term, mode, seed.wrapping_add(1));
+        let mut refined =
+            self.refiner
+                .run(objective, init, refine_term, mode, seed.wrapping_add(1));
 
         // Merge accounting so the result reflects the whole hybrid run; keep
         // the better of the two phase outcomes.
@@ -346,7 +346,10 @@ mod tests {
             let fp = rosen.value(&pso_only.best_point).max(1e-12);
             log_sum += (fh / fp).log10();
         }
-        assert!(log_sum < 1.0, "hybrid should not lose on average: {log_sum}");
+        assert!(
+            log_sum < 1.0,
+            "hybrid should not lose on average: {log_sum}"
+        );
     }
 
     #[test]

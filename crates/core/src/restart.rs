@@ -26,6 +26,11 @@ pub struct RestartedSimplex {
     pub hi: f64,
     /// Upper bound on the number of restarts.
     pub max_restarts: usize,
+    /// Minimum number of restarts the budget is sliced for: each restart
+    /// gets at most `budget / min_restarts` of virtual time, so a single
+    /// stalled run cannot consume the whole budget and reduce the
+    /// multistart to one local search.
+    pub min_restarts: usize,
 }
 
 impl RestartedSimplex {
@@ -36,6 +41,7 @@ impl RestartedSimplex {
             lo,
             hi,
             max_restarts: 16,
+            min_restarts: 4,
         }
     }
 
@@ -60,9 +66,10 @@ impl RestartedSimplex {
             if remaining <= 0.0 {
                 break;
             }
+            let slice = remaining.min(budget / self.min_restarts.max(1) as f64);
             let run_term = Termination {
                 tolerance: term.tolerance,
-                max_time: Some(remaining),
+                max_time: Some(slice),
                 max_iterations: term.max_iterations,
             };
             let init = random_uniform(d, self.lo, self.hi, child_seed(seed, restart as u64));
@@ -80,6 +87,7 @@ impl RestartedSimplex {
                     ..*p
                 });
             }
+            let res_stop = res.stop;
             elapsed_total += res.elapsed;
             sampling_total += res.total_sampling;
             iterations_total += res.iterations;
@@ -90,10 +98,8 @@ impl RestartedSimplex {
             if better {
                 best = Some(res);
             }
-            // A walltime stop means the budget ran dry mid-run.
-            if best.as_ref().map(|b| b.stop) == Some(StopReason::WallTime)
-                && elapsed_total >= budget
-            {
+            // The budget ran dry mid-run.
+            if res_stop == StopReason::WallTime && elapsed_total >= budget {
                 break;
             }
         }
@@ -128,12 +134,12 @@ mod tests {
         // Single local run vs multistart under the same total budget.
         let init = random_uniform(2, -5.0, 5.0, 3);
         let single = MaxNoise::with_k(2.0).run(&obj, init, term, TimeMode::Parallel, 3);
-        let multi = RestartedSimplex::new(
-            SimplexMethod::Mn(MaxNoise::with_k(2.0)),
-            -5.0,
-            5.0,
-        )
-        .run(&obj, term, TimeMode::Parallel, 3);
+        let multi = RestartedSimplex::new(SimplexMethod::Mn(MaxNoise::with_k(2.0)), -5.0, 5.0).run(
+            &obj,
+            term,
+            TimeMode::Parallel,
+            3,
+        );
         assert!(
             rast.value(&multi.best_point) <= rast.value(&single.best_point) + 1e-9,
             "multistart {} vs single {}",
@@ -151,12 +157,12 @@ mod tests {
             max_time: Some(5e3),
             max_iterations: Some(10_000),
         };
-        let res = RestartedSimplex::new(
-            SimplexMethod::Mn(MaxNoise::with_k(2.0)),
-            -5.0,
-            5.0,
-        )
-        .run(&obj, term, TimeMode::Parallel, 1);
+        let res = RestartedSimplex::new(SimplexMethod::Mn(MaxNoise::with_k(2.0)), -5.0, 5.0).run(
+            &obj,
+            term,
+            TimeMode::Parallel,
+            1,
+        );
         // Allow one in-flight round of slack.
         assert!(res.elapsed < 5e3 * 1.6, "elapsed {}", res.elapsed);
     }
@@ -169,12 +175,12 @@ mod tests {
             max_time: Some(1e4),
             max_iterations: Some(2_000),
         };
-        let res = RestartedSimplex::new(
-            SimplexMethod::Mn(MaxNoise::with_k(2.0)),
-            -5.0,
-            5.0,
-        )
-        .run(&obj, term, TimeMode::Parallel, 2);
+        let res = RestartedSimplex::new(SimplexMethod::Mn(MaxNoise::with_k(2.0)), -5.0, 5.0).run(
+            &obj,
+            term,
+            TimeMode::Parallel,
+            2,
+        );
         for w in res.trace.points().windows(2) {
             assert!(w[1].time >= w[0].time - 1e-9);
         }

@@ -23,6 +23,60 @@ pub struct RunResult {
     pub stop: StopReason,
     /// Per-iteration trace.
     pub trace: Trace,
+    /// Run-accounting summary, present when a metrics registry was attached
+    /// (see [`crate::metrics::EngineMetrics`]).
+    pub metrics: Option<RunMetrics>,
+}
+
+/// Plain-value snapshot of a run's accounting, taken when the engine
+/// finishes. Field meanings mirror the registry metrics documented in
+/// [`crate::metrics`]; arrays are indexed `0 ↦ c1` … `6 ↦ c7`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunMetrics {
+    /// Accepted reflection steps.
+    pub steps_reflect: u64,
+    /// Accepted expansion steps.
+    pub steps_expand: u64,
+    /// Accepted contraction steps.
+    pub steps_contract: u64,
+    /// Collapse (total-contraction) steps.
+    pub steps_collapse: u64,
+    /// Trial slots opened.
+    pub trials_opened: u64,
+    /// Trial slots discarded.
+    pub trials_dropped: u64,
+    /// Concurrent sampling rounds executed.
+    pub rounds: u64,
+    /// Total virtual sampling time charged across all streams.
+    pub sampling_time: f64,
+    /// Per-site count of confident affirmative decisions.
+    pub site_decided_true: [u64; 7],
+    /// Per-site count of confident negative decisions.
+    pub site_decided_false: [u64; 7],
+    /// Per-site count of undecided rounds that forced a resample.
+    pub site_undecided_resample: [u64; 7],
+    /// Per-site virtual time spent resampling while undecided.
+    pub site_resample_time: [f64; 7],
+    /// MN gate evaluations.
+    pub mn_gate_checks: u64,
+    /// MN gate evaluations that failed.
+    pub mn_gate_failures: u64,
+    /// Extension rounds run by the MN wait loop.
+    pub mn_extension_rounds: u64,
+    /// Virtual time spent equalizing noise in the MN wait loop.
+    pub mn_equalize_time: f64,
+}
+
+impl RunMetrics {
+    /// Total accepted moves of any kind.
+    pub fn total_steps(&self) -> u64 {
+        self.steps_reflect + self.steps_expand + self.steps_contract + self.steps_collapse
+    }
+
+    /// Total undecided-resample rounds over all seven PC sites.
+    pub fn total_resamples(&self) -> u64 {
+        self.site_undecided_resample.iter().sum()
+    }
 }
 
 /// The paper's three success measures for a run against a known optimum.
@@ -83,6 +137,7 @@ mod tests {
             total_sampling: 40.0,
             stop: StopReason::Tolerance,
             trace: Trace::new(),
+            metrics: None,
         };
         let m = res.measures(&obj, &[1.0, 1.0, 1.0], 0.0);
         assert_eq!(m.n, 17);

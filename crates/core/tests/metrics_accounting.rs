@@ -1,0 +1,167 @@
+//! Integration tests for the run-accounting subsystem: algorithms wired to
+//! an `obs::MetricsRegistry` must populate the documented metric names, and
+//! the `RunResult::metrics` summary must agree with the registry.
+
+use noisy_simplex::prelude::*;
+use obs::{MetricValue, MetricsRegistry};
+use stoch_eval::functions::Sphere;
+use stoch_eval::noise::ConstantNoise;
+use stoch_eval::sampler::Noisy;
+
+fn term() -> Termination {
+    Termination {
+        tolerance: Some(1e-4),
+        max_time: Some(5e4),
+        max_iterations: Some(2_000),
+    }
+}
+
+fn counter(reg: &MetricsRegistry, name: &str) -> u64 {
+    reg.counter(name).get()
+}
+
+#[test]
+fn pc_on_noisy_sphere_exercises_all_seven_sites() {
+    let sphere = Sphere::new(3);
+    let obj = Noisy::new(sphere, ConstantNoise(5.0));
+    let reg = MetricsRegistry::new();
+    let init = init::random_uniform(3, -5.0, 5.0, 42);
+    let res = PointComparison::new().run_with_metrics(
+        &obj,
+        init,
+        term(),
+        TimeMode::Parallel,
+        42,
+        Some(&reg),
+    );
+
+    // Every decision site must have been *visited*: decided one way, the
+    // other, or resampled at least once over a full noisy run.
+    for c in 1..=7 {
+        let activity = counter(&reg, &format!("pc.site.c{c}.decided_true"))
+            + counter(&reg, &format!("pc.site.c{c}.decided_false"))
+            + counter(&reg, &format!("pc.site.c{c}.undecided_resample"));
+        assert!(activity > 0, "site c{c} was never exercised");
+    }
+    // Under sigma = 5 noise, comparisons cannot all resolve instantly: some
+    // resampling must have happened somewhere.
+    let total_resamples: u64 = (1..=7)
+        .map(|c| counter(&reg, &format!("pc.site.c{c}.undecided_resample")))
+        .sum();
+    assert!(total_resamples > 0, "no site ever resampled under noise");
+
+    // Engine tallies: steps recorded in the registry must equal the
+    // iteration count the result reports.
+    let steps: u64 = [
+        "engine.steps.reflect",
+        "engine.steps.expand",
+        "engine.steps.contract",
+        "engine.steps.collapse",
+    ]
+    .iter()
+    .map(|n| counter(&reg, n))
+    .sum();
+    assert_eq!(steps, res.iterations);
+    assert!(counter(&reg, "engine.trials.opened") > 0);
+    assert!(counter(&reg, "engine.rounds") > 0);
+
+    // The RunResult summary is a faithful snapshot of the registry.
+    let m = res.metrics.expect("metrics summary missing");
+    assert_eq!(m.total_steps(), res.iterations);
+    assert_eq!(m.trials_opened, counter(&reg, "engine.trials.opened"));
+    assert_eq!(m.trials_dropped, counter(&reg, "engine.trials.dropped"));
+    assert_eq!(m.total_resamples(), total_resamples);
+    let reg_sampling = reg
+        .snapshot()
+        .into_iter()
+        .find(|(n, _)| n == "engine.sampling_time")
+        .map(|(_, v)| match v {
+            MetricValue::Time(t) => t,
+            _ => panic!("engine.sampling_time has wrong kind"),
+        })
+        .unwrap();
+    assert!((m.sampling_time - reg_sampling).abs() < 1e-9);
+    assert!(m.sampling_time > 0.0);
+}
+
+#[test]
+fn mn_gate_metrics_track_the_wait_loop() {
+    let obj = Noisy::new(Sphere::new(2), ConstantNoise(10.0));
+    let reg = MetricsRegistry::new();
+    let init = init::random_uniform(2, -5.0, 5.0, 7);
+    let res = MaxNoise::with_k(2.0).run_with_metrics(
+        &obj,
+        init,
+        term(),
+        TimeMode::Parallel,
+        7,
+        Some(&reg),
+    );
+    let checks = counter(&reg, "mn.gate.checks");
+    let failures = counter(&reg, "mn.gate.failures");
+    let extensions = counter(&reg, "mn.extension_rounds");
+    assert!(checks > 0, "gate never checked");
+    assert!(failures <= checks);
+    // Every failed gate check triggers exactly one extension round, except
+    // possibly the last (budget can fire between the check and the round).
+    assert!(extensions <= failures);
+    assert!(failures.saturating_sub(extensions) <= 1);
+
+    let m = res.metrics.expect("metrics summary missing");
+    assert_eq!(m.mn_gate_checks, checks);
+    assert_eq!(m.mn_gate_failures, failures);
+    assert_eq!(m.mn_extension_rounds, extensions);
+    if extensions > 0 {
+        assert!(m.mn_equalize_time > 0.0);
+    }
+}
+
+#[test]
+fn pcmn_records_both_gate_and_site_metrics() {
+    let obj = Noisy::new(Sphere::new(2), ConstantNoise(5.0));
+    let reg = MetricsRegistry::new();
+    let init = init::random_uniform(2, -5.0, 5.0, 3);
+    let res = PcMn::new().run_with_metrics(&obj, init, term(), TimeMode::Parallel, 3, Some(&reg));
+    assert!(counter(&reg, "mn.gate.checks") > 0);
+    let site_activity: u64 = (1..=7)
+        .map(|c| {
+            counter(&reg, &format!("pc.site.c{c}.decided_true"))
+                + counter(&reg, &format!("pc.site.c{c}.decided_false"))
+        })
+        .sum();
+    assert!(site_activity > 0, "PC sites never decided anything");
+    assert!(res.metrics.is_some());
+}
+
+#[test]
+fn runs_without_a_registry_report_no_metrics() {
+    let obj = Noisy::new(Sphere::new(2), ConstantNoise(1.0));
+    let init = init::random_uniform(2, -3.0, 3.0, 1);
+    let res = PointComparison::new().run(&obj, init, term(), TimeMode::Parallel, 1);
+    assert!(res.metrics.is_none());
+}
+
+#[test]
+fn metrics_dispatch_through_the_method_enum() {
+    let obj = Noisy::new(Sphere::new(2), ConstantNoise(1.0));
+    let methods = [
+        SimplexMethod::Det(Det::new()),
+        SimplexMethod::Mn(MaxNoise::with_k(2.0)),
+        SimplexMethod::Pc(PointComparison::new()),
+        SimplexMethod::PcMn(PcMn::new()),
+        SimplexMethod::Anderson(AndersonNm::with_k1(1024.0)),
+    ];
+    for (i, m) in methods.iter().enumerate() {
+        let reg = MetricsRegistry::new();
+        let init = init::random_uniform(2, -3.0, 3.0, 200 + i as u64);
+        let res = m.run_with_metrics(&obj, init, term(), TimeMode::Parallel, i as u64, Some(&reg));
+        let summary = res
+            .metrics
+            .unwrap_or_else(|| panic!("{} produced no metrics summary", m.name()));
+        assert_eq!(summary.total_steps(), res.iterations, "{}", m.name());
+        assert!(summary.rounds > 0, "{} ran no rounds", m.name());
+        // The registry export must round-trip through the obs JSON parser.
+        let parsed = obs::json::parse(&reg.to_json()).expect("invalid JSON export");
+        assert!(parsed.get("engine.rounds").is_some());
+    }
+}

@@ -85,9 +85,11 @@ mod tests {
     #[test]
     fn table_3_3_rows() {
         // The exact rows of Table 3.3 (Ns = 1).
-        for (d, workers, servers, clients, total) in
-            [(20, 23, 23, 23, 70), (50, 53, 53, 53, 160), (100, 103, 103, 103, 310)]
-        {
+        for (d, workers, servers, clients, total) in [
+            (20, 23, 23, 23, 70),
+            (50, 53, 53, 53, 160),
+            (100, 103, 103, 103, 310),
+        ] {
             let a = Allocation::new(d, 1);
             assert_eq!(a.workers(), workers);
             assert_eq!(a.servers(), servers);

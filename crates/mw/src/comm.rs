@@ -13,8 +13,10 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use crossbeam_channel::{unbounded, Receiver, Sender};
+use obs::{Counter, MetricsRegistry};
 use std::collections::HashMap;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Errors raised by the message layer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -151,6 +153,49 @@ pub struct Message {
     pub payload: Bytes,
 }
 
+/// Registry handles for the wire accounting of one endpoint. Shared metric
+/// names (all endpoints of a network accumulate into the same counters):
+/// `mw.comm.bytes_packed`, `mw.comm.bytes_unpacked`,
+/// `mw.comm.messages_sent`, `mw.comm.messages_received`, and per tag `t`
+/// `mw.comm.tag{t}.sent` / `mw.comm.tag{t}.received`.
+struct CommObs {
+    registry: MetricsRegistry,
+    bytes_packed: Arc<Counter>,
+    bytes_unpacked: Arc<Counter>,
+    messages_sent: Arc<Counter>,
+    messages_received: Arc<Counter>,
+}
+
+impl CommObs {
+    fn register(registry: &MetricsRegistry) -> Self {
+        CommObs {
+            registry: registry.clone(),
+            bytes_packed: registry.counter("mw.comm.bytes_packed"),
+            bytes_unpacked: registry.counter("mw.comm.bytes_unpacked"),
+            messages_sent: registry.counter("mw.comm.messages_sent"),
+            messages_received: registry.counter("mw.comm.messages_received"),
+        }
+    }
+
+    fn on_send(&self, tag: u32, payload_len: usize) {
+        self.messages_sent.inc();
+        self.bytes_packed.add(payload_len as u64);
+        // Tag cardinality is tiny (MW protocols use a handful of tags), so
+        // the registry lookup per message is acceptable here.
+        self.registry
+            .counter(&format!("mw.comm.tag{tag}.sent"))
+            .inc();
+    }
+
+    fn on_recv(&self, tag: u32, payload_len: usize) {
+        self.messages_received.inc();
+        self.bytes_unpacked.add(payload_len as u64);
+        self.registry
+            .counter(&format!("mw.comm.tag{tag}.received"))
+            .inc();
+    }
+}
+
 /// One endpoint of a fully-connected rank topology (rank 0 = master).
 pub struct Endpoint {
     rank: usize,
@@ -158,12 +203,19 @@ pub struct Endpoint {
     inbox: Receiver<Message>,
     /// Messages received but not yet matched by a selective `recv`.
     stash: VecDeque<Message>,
+    obs: Option<CommObs>,
 }
 
 impl Endpoint {
     /// This endpoint's rank.
     pub fn rank(&self) -> usize {
         self.rank
+    }
+
+    /// Mirror this endpoint's wire accounting (messages and payload bytes,
+    /// total and per tag) into `registry`.
+    pub fn attach_metrics(&mut self, registry: &MetricsRegistry) {
+        self.obs = Some(CommObs::register(registry));
     }
 
     /// Pack `value` and send it to `to_whom` with `message_tag`.
@@ -177,10 +229,14 @@ impl Endpoint {
             .peers
             .get(&to_whom)
             .ok_or(CommError::Malformed("unknown peer"))?;
+        let payload = pack_message(value);
+        if let Some(o) = &self.obs {
+            o.on_send(message_tag, payload.len());
+        }
         tx.send(Message {
             from: self.rank,
             tag: message_tag,
-            payload: pack_message(value),
+            payload,
         })
         .map_err(|_| CommError::Disconnected)
     }
@@ -199,11 +255,17 @@ impl Endpoint {
         };
         if let Some(idx) = self.stash.iter().position(matches) {
             let m = self.stash.remove(idx).unwrap();
+            if let Some(o) = &self.obs {
+                o.on_recv(m.tag, m.payload.len());
+            }
             return Ok((m.from, unpack_message(m.payload)?));
         }
         loop {
             let m = self.inbox.recv().map_err(|_| CommError::Disconnected)?;
             if matches(&m) {
+                if let Some(o) = &self.obs {
+                    o.on_recv(m.tag, m.payload.len());
+                }
                 return Ok((m.from, unpack_message(m.payload)?));
             }
             self.stash.push_back(m);
@@ -214,8 +276,7 @@ impl Endpoint {
 /// Build a fully-connected set of `n` endpoints (rank 0 is the master).
 pub fn network(n: usize) -> Vec<Endpoint> {
     assert!(n >= 2);
-    let channels: Vec<(Sender<Message>, Receiver<Message>)> =
-        (0..n).map(|_| unbounded()).collect();
+    let channels: Vec<(Sender<Message>, Receiver<Message>)> = (0..n).map(|_| unbounded()).collect();
     (0..n)
         .map(|rank| Endpoint {
             rank,
@@ -226,6 +287,7 @@ pub fn network(n: usize) -> Vec<Endpoint> {
                 .collect(),
             inbox: channels[rank].1.clone(),
             stash: VecDeque::new(),
+            obs: None,
         })
         .collect()
 }
@@ -242,7 +304,7 @@ mod tests {
         for v in [0.0f64, -1.5, f64::MAX, f64::MIN_POSITIVE] {
             assert_eq!(unpack_message::<f64>(pack_message(&v)).unwrap(), v);
         }
-        assert_eq!(unpack_message::<bool>(pack_message(&true)).unwrap(), true);
+        assert!(unpack_message::<bool>(pack_message(&true)).unwrap());
     }
 
     #[test]
@@ -309,6 +371,32 @@ mod tests {
         assert_eq!(b, 30.0);
         h1.join().unwrap();
         h2.join().unwrap();
+    }
+
+    #[test]
+    fn wire_metrics_count_messages_and_bytes_by_tag() {
+        let reg = obs::MetricsRegistry::new();
+        let mut eps = network(2);
+        let mut w = eps.pop().unwrap();
+        let mut master = eps.pop().unwrap();
+        master.attach_metrics(&reg);
+        w.attach_metrics(&reg);
+
+        let payload = vec![1.0f64, 2.0, 3.0]; // 8 (len) + 3*8 = 32 bytes
+        master.send(1, 7, &payload).unwrap();
+        let (_, got): (usize, Vec<f64>) = w.recv(Some(0), Some(7)).unwrap();
+        assert_eq!(got, payload);
+        w.send(0, 8, &6.0f64).unwrap();
+        let (_, _sum): (usize, f64) = master.recv(Some(1), Some(8)).unwrap();
+
+        assert_eq!(reg.counter("mw.comm.messages_sent").get(), 2);
+        assert_eq!(reg.counter("mw.comm.messages_received").get(), 2);
+        assert_eq!(reg.counter("mw.comm.bytes_packed").get(), 32 + 8);
+        assert_eq!(reg.counter("mw.comm.bytes_unpacked").get(), 32 + 8);
+        assert_eq!(reg.counter("mw.comm.tag7.sent").get(), 1);
+        assert_eq!(reg.counter("mw.comm.tag7.received").get(), 1);
+        assert_eq!(reg.counter("mw.comm.tag8.sent").get(), 1);
+        assert_eq!(reg.counter("mw.comm.tag8.received").get(), 1);
     }
 
     #[test]

@@ -92,10 +92,7 @@ mod tests {
         // same estimates as a locally-driven one.
         let local = Noisy::new(Rosenbrock::new(2), ConstantNoise(5.0));
         let pool = Arc::new(MwPool::new(2));
-        let remote = MwObjective::new(
-            Noisy::new(Rosenbrock::new(2), ConstantNoise(5.0)),
-            pool,
-        );
+        let remote = MwObjective::new(Noisy::new(Rosenbrock::new(2), ConstantNoise(5.0)), pool);
         let mut a = local.open(&[0.5, 0.5], 99);
         let mut b = remote.open(&[0.5, 0.5], 99);
         for _ in 0..5 {

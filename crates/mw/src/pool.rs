@@ -8,6 +8,7 @@
 //! §3.1.
 
 use crossbeam_channel::{bounded, unbounded, Receiver, Sender};
+use obs::{Counter, Gauge, MetricsRegistry};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -21,6 +22,38 @@ pub struct WorkerStats {
     pub jobs: AtomicU64,
     /// Total busy time in nanoseconds.
     pub busy_nanos: AtomicU64,
+    /// Total idle time (blocked waiting for work) in nanoseconds.
+    pub idle_nanos: AtomicU64,
+}
+
+/// Registry handles mirrored by the pool when one is attached at
+/// construction ([`MwPool::with_metrics`]). Metric names:
+/// `mw.pool.jobs_submitted`, `mw.pool.queue_depth_hwm`, and per worker `w`
+/// `mw.pool.worker{w}.{jobs,busy_nanos,idle_nanos}`.
+struct PoolObs {
+    jobs_submitted: Arc<Counter>,
+    queue_depth_hwm: Arc<Gauge>,
+    worker_jobs: Vec<Arc<Counter>>,
+    worker_busy_nanos: Vec<Arc<Counter>>,
+    worker_idle_nanos: Vec<Arc<Counter>>,
+}
+
+impl PoolObs {
+    fn register(registry: &MetricsRegistry, n_workers: usize) -> Self {
+        PoolObs {
+            jobs_submitted: registry.counter("mw.pool.jobs_submitted"),
+            queue_depth_hwm: registry.gauge("mw.pool.queue_depth_hwm"),
+            worker_jobs: (0..n_workers)
+                .map(|w| registry.counter(&format!("mw.pool.worker{w}.jobs")))
+                .collect(),
+            worker_busy_nanos: (0..n_workers)
+                .map(|w| registry.counter(&format!("mw.pool.worker{w}.busy_nanos")))
+                .collect(),
+            worker_idle_nanos: (0..n_workers)
+                .map(|w| registry.counter(&format!("mw.pool.worker{w}.idle_nanos")))
+                .collect(),
+        }
+    }
 }
 
 /// The worker executing a job died (or panicked) before reporting a result.
@@ -71,12 +104,21 @@ pub struct MwPool {
     job_tx: Option<Sender<Job>>,
     handles: Vec<JoinHandle<()>>,
     stats: Arc<Vec<WorkerStats>>,
+    queue_depth: Arc<AtomicU64>,
+    obs: Option<Arc<PoolObs>>,
 }
 
 impl MwPool {
     /// Spawn `n_workers` worker threads.
     pub fn new(n_workers: usize) -> Self {
-        Self::with_fault_injection(n_workers, &[])
+        Self::build(n_workers, &[], None)
+    }
+
+    /// Spawn `n_workers` worker threads with run accounting mirrored into
+    /// `registry` (job submissions, queue-depth high-water mark, per-worker
+    /// jobs and busy/idle nanoseconds).
+    pub fn with_metrics(n_workers: usize, registry: &MetricsRegistry) -> Self {
+        Self::build(n_workers, &[], Some(registry))
     }
 
     /// Spawn workers with fault injection: worker `w` dies (stops pulling
@@ -84,14 +126,22 @@ impl MwPool {
     /// executing `faults[w]` jobs. Workers beyond `faults.len()` are
     /// immortal. Used to test master-side reassignment.
     pub fn with_fault_injection(n_workers: usize, faults: &[Option<u64>]) -> Self {
+        Self::build(n_workers, faults, None)
+    }
+
+    fn build(n_workers: usize, faults: &[Option<u64>], registry: Option<&MetricsRegistry>) -> Self {
         assert!(n_workers >= 1);
         let (job_tx, job_rx) = unbounded::<Job>();
         let stats: Arc<Vec<WorkerStats>> =
             Arc::new((0..n_workers).map(|_| WorkerStats::default()).collect());
+        let queue_depth = Arc::new(AtomicU64::new(0));
+        let obs = registry.map(|reg| Arc::new(PoolObs::register(reg, n_workers)));
         let handles = (0..n_workers)
             .map(|w| {
                 let rx = job_rx.clone();
                 let stats = Arc::clone(&stats);
+                let queue_depth = Arc::clone(&queue_depth);
+                let obs = obs.clone();
                 let die_after = faults.get(w).copied().flatten();
                 std::thread::Builder::new()
                     .name(format!("mw-worker-{w}"))
@@ -99,19 +149,37 @@ impl MwPool {
                         // MWWorker loop: execute a task, report the result,
                         // wait for another task.
                         let mut executed = 0u64;
-                        while let Ok(job) = rx.recv() {
+                        loop {
+                            let t_wait = std::time::Instant::now();
+                            let Ok(job) = rx.recv() else { break };
+                            let idle = t_wait.elapsed().as_nanos() as u64;
+                            stats[w].idle_nanos.fetch_add(idle, Ordering::Relaxed);
+                            if let Some(o) = &obs {
+                                o.worker_idle_nanos[w].add(idle);
+                            }
+                            queue_depth.fetch_sub(1, Ordering::Relaxed);
                             if die_after.map(|n| executed >= n).unwrap_or(false) {
                                 // Injected fault: the node is reclaimed with
                                 // a job in hand — its result is never sent.
                                 drop(job);
                                 return;
                             }
+                            // Count the job before running it: the job's
+                            // last act is delivering its result, and a
+                            // caller unblocked by that delivery must see
+                            // this job in the counters.
+                            stats[w].jobs.fetch_add(1, Ordering::Relaxed);
+                            if let Some(o) = &obs {
+                                o.worker_jobs[w].inc();
+                            }
                             let t0 = std::time::Instant::now();
                             job(w);
                             executed += 1;
                             let dt = t0.elapsed().as_nanos() as u64;
-                            stats[w].jobs.fetch_add(1, Ordering::Relaxed);
                             stats[w].busy_nanos.fetch_add(dt, Ordering::Relaxed);
+                            if let Some(o) = &obs {
+                                o.worker_busy_nanos[w].add(dt);
+                            }
                         }
                     })
                     .expect("failed to spawn MW worker")
@@ -121,6 +189,8 @@ impl MwPool {
             job_tx: Some(job_tx),
             handles,
             stats,
+            queue_depth,
+            obs,
         }
     }
 
@@ -140,6 +210,11 @@ impl MwPool {
             // A dropped receiver just means the master lost interest.
             let _ = tx.send(f(worker));
         });
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(o) = &self.obs {
+            o.jobs_submitted.inc();
+            o.queue_depth_hwm.record(depth);
+        }
         self.job_tx
             .as_ref()
             .expect("pool already shut down")
@@ -171,6 +246,19 @@ impl MwPool {
             .iter()
             .map(|s| s.busy_nanos.load(Ordering::Relaxed) as f64 * 1e-9)
             .collect()
+    }
+
+    /// Snapshot of per-worker idle (waiting-for-work) time in seconds.
+    pub fn idle_seconds(&self) -> Vec<f64> {
+        self.stats
+            .iter()
+            .map(|s| s.idle_nanos.load(Ordering::Relaxed) as f64 * 1e-9)
+            .collect()
+    }
+
+    /// Jobs currently submitted but not yet picked up by a worker.
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth.load(Ordering::Relaxed)
     }
 
     /// Shut the pool down, joining all workers.
@@ -245,18 +333,52 @@ mod tests {
                 Err(WorkerLost) => lost += 1,
             }
         }
-        assert_eq!(lost, 1, "exactly the one in-flight job on the dying worker is lost");
+        assert_eq!(
+            lost, 1,
+            "exactly the one in-flight job on the dying worker is lost"
+        );
         assert_eq!(ok, 19);
     }
 
     #[test]
     fn pool_survives_partial_worker_death() {
         let pool = MwPool::with_fault_injection(3, &[Some(2), None, None]);
-        let results: Vec<Result<usize, WorkerLost>> = (0..40)
-            .map(|_| pool.submit(|w| w).wait_result())
-            .collect();
+        let results: Vec<Result<usize, WorkerLost>> =
+            (0..40).map(|_| pool.submit(|w| w).wait_result()).collect();
         let ok = results.iter().filter(|r| r.is_ok()).count();
         assert!(ok >= 39, "{ok} of 40 succeeded");
+    }
+
+    #[test]
+    fn metrics_mirror_pool_activity() {
+        let reg = obs::MetricsRegistry::new();
+        let pool = MwPool::with_metrics(3, &reg);
+        let handles: Vec<_> = (0..24).map(|i| pool.submit(move |_| i)).collect();
+        for h in handles {
+            h.wait();
+        }
+        assert_eq!(reg.counter("mw.pool.jobs_submitted").get(), 24);
+        let per_worker: u64 = (0..3)
+            .map(|w| reg.counter(&format!("mw.pool.worker{w}.jobs")).get())
+            .sum();
+        assert_eq!(per_worker, 24);
+        assert!(reg.gauge("mw.pool.queue_depth_hwm").max() >= 1);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn idle_time_accrues_while_waiting() {
+        let pool = MwPool::new(1);
+        pool.call(|_| ());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        pool.call(|_| ());
+        let idle = pool.idle_seconds();
+        assert!(
+            idle[0] >= 0.015,
+            "worker should have idled ~20ms, got {}s",
+            idle[0]
+        );
+        assert_eq!(pool.queue_depth(), 0);
     }
 
     #[test]

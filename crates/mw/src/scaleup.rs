@@ -6,11 +6,11 @@
 use crate::alloc::Allocation;
 use crate::task::{MwDriver, MwTask, WorkerCtx};
 use noisy_simplex::geometry::{centroid_excluding, contract, expand, order, reflect};
+use std::time::Instant;
 use stoch_eval::functions::Rosenbrock;
 use stoch_eval::objective::{Objective, SampleStream};
 use stoch_eval::rng::child_seed;
 use stoch_eval::sampler::GaussianStream;
-use std::time::Instant;
 
 /// Evaluate the noisy Rosenbrock at a point: the task shipped to a worker.
 ///
@@ -87,8 +87,28 @@ pub fn scaleup_rosenbrock(
     tol: f64,
     seed: u64,
 ) -> ScaleupResult {
+    scaleup_rosenbrock_with_metrics(d, ns, sigma0, eval_dt, max_steps, tol, seed, None)
+}
+
+/// [`scaleup_rosenbrock`] with optional run accounting: when `registry` is
+/// given, the worker pool records its job, busy/idle and queue-depth
+/// tallies into it (`mw.pool.*` metrics).
+#[allow(clippy::too_many_arguments)]
+pub fn scaleup_rosenbrock_with_metrics(
+    d: usize,
+    ns: usize,
+    sigma0: f64,
+    eval_dt: f64,
+    max_steps: u64,
+    tol: f64,
+    seed: u64,
+    registry: Option<&obs::MetricsRegistry>,
+) -> ScaleupResult {
     let alloc = Allocation::new(d, ns);
-    let driver = MwDriver::new(alloc.workers(), ns);
+    let driver = match registry {
+        Some(reg) => MwDriver::with_metrics(alloc.workers(), ns, reg),
+        None => MwDriver::new(alloc.workers(), ns),
+    };
     let mut next_seed = seed;
     let mut seed_gen = move || {
         next_seed = next_seed.wrapping_add(1);
@@ -186,7 +206,11 @@ pub fn scaleup_rosenbrock(
         alloc,
         steps,
         total_wall_secs: total,
-        secs_per_step: if steps > 0 { total / steps as f64 } else { f64::NAN },
+        secs_per_step: if steps > 0 {
+            total / steps as f64
+        } else {
+            f64::NAN
+        },
         trace,
     }
 }
@@ -203,6 +227,21 @@ mod tests {
         let first = res.trace.first().unwrap().best_value;
         let last = res.trace.last().unwrap().best_value;
         assert!(last < first, "no descent: {first} -> {last}");
+    }
+
+    #[test]
+    fn scaleup_with_metrics_counts_dispatched_jobs() {
+        let reg = obs::MetricsRegistry::new();
+        let res = scaleup_rosenbrock_with_metrics(5, 1, 0.1, 1.0, 20, 0.0, 3, Some(&reg));
+        assert!(res.steps > 0);
+        // d+1 initial vertex evaluations, then at least one dispatch
+        // (the reflection) per simplex step.
+        let jobs = reg.counter("mw.pool.jobs_submitted").get();
+        assert!(
+            jobs >= res.steps + 6,
+            "only {jobs} jobs for {} steps",
+            res.steps
+        );
     }
 
     #[test]

@@ -40,7 +40,10 @@ impl WorkerCtx {
                     scope.spawn(move || shard(i))
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("client panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client panicked"))
+                .collect()
         })
     }
 }
@@ -68,6 +71,19 @@ impl MwDriver {
     pub fn new(n_workers: usize, ns_clients: usize) -> Self {
         MwDriver {
             pool: MwPool::new(n_workers),
+            ns_clients,
+        }
+    }
+
+    /// Like [`new`](Self::new), with the pool recording its activity
+    /// (jobs, busy/idle time, queue depth) into `registry`.
+    pub fn with_metrics(
+        n_workers: usize,
+        ns_clients: usize,
+        registry: &obs::MetricsRegistry,
+    ) -> Self {
+        MwDriver {
+            pool: MwPool::with_metrics(n_workers, registry),
             ns_clients,
         }
     }

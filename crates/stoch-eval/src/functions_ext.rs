@@ -223,7 +223,7 @@ mod tests {
         let g = Griewank::new(2);
         assert_min(&g);
         // The cosine product creates local minima near multiples of pi*sqrt(i).
-        assert!(g.value(&[3.14, 0.0]) > g.value(&[0.0, 0.0]));
+        assert!(g.value(&[std::f64::consts::PI, 0.0]) > g.value(&[0.0, 0.0]));
         assert!(g.value(&[100.0, 0.0]) > 2.0);
     }
 
@@ -249,6 +249,8 @@ mod tests {
         assert_eq!(q.curvature(0), 1.0);
         assert!((q.curvature(3) - 1000.0).abs() < 1e-9);
         // The last axis is 1000x steeper than the first.
-        assert!((q.value(&[0.0, 0.0, 0.0, 1.0]) / q.value(&[1.0, 0.0, 0.0, 0.0]) - 1000.0).abs() < 1e-6);
+        assert!(
+            (q.value(&[0.0, 0.0, 0.0, 1.0]) / q.value(&[1.0, 0.0, 0.0, 0.0]) - 1000.0).abs() < 1e-6
+        );
     }
 }

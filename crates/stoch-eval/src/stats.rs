@@ -67,8 +67,7 @@ impl Welford {
         let n = self.n + other.n;
         let delta = other.mean - self.mean;
         let mean = self.mean + delta * other.n as f64 / n as f64;
-        let m2 =
-            self.m2 + other.m2 + delta * delta * self.n as f64 * other.n as f64 / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * self.n as f64 * other.n as f64 / n as f64;
         Welford { n, mean, m2 }
     }
 }
@@ -428,7 +427,9 @@ mod tests {
         let b = vec![1.0; 12];
         let c = PairedComparison::new(&a, &b, 1e-12, 0.25);
         assert!(c.sign_test_p(0.25) < 0.001);
-        let even: Vec<f64> = (0..12).map(|i| if i % 2 == 0 { 1e-6 } else { 1e6 }).collect();
+        let even: Vec<f64> = (0..12)
+            .map(|i| if i % 2 == 0 { 1e-6 } else { 1e6 })
+            .collect();
         let c2 = PairedComparison::new(&even, &b, 1e-12, 0.25);
         assert!(c2.sign_test_p(0.25) > 0.5);
     }

@@ -42,10 +42,17 @@ pub fn block_analysis(series: &[f64]) -> Option<BlockAnalysis> {
     let (mean, naive, _) = stats(series);
 
     let mut levels = Vec::new();
+    let mut trusted = Vec::new();
     let mut current: Vec<f64> = series.to_vec();
     loop {
         let (_, se, n) = stats(&current);
         levels.push(se);
+        // Levels with few blocks have enormous variance in their own error
+        // estimate (relative error ~ 1/sqrt(2(n-1))); only levels with a
+        // healthy block count participate in the plateau estimate.
+        if n >= 32 {
+            trusted.push(se);
+        }
         if n < 8 {
             break;
         }
@@ -56,9 +63,15 @@ pub fn block_analysis(series: &[f64]) -> Option<BlockAnalysis> {
             .collect();
     }
 
-    // Plateau estimate: the maximum apparent error across levels is a
-    // robust choice when the plateau is noisy (standard practice).
-    let plateau = levels.iter().cloned().fold(0.0f64, f64::max);
+    // Plateau estimate: the maximum apparent error across trusted levels is
+    // a robust choice when the plateau is noisy (standard practice). Short
+    // series have no trusted coarse level; fall back to all levels.
+    let pool = if trusted.is_empty() {
+        &levels
+    } else {
+        &trusted
+    };
+    let plateau = pool.iter().cloned().fold(0.0f64, f64::max);
     let ineff = if naive > 0.0 {
         (plateau / naive) * (plateau / naive)
     } else {

@@ -79,8 +79,7 @@ pub fn compute_forces(sys: &System, rc: f64) -> Forces {
                 let inv_r2 = 1.0 / r2;
                 let inv_r6 = inv_r2 * inv_r2 * inv_r2;
                 let inv_r12 = inv_r6 * inv_r6;
-                potential +=
-                    lj_a * inv_r12 - lj_b * inv_r6 - lj_e_rc + (r - rc) * lj_f_rc;
+                potential += lj_a * inv_r12 - lj_b * inv_r6 - lj_e_rc + (r - rc) * lj_f_rc;
                 let fr = (12.0 * lj_a * inv_r12 - 6.0 * lj_b * inv_r6) / r;
                 let fv = d_oo * ((fr - lj_f_rc) / r);
                 f4[i][0] += fv;
@@ -98,11 +97,7 @@ pub fn compute_forces(sys: &System, rc: f64) -> Forces {
             // Shifted-force Coulomb between charge sites (H1, H2, M) x (...),
             // included per site pair (Wolf-style), so nothing jumps when the
             // O–O distance crosses rc.
-            let sites_i = [
-                sys.molecules[i].r[1],
-                sys.molecules[i].r[2],
-                msites[i],
-            ];
+            let sites_i = [sys.molecules[i].r[1], sys.molecules[i].r[2], msites[i]];
             let sites_j = [
                 sys.molecules[j].r[1] + shift,
                 sys.molecules[j].r[2] + shift,
@@ -207,7 +202,9 @@ mod tests {
         let sys = dimer(model, sep, 100.0);
         let f = compute_forces(&sys, rc);
         let lj = |r: f64| 4.0 * 0.2 * ((3.0f64 / r).powi(12) - (3.0f64 / r).powi(6));
-        let ljf = |r: f64| 4.0 * 0.2 * (12.0 * 3.0f64.powi(12) / r.powi(13) - 6.0 * 3.0f64.powi(6) / r.powi(7));
+        let ljf = |r: f64| {
+            4.0 * 0.2 * (12.0 * 3.0f64.powi(12) / r.powi(13) - 6.0 * 3.0f64.powi(6) / r.powi(7))
+        };
         let expected = lj(sep) - lj(rc) + (sep - rc) * ljf(rc);
         assert!(
             (f.potential - expected).abs() < 1e-10,
@@ -223,8 +220,16 @@ mod tests {
         let rc = 6.0;
         let eps = 1e-4;
         let just_in = compute_forces(&dimer(model, rc - eps, 100.0), rc);
-        assert!(just_in.potential.abs() < 1e-6, "E(rc-) = {}", just_in.potential);
-        assert!(just_in.f[0][0].norm() < 1e-4, "F(rc-) = {}", just_in.f[0][0].norm());
+        assert!(
+            just_in.potential.abs() < 1e-6,
+            "E(rc-) = {}",
+            just_in.potential
+        );
+        assert!(
+            just_in.f[0][0].norm() < 1e-4,
+            "F(rc-) = {}",
+            just_in.f[0][0].norm()
+        );
     }
 
     #[test]

@@ -29,7 +29,12 @@ impl Experiment {
             r,
             2.55,
             0.07,
-            &[(2.73, 1.85, 0.13), (3.45, -0.38, 0.40), (4.50, 0.18, 0.45), (6.7, 0.06, 0.6)],
+            &[
+                (2.73, 1.85, 0.13),
+                (3.45, -0.38, 0.40),
+                (4.50, 0.18, 0.45),
+                (6.7, 0.06, 0.6),
+            ],
         )
     }
 
@@ -40,7 +45,12 @@ impl Experiment {
             r,
             1.55,
             0.06,
-            &[(1.85, 0.6, 0.13), (2.45, -0.55, 0.30), (3.30, 0.5, 0.35), (5.0, -0.1, 0.6)],
+            &[
+                (1.85, 0.6, 0.13),
+                (2.45, -0.55, 0.30),
+                (3.30, 0.5, 0.35),
+                (5.0, -0.1, 0.6),
+            ],
         )
     }
 

@@ -73,8 +73,7 @@ impl PropertyEngine for SurrogateWater {
         let mut p = [0.0; 6];
 
         // Diffusion: slower with stronger hydrogen bonds / deeper wells.
-        p[prop::D] =
-            (Tip4pPublished::D - 14.0 * z - 0.6 * x + 4.0 * y + 30.0 * z * z).max(0.05);
+        p[prop::D] = (Tip4pPublished::D - 14.0 * z - 0.6 * x + 4.0 * y + 30.0 * z * z).max(0.05);
 
         // RDF residuals (vs experiment): TIP4P's small published-scale
         // residuals at the origin, growing quadratically as structure
@@ -85,13 +84,13 @@ impl PropertyEngine for SurrogateWater {
 
         // Pressure: dominated by σ at fixed density (steep), softened by
         // attraction (ε, q).
-        p[prop::P] = Tip4pPublished::P + 30_000.0 * y - 2_000.0 * x - 4_000.0 * z
-            + 120_000.0 * y * y;
+        p[prop::P] =
+            Tip4pPublished::P + 30_000.0 * y - 2_000.0 * x - 4_000.0 * z + 120_000.0 * y * y;
 
         // Internal energy: electrostatics ∝ q², LJ well ∝ ε, looser packing
         // (σ up) weakens binding.
-        p[prop::U] = Tip4pPublished::U - 70.0 * z - 6.5 * x + 55.0 * y + 90.0 * z * z
-            + 60.0 * y * y;
+        p[prop::U] =
+            Tip4pPublished::U - 70.0 * z - 6.5 * x + 55.0 * y + 90.0 * z * z + 60.0 * y * y;
 
         p
     }
@@ -143,8 +142,7 @@ mod tests {
         let mut max_dev = 0.0f64;
         for i in 0..100 {
             let r = 2.0 + i as f64 * 0.07;
-            let dev =
-                (SurrogateWater.g_oo_curve(&TIP4P_PARAMS, r) - Experiment::g_oo(r)).abs();
+            let dev = (SurrogateWater.g_oo_curve(&TIP4P_PARAMS, r) - Experiment::g_oo(r)).abs();
             max_dev = max_dev.max(dev);
         }
         assert!(max_dev < 0.05, "max deviation {max_dev}");

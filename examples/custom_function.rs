@@ -42,7 +42,10 @@ fn main() {
         ("MN", SimplexMethod::Mn(MaxNoise::with_k(2.0))),
         ("PC", SimplexMethod::Pc(PointComparison::new())),
         ("PC+MN", SimplexMethod::PcMn(PcMn::new())),
-        ("Anderson", SimplexMethod::Anderson(AndersonNm::with_k1(1024.0))),
+        (
+            "Anderson",
+            SimplexMethod::Anderson(AndersonNm::with_k1(1024.0)),
+        ),
     ];
     for (name, m) in simplexes {
         let init = init::random_uniform(2, -8.0, 8.0, 3);
@@ -53,13 +56,8 @@ fn main() {
     // Extension baselines on the same substrate.
     let spsa = Spsa::default().run(&objective, vec![-5.0, 5.0], term, TimeMode::Parallel, 5);
     report("SPSA", &truth, &spsa.best_point, spsa.iterations);
-    let sa = SimulatedAnnealing::default().run(
-        &objective,
-        vec![-5.0, 5.0],
-        term,
-        TimeMode::Parallel,
-        5,
-    );
+    let sa =
+        SimulatedAnnealing::default().run(&objective, vec![-5.0, 5.0], term, TimeMode::Parallel, 5);
     report("SA", &truth, &sa.best_point, sa.iterations);
     let rs = RandomSearch::new(-8.0, 8.0).run(&objective, term, TimeMode::Parallel, 5);
     report("random", &truth, &rs.best_point, rs.iterations);

@@ -11,7 +11,10 @@ use mw_framework::Allocation;
 
 fn main() {
     println!("MW processor allocation (Table 3.3, Ns = 1):");
-    println!("{:>5} {:>8} {:>8} {:>8} {:>7}", "d", "workers", "servers", "clients", "total");
+    println!(
+        "{:>5} {:>8} {:>8} {:>8} {:>7}",
+        "d", "workers", "servers", "clients", "total"
+    );
     for d in [20usize, 50, 100] {
         let a = Allocation::new(d, 1);
         println!(

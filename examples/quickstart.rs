@@ -35,8 +35,7 @@ fn main() {
         result.best_point[0], result.best_point[1], result.best_point[2]
     );
     println!("observed f:  {:.4}", result.best_observed);
-    let true_f =
-        stoch_eval::objective::Objective::value(&Rosenbrock::new(3), &result.best_point);
+    let true_f = stoch_eval::objective::Objective::value(&Rosenbrock::new(3), &result.best_point);
     println!("true f:      {true_f:.4}");
 
     // For contrast: the classic deterministic simplex on the same problem.
@@ -52,7 +51,6 @@ fn main() {
         TimeMode::Parallel,
         7,
     );
-    let det_f =
-        stoch_eval::objective::Objective::value(&Rosenbrock::new(3), &det.best_point);
+    let det_f = stoch_eval::objective::Objective::value(&Rosenbrock::new(3), &det.best_point);
     println!("\nDET on the same problem reaches true f = {det_f:.4} — noise misleads it.");
 }

@@ -27,8 +27,13 @@ fn main() {
 
     println!("initial vertices (eps, sigma, qH):");
     for v in &init {
-        println!("  ({:.4}, {:.3}, {:.3})  cost {:.3}", v[0], v[1], v[2],
-            objective.true_cost(&[v[0], v[1], v[2]]));
+        println!(
+            "  ({:.4}, {:.3}, {:.3})  cost {:.3}",
+            v[0],
+            v[1],
+            v[2],
+            objective.true_cost(&[v[0], v[1], v[2]])
+        );
     }
     println!(
         "published TIP4P cost: {:.4}\n",

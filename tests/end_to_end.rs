@@ -29,7 +29,13 @@ fn all_five_methods_solve_the_noise_free_sphere() {
     ];
     for (i, m) in methods.iter().enumerate() {
         let init = init::random_uniform(3, -4.0, 4.0, 50 + i as u64);
-        let res = m.run(&obj, init, Termination::tolerance(1e-12), TimeMode::Parallel, i as u64);
+        let res = m.run(
+            &obj,
+            init,
+            Termination::tolerance(1e-12),
+            TimeMode::Parallel,
+            i as u64,
+        );
         let f = sphere.value(&res.best_point);
         assert!(f < 1e-6, "{} reached only f = {f}", m.name());
     }
@@ -170,11 +176,15 @@ fn anderson_small_k1_is_not_more_accurate_than_large() {
     for i in 0..5u64 {
         let init = init::random_uniform(3, -6.0, 3.0, 400 + i);
         let s = AndersonNm::with_k1(1.0).run(&obj, init.clone(), term(5e4), TimeMode::Parallel, i);
-        let l = AndersonNm::with_k1(2f64.powi(20)).run(&obj, init, term(5e4), TimeMode::Parallel, i);
+        let l =
+            AndersonNm::with_k1(2f64.powi(20)).run(&obj, init, term(5e4), TimeMode::Parallel, i);
         small_log += rosen.value(&s.best_point).max(1e-12).log10();
         large_log += rosen.value(&l.best_point).max(1e-12).log10();
     }
-    assert!(small_log >= large_log - 1.0, "small {small_log} vs large {large_log}");
+    assert!(
+        small_log >= large_log - 1.0,
+        "small {small_log} vs large {large_log}"
+    );
 }
 
 #[test]

@@ -10,10 +10,7 @@ use stoch_eval::sampler::GaussianStream;
 use stoch_eval::stats::{quantile, Histogram, Welford};
 
 fn small_points(d: usize, n: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
-    proptest::collection::vec(
-        proptest::collection::vec(-100.0f64..100.0, d..=d),
-        n..=n,
-    )
+    proptest::collection::vec(proptest::collection::vec(-100.0f64..100.0, d..=d), n..=n)
 }
 
 proptest! {

@@ -44,10 +44,7 @@ fn mw_runs_are_reproducible_despite_threading() {
     // the streams completely: two identical deployments must agree exactly.
     let run = || {
         let pool = Arc::new(MwPool::new(4));
-        let obj = MwObjective::new(
-            Noisy::new(Rosenbrock::new(3), ConstantNoise(50.0)),
-            pool,
-        );
+        let obj = MwObjective::new(Noisy::new(Rosenbrock::new(3), ConstantNoise(50.0)), pool);
         let init = init::random_uniform(3, -6.0, 3.0, 9);
         MaxNoise::with_k(2.0).run(
             &obj,
@@ -193,8 +190,5 @@ fn mw_objective_reports_true_values() {
     let obj = MwObjective::new(inner, pool);
     use stoch_eval::objective::StochasticObjective;
     let x = [0.3, 0.7];
-    assert_eq!(
-        obj.true_value(&x),
-        Some(Rosenbrock::new(2).value(&x))
-    );
+    assert_eq!(obj.true_value(&x), Some(Rosenbrock::new(2).value(&x)));
 }

@@ -4,7 +4,7 @@
 
 use noisy_simplex::prelude::*;
 use stoch_eval::objective::{SampleStream, StochasticObjective};
-use water_md::cost::{MdWaterObjective, CostWeights, WaterObjective};
+use water_md::cost::{CostWeights, MdWaterObjective, WaterObjective};
 use water_md::reference::{paper_final_params, INITIAL_VERTICES};
 use water_md::simulate::MdConfig;
 use water_md::surrogate::SurrogateWater;
@@ -58,13 +58,8 @@ fn optimizers_land_near_tip4p_and_beat_its_cost() {
 fn diffusion_improves_towards_experiment() {
     // Paper: D improves from TIP4P's 3.29 to ~3.0-3.1 (experiment 2.27).
     let obj = WaterObjective::new(SurrogateWater);
-    let res = SimplexMethod::Mn(MaxNoise::with_k(2.0)).run(
-        &obj,
-        init4(),
-        term(),
-        TimeMode::Parallel,
-        11,
-    );
+    let res =
+        SimplexMethod::Mn(MaxNoise::with_k(2.0)).run(&obj, init4(), term(), TimeMode::Parallel, 11);
     let p = obj.true_properties(&[res.best_point[0], res.best_point[1], res.best_point[2]]);
     let d = p[water_md::surrogate::prop::D];
     assert!(
@@ -124,20 +119,14 @@ fn goo_curve_improves_over_the_optimization() {
     // Fig 3.20 shape: the RMS distance of the model gOO to experiment
     // shrinks from the initial vertices to the optimized model.
     let obj = WaterObjective::new(SurrogateWater);
-    let res = SimplexMethod::Mn(MaxNoise::with_k(2.0)).run(
-        &obj,
-        init4(),
-        term(),
-        TimeMode::Parallel,
-        11,
-    );
+    let res =
+        SimplexMethod::Mn(MaxNoise::with_k(2.0)).run(&obj, init4(), term(), TimeMode::Parallel, 11);
     let rms = |p: [f64; 3]| -> f64 {
         let mut ss = 0.0;
         let n = 80;
         for i in 0..n {
             let r = 2.2 + i as f64 * 0.07;
-            let d = SurrogateWater.g_oo_curve(&p, r)
-                - water_md::reference::Experiment::g_oo(r);
+            let d = SurrogateWater.g_oo_curve(&p, r) - water_md::reference::Experiment::g_oo(r);
             ss += d * d;
         }
         (ss / n as f64).sqrt()
