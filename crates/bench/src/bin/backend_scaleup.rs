@@ -1,0 +1,157 @@
+//! Wall-clock scale-up of the sampling backends (DESIGN.md §8).
+//!
+//! Runs MN on noisy Rosenbrock at d = 20 and d = 50 with identical seeds
+//! under the `Serial` and `Threaded` backends, checks the results are
+//! bit-identical (the backend determinism contract), and reports the
+//! wall-clock speedup. Writes `BENCH_backend.json`.
+//!
+//! Speedup is only expected on machines with several hardware threads; the
+//! JSON records `hardware_threads` so downstream tooling can judge the
+//! numbers in context.
+//!
+//! ```text
+//! cargo run --release --bin backend_scaleup -- [--smoke] [--out <path>]
+//! ```
+
+use mw_framework::backend::default_workers;
+use noisy_simplex::prelude::*;
+use repro_bench::{apply_smoke_defaults, iteration_cap_or, time_budget_or};
+use std::time::Instant;
+use stoch_eval::functions::Rosenbrock;
+use stoch_eval::noise::ConstantNoise;
+use stoch_eval::sampler::Noisy;
+
+struct Case {
+    d: usize,
+    serial_secs: f64,
+    threaded_secs: f64,
+    identical: bool,
+    iterations: u64,
+    total_sampling: f64,
+}
+
+impl Case {
+    fn speedup(&self) -> f64 {
+        self.serial_secs / self.threaded_secs.max(1e-12)
+    }
+}
+
+fn run_once(d: usize, backend: BackendChoice) -> RunResult {
+    // Empirical streams so each extension performs real per-sample compute
+    // (ceil(dt / dt_sample) Gaussian draws) — that is the work the threaded
+    // backend fans out.
+    let obj = Noisy::empirical(Rosenbrock::new(d), ConstantNoise(5.0), 0.02);
+    let mut mn = MaxNoise::with_k(2.0);
+    mn.cfg.backend = backend;
+    let term = Termination {
+        tolerance: Some(1e-8),
+        max_time: Some(time_budget_or(20_000.0)),
+        max_iterations: Some(iteration_cap_or(2_000)),
+    };
+    let init = init::random_uniform(d, -2.0, 2.0, 1_000 + d as u64);
+    mn.run(&obj, init, term, TimeMode::Parallel, 9_000 + d as u64)
+}
+
+fn same_result(a: &RunResult, b: &RunResult) -> bool {
+    a.best_point == b.best_point
+        && a.best_observed == b.best_observed
+        && a.iterations == b.iterations
+        && a.elapsed == b.elapsed
+        && a.total_sampling == b.total_sampling
+        && a.stop == b.stop
+        && a.trace.points().len() == b.trace.points().len()
+}
+
+fn main() {
+    let mut out = std::path::PathBuf::from("BENCH_backend.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => apply_smoke_defaults(),
+            "--out" => match args.next() {
+                Some(p) => out = p.into(),
+                None => {
+                    eprintln!("error: --out requires a path argument");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                eprintln!("usage: backend_scaleup [--smoke] [--out <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let hardware_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let workers = default_workers();
+    println!("backend scale-up: MN on noisy Rosenbrock (empirical streams)");
+    println!("hardware threads: {hardware_threads}, threaded workers: {workers}");
+    println!("d,serial_secs,threaded_secs,speedup,identical,iterations");
+
+    let mut cases = Vec::new();
+    for d in [20, 50] {
+        let t0 = Instant::now();
+        let serial = run_once(d, BackendChoice::Serial);
+        let serial_secs = t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        let threaded = run_once(d, BackendChoice::Threaded { workers: 0 });
+        let threaded_secs = t1.elapsed().as_secs_f64();
+
+        let case = Case {
+            d,
+            serial_secs,
+            threaded_secs,
+            identical: same_result(&serial, &threaded),
+            iterations: serial.iterations,
+            total_sampling: serial.total_sampling,
+        };
+        println!(
+            "{},{:.3},{:.3},{:.2},{},{}",
+            case.d,
+            case.serial_secs,
+            case.threaded_secs,
+            case.speedup(),
+            case.identical,
+            case.iterations
+        );
+        cases.push(case);
+    }
+
+    let body = render_json(hardware_threads, workers, &cases);
+    if let Err(e) = std::fs::write(&out, &body) {
+        eprintln!("error: cannot write {}: {e}", out.display());
+        std::process::exit(1);
+    }
+    println!("written to {}", out.display());
+
+    if cases.iter().any(|c| !c.identical) {
+        eprintln!("error: serial and threaded backends disagreed — determinism contract broken");
+        std::process::exit(1);
+    }
+}
+
+fn render_json(hardware_threads: usize, workers: usize, cases: &[Case]) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"hardware_threads\": {hardware_threads},\n"));
+    s.push_str(&format!("  \"workers\": {workers},\n"));
+    s.push_str("  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"d\": {}, \"serial_secs\": {:.6}, \"threaded_secs\": {:.6}, \
+             \"speedup\": {:.4}, \"identical\": {}, \"iterations\": {}, \
+             \"total_sampling\": {:.3}}}{}\n",
+            c.d,
+            c.serial_secs,
+            c.threaded_secs,
+            c.speedup(),
+            c.identical,
+            c.iterations,
+            c.total_sampling,
+            if i + 1 < cases.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

@@ -6,7 +6,7 @@
 //! more steps and time to converge, with only a minor per-step overhead
 //! growth (its I/O; our dispatch + O(d²) geometry).
 
-use mw_framework::scaleup::scaleup_rosenbrock_with_metrics;
+use repro_bench::scaleup::scaleup_rosenbrock_with_metrics;
 use repro_bench::{csv_row, harness_args};
 
 fn main() {

@@ -11,6 +11,9 @@
 //! * `--metrics-out <path>` — write the run-accounting registry (JSON, or
 //!   CSV if the path ends in `.csv`) after the exhibit finishes. Only the
 //!   binaries that thread a registry through their runs accept this.
+//! * `--backend <serial|threaded|threaded:N>` — which sampling backend the
+//!   algorithms use (sets `NSX_BACKEND`, so it applies to every run in the
+//!   process; results are identical either way, see DESIGN.md §8).
 //!
 //! Knobs via environment variables:
 //!
@@ -22,6 +25,8 @@
 //!   (`fig_3_18`).
 
 #![warn(missing_docs)]
+
+pub mod scaleup;
 
 use noisy_simplex::prelude::*;
 use obs::MetricsRegistry;
@@ -86,6 +91,9 @@ pub struct HarnessArgs {
     pub smoke: bool,
     /// `--metrics-out <path>`: where to write the metrics registry.
     pub metrics_out: Option<std::path::PathBuf>,
+    /// `--backend <choice>`: explicit sampling-backend selection (also
+    /// exported as `NSX_BACKEND` so `BackendChoice::default()` picks it up).
+    pub backend: Option<BackendChoice>,
 }
 
 impl HarnessArgs {
@@ -119,7 +127,9 @@ impl HarnessArgs {
 pub fn harness_args() -> HarnessArgs {
     parse_args(std::env::args().skip(1), true).unwrap_or_else(|e| {
         eprintln!("{e}");
-        eprintln!("usage: [--smoke] [--metrics-out <path>]");
+        eprintln!(
+            "usage: [--smoke] [--metrics-out <path>] [--backend <serial|threaded|threaded:N>]"
+        );
         std::process::exit(2);
     })
 }
@@ -129,7 +139,7 @@ pub fn harness_args() -> HarnessArgs {
 pub fn smoke_args() -> HarnessArgs {
     parse_args(std::env::args().skip(1), false).unwrap_or_else(|e| {
         eprintln!("{e}");
-        eprintln!("usage: [--smoke]");
+        eprintln!("usage: [--smoke] [--backend <serial|threaded|threaded:N>]");
         std::process::exit(2);
     })
 }
@@ -159,19 +169,46 @@ fn parse_args(
                 }
                 parsed.metrics_out = Some(path.into());
             }
+            "--backend" => {
+                let sel = args
+                    .next()
+                    .ok_or("error: --backend requires a selection argument")?;
+                parsed.backend = Some(parse_backend(&sel)?);
+            }
+            other if other.starts_with("--backend=") => {
+                parsed.backend = Some(parse_backend(&other["--backend=".len()..])?);
+            }
             other => return Err(format!("error: unknown argument `{other}`")),
         }
     }
     if parsed.smoke {
         apply_smoke_defaults();
     }
+    if let Some(choice) = parsed.backend {
+        // Export so every BackendChoice::default() in the process — engine
+        // configs, baselines, PSO — picks the same selection up.
+        std::env::set_var(
+            "NSX_BACKEND",
+            match choice {
+                BackendChoice::Serial => "serial".to_string(),
+                BackendChoice::Threaded { workers: 0 } => "threaded".to_string(),
+                BackendChoice::Threaded { workers } => format!("threaded:{workers}"),
+            },
+        );
+    }
     Ok(parsed)
+}
+
+fn parse_backend(sel: &str) -> Result<BackendChoice, String> {
+    BackendChoice::parse(sel).ok_or_else(|| {
+        format!("error: unknown backend `{sel}` (expected serial, threaded, or threaded:<N>)")
+    })
 }
 
 /// Shrink every budget knob to CI-smoke size. Explicit env settings win:
 /// only unset variables are defaulted, so `REPRO_TIME=500 bin --smoke`
 /// keeps the caller's 500.
-fn apply_smoke_defaults() {
+pub fn apply_smoke_defaults() {
     for (var, small) in [
         ("REPRO_TIME", "2000"),
         ("REPRO_REPLICATES", "4"),
@@ -323,6 +360,21 @@ mod tests {
     }
 
     #[test]
+    fn parse_backend_selection() {
+        // Only `serial` here: parsing a selection exports NSX_BACKEND for
+        // the whole process, and tests share it. `serial` == the default.
+        let a = parse_args(args(&["--backend", "serial"]), false).unwrap();
+        assert_eq!(a.backend, Some(BackendChoice::Serial));
+        let b = parse_args(args(&["--backend=serial"]), true).unwrap();
+        assert_eq!(b.backend, Some(BackendChoice::Serial));
+        assert!(parse_args(args(&["--backend"]), false).is_err());
+        assert!(parse_args(args(&["--backend", "frobnicate"]), false).is_err());
+        assert!(parse_args(args(&["--backend=threaded:x"]), false).is_err());
+        // Rejected selections must not touch the environment.
+        assert!(parse_backend("warp-drive").is_err());
+    }
+
+    #[test]
     fn registry_exists_only_when_requested() {
         let none = HarnessArgs::default();
         assert!(none.registry().is_none());
@@ -334,6 +386,7 @@ mod tests {
         let some = HarnessArgs {
             smoke: false,
             metrics_out: Some(path.clone()),
+            backend: None,
         };
         let reg = some.registry().expect("registry expected");
         reg.counter("engine.rounds").add(3);

@@ -3,8 +3,8 @@
 //! hierarchy — one dispatched task per vertex evaluation, `Ns` client
 //! threads per task — measuring real wall-clock time per simplex step.
 
-use crate::alloc::Allocation;
-use crate::task::{MwDriver, MwTask, WorkerCtx};
+use mw_framework::alloc::Allocation;
+use mw_framework::task::{MwDriver, MwTask, WorkerCtx};
 use noisy_simplex::geometry::{centroid_excluding, contract, expand, order, reflect};
 use std::time::Instant;
 use stoch_eval::functions::Rosenbrock;

@@ -155,6 +155,7 @@ impl AndersonSearch {
         assert!(init.len() >= 2, "structure needs at least 2 points");
         let mut seeds = SeedSequence::new(seed);
         let mut clock = VirtualClock::new(mode);
+        let backend = self.cfg.backend.build::<F::Stream>();
         let policy = self.cfg.sampling;
         let mut level: i64 = 0;
         let mut trace = Trace::new();
@@ -201,14 +202,17 @@ impl AndersonSearch {
                 if rounds >= MAX_WAIT_ROUNDS {
                     return false;
                 }
-                clock.begin_round();
-                for s in streams.iter_mut() {
-                    let dt = policy.next_dt(s.estimate().time);
-                    s.extend(dt);
-                    clock.charge(dt);
-                    *total += dt;
-                }
-                clock.end_round();
+                let dts: Vec<f64> = streams
+                    .iter()
+                    .map(|s| policy.next_dt(s.estimate().time))
+                    .collect();
+                stoch_eval::backend::extend_all_round(
+                    backend.as_ref(),
+                    streams,
+                    &dts,
+                    clock,
+                    total,
+                );
                 rounds += 1;
             }
         };

@@ -10,18 +10,22 @@
 //! * [`SimulatedAnnealing`] — Metropolis search on noisy estimates (§1.3.3.4).
 //! * [`RandomSearch`] — uniform random sampling of the box, the null model.
 
+use crate::config::BackendChoice;
 use crate::result::RunResult;
 use crate::termination::Termination;
 use crate::trace::{StepKind, Trace, TracePoint};
 use rand::rngs::StdRng;
 use rand::Rng;
+use stoch_eval::backend::{eval_round, SamplingBackend};
 use stoch_eval::clock::{TimeMode, VirtualClock};
-use stoch_eval::objective::{SampleStream, StochasticObjective};
+use stoch_eval::objective::StochasticObjective;
 use stoch_eval::rng::{rng_from_seed, SeedSequence};
 use stoch_eval::sampler::standard_normal;
 
-/// Sample a point for a fixed duration and return the estimate value.
+/// Sample a point for a fixed duration (one single-stream backend round)
+/// and return the estimate value.
 fn quick_eval<F: StochasticObjective>(
+    backend: &dyn SamplingBackend<F::Stream>,
     objective: &F,
     x: &[f64],
     dt: f64,
@@ -29,11 +33,7 @@ fn quick_eval<F: StochasticObjective>(
     clock: &mut VirtualClock,
     total: &mut f64,
 ) -> f64 {
-    let mut s = objective.open(x, seeds.next_seed());
-    s.extend(dt);
-    clock.charge(dt);
-    *total += dt;
-    s.estimate().value
+    eval_round(backend, objective, &[x.to_vec()], dt, seeds, clock, total)[0]
 }
 
 /// Simultaneous-perturbation stochastic approximation (Spall 1992).
@@ -58,6 +58,8 @@ pub struct Spsa {
     /// Per-coordinate cap on one update step (gradient clipping); keeps
     /// untuned gains from diverging on steep valleys like Rosenbrock.
     pub max_step: f64,
+    /// Which backend executes the paired probe evaluations.
+    pub backend: BackendChoice,
 }
 
 impl Default for Spsa {
@@ -70,6 +72,7 @@ impl Default for Spsa {
             gamma: 0.101,
             eval_dt: 1.0,
             max_step: 0.5,
+            backend: BackendChoice::default(),
         }
     }
 }
@@ -89,6 +92,7 @@ impl Spsa {
         let mut seeds = SeedSequence::new(seed);
         let mut rng: StdRng = rng_from_seed(seeds.next_seed());
         let mut clock = VirtualClock::new(mode);
+        let backend = self.backend.build::<F::Stream>();
         let mut total = 0.0;
         let mut trace = Trace::new();
         let mut x = x0;
@@ -114,23 +118,17 @@ impl Spsa {
                 .zip(&delta)
                 .map(|(&xi, &di)| xi - ck * di)
                 .collect();
-            // The two probes run concurrently in parallel mode.
-            clock.begin_round();
-            let gp = {
-                let mut s = objective.open(&xp, seeds.next_seed());
-                s.extend(self.eval_dt);
-                clock.charge(self.eval_dt);
-                total += self.eval_dt;
-                s.estimate().value
-            };
-            let gm = {
-                let mut s = objective.open(&xm, seeds.next_seed());
-                s.extend(self.eval_dt);
-                clock.charge(self.eval_dt);
-                total += self.eval_dt;
-                s.estimate().value
-            };
-            clock.end_round();
+            // The two probes run concurrently: one backend round.
+            let probes = eval_round(
+                backend.as_ref(),
+                objective,
+                &[xp, xm],
+                self.eval_dt,
+                &mut seeds,
+                &mut clock,
+                &mut total,
+            );
+            let (gp, gm) = (probes[0], probes[1]);
             let diff = (gp - gm) / (2.0 * ck);
             for (xi, &di) in x.iter_mut().zip(&delta) {
                 let step = (ak * diff / di).clamp(-self.max_step, self.max_step);
@@ -149,6 +147,7 @@ impl Spsa {
         };
 
         let best_observed = quick_eval(
+            backend.as_ref(),
             objective,
             &x,
             self.eval_dt,
@@ -180,6 +179,8 @@ pub struct SimulatedAnnealing {
     pub step: f64,
     /// Sampling time per evaluation.
     pub eval_dt: f64,
+    /// Which backend executes the candidate evaluations.
+    pub backend: BackendChoice,
 }
 
 impl Default for SimulatedAnnealing {
@@ -189,6 +190,7 @@ impl Default for SimulatedAnnealing {
             cooling: 0.995,
             step: 0.5,
             eval_dt: 1.0,
+            backend: BackendChoice::default(),
         }
     }
 }
@@ -206,11 +208,13 @@ impl SimulatedAnnealing {
         let mut seeds = SeedSequence::new(seed);
         let mut rng: StdRng = rng_from_seed(seeds.next_seed());
         let mut clock = VirtualClock::new(mode);
+        let backend = self.backend.build::<F::Stream>();
         let mut total = 0.0;
         let mut trace = Trace::new();
 
         let mut x = x0;
         let mut gx = quick_eval(
+            backend.as_ref(),
             objective,
             &x,
             self.eval_dt,
@@ -231,6 +235,7 @@ impl SimulatedAnnealing {
                 .map(|&xi| xi + self.step * standard_normal(&mut rng))
                 .collect();
             let gc = quick_eval(
+                backend.as_ref(),
                 objective,
                 &cand,
                 self.eval_dt,
@@ -286,6 +291,8 @@ pub struct RandomSearch {
     pub hi: f64,
     /// Sampling time per evaluation.
     pub eval_dt: f64,
+    /// Which backend executes the candidate evaluations.
+    pub backend: BackendChoice,
 }
 
 impl RandomSearch {
@@ -295,6 +302,7 @@ impl RandomSearch {
             lo,
             hi,
             eval_dt: 1.0,
+            backend: BackendChoice::default(),
         }
     }
 
@@ -310,10 +318,12 @@ impl RandomSearch {
         let mut seeds = SeedSequence::new(seed);
         let mut rng: StdRng = rng_from_seed(seeds.next_seed());
         let mut clock = VirtualClock::new(mode);
+        let backend = self.backend.build::<F::Stream>();
         let mut total = 0.0;
         let mut trace = Trace::new();
         let mut best_x: Vec<f64> = (0..d).map(|_| rng.gen_range(self.lo..self.hi)).collect();
         let mut best_g = quick_eval(
+            backend.as_ref(),
             objective,
             &best_x,
             self.eval_dt,
@@ -329,6 +339,7 @@ impl RandomSearch {
             }
             let cand: Vec<f64> = (0..d).map(|_| rng.gen_range(self.lo..self.hi)).collect();
             let gc = quick_eval(
+                backend.as_ref(),
                 objective,
                 &cand,
                 self.eval_dt,

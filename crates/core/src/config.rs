@@ -1,6 +1,78 @@
-//! Shared configuration: sampling policy and per-algorithm parameter blocks.
+//! Shared configuration: sampling policy, sampling-backend selection, and
+//! per-algorithm parameter blocks.
 
 use crate::geometry::Coefficients;
+use mw_framework::backend::ThreadedBackend;
+use std::sync::Arc;
+use stoch_eval::backend::{SamplingBackend, SerialBackend};
+use stoch_eval::objective::SampleStream;
+
+/// Which [`SamplingBackend`] executes each sampling round (DESIGN.md §8).
+///
+/// `Serial` (the default) extends streams inline and is bit-identical to a
+/// threaded run — backends only change *where* the compute happens, never
+/// the results. `Threaded` fans each round over an MW worker pool.
+///
+/// The environment variable `NSX_BACKEND` overrides the default:
+/// `serial`, `threaded` (shared auto-sized pool), or `threaded:<N>`
+/// (dedicated pool of `N` workers). `NSX_WORKERS` sizes the shared pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendChoice {
+    /// Extend streams inline on the calling thread.
+    Serial,
+    /// Fan rounds over MW workers; `workers == 0` means the process-wide
+    /// shared pool sized by available hardware parallelism.
+    Threaded {
+        /// Dedicated pool size, or `0` for the shared auto-sized pool.
+        workers: usize,
+    },
+}
+
+impl Default for BackendChoice {
+    fn default() -> Self {
+        BackendChoice::from_env()
+    }
+}
+
+impl BackendChoice {
+    /// Read the `NSX_BACKEND` selection from the environment (`Serial`
+    /// when unset or unparseable).
+    pub fn from_env() -> Self {
+        std::env::var("NSX_BACKEND")
+            .ok()
+            .and_then(|s| Self::parse(&s))
+            .unwrap_or(BackendChoice::Serial)
+    }
+
+    /// Parse a selection string: `serial`, `threaded`, or `threaded:<N>`.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "serial" => Some(BackendChoice::Serial),
+            "threaded" => Some(BackendChoice::Threaded { workers: 0 }),
+            _ => s
+                .strip_prefix("threaded:")
+                .and_then(|n| n.parse().ok())
+                .map(|workers| BackendChoice::Threaded { workers }),
+        }
+    }
+
+    /// Instantiate the backend for a given stream type.
+    pub fn build<S: SampleStream + 'static>(&self) -> Arc<dyn SamplingBackend<S>> {
+        match *self {
+            BackendChoice::Serial => Arc::new(SerialBackend),
+            BackendChoice::Threaded { workers: 0 } => ThreadedBackend::shared(),
+            BackendChoice::Threaded { workers } => Arc::new(ThreadedBackend::new(workers)),
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BackendChoice::Serial => "serial",
+            BackendChoice::Threaded { .. } => "threaded",
+        }
+    }
+}
 
 /// How much additional virtual time to spend when a stream must be extended.
 ///
@@ -60,6 +132,9 @@ pub struct SimplexConfig {
     /// (§3.1). DET disables this to stay the classic one-shot-evaluation
     /// algorithm.
     pub continuous: bool,
+    /// Which backend executes each sampling round. Defaults from
+    /// `NSX_BACKEND` (serial when unset); results are identical either way.
+    pub backend: BackendChoice,
 }
 
 impl Default for SimplexConfig {
@@ -68,6 +143,7 @@ impl Default for SimplexConfig {
             coefficients: Coefficients::default(),
             sampling: SamplingPolicy::default(),
             continuous: true,
+            backend: BackendChoice::default(),
         }
     }
 }
@@ -226,6 +302,32 @@ mod tests {
     #[should_panic]
     fn pc_conditions_reject_out_of_range() {
         let _ = PcConditions::only(&[8]);
+    }
+
+    #[test]
+    fn backend_choice_parses_selections() {
+        assert_eq!(BackendChoice::parse("serial"), Some(BackendChoice::Serial));
+        assert_eq!(
+            BackendChoice::parse("threaded"),
+            Some(BackendChoice::Threaded { workers: 0 })
+        );
+        assert_eq!(
+            BackendChoice::parse("threaded:4"),
+            Some(BackendChoice::Threaded { workers: 4 })
+        );
+        assert_eq!(BackendChoice::parse("frobnicate"), None);
+        assert_eq!(BackendChoice::parse("threaded:x"), None);
+        assert_eq!(BackendChoice::Serial.label(), "serial");
+        assert_eq!(BackendChoice::Threaded { workers: 2 }.label(), "threaded");
+    }
+
+    #[test]
+    fn backend_choice_builds_named_backends() {
+        use stoch_eval::sampler::GaussianStream;
+        let s = BackendChoice::Serial.build::<GaussianStream>();
+        assert_eq!(s.name(), "serial");
+        let t = BackendChoice::Threaded { workers: 2 }.build::<GaussianStream>();
+        assert_eq!(t.name(), "threaded");
     }
 
     #[test]

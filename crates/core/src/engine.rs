@@ -17,6 +17,8 @@ use crate::metrics::EngineMetrics;
 use crate::result::RunResult;
 use crate::termination::{StopReason, Termination};
 use crate::trace::{StepKind, Trace, TracePoint};
+use std::sync::Arc;
+use stoch_eval::backend::{SamplingBackend, StreamJob};
 use stoch_eval::clock::{TimeMode, VirtualClock};
 use stoch_eval::objective::{Estimate, SampleStream, StochasticObjective};
 use stoch_eval::rng::SeedSequence;
@@ -24,9 +26,17 @@ use stoch_eval::rng::SeedSequence;
 /// Identifier of a slot (vertex or trial) inside the engine.
 pub type SlotId = usize;
 
+/// A vertex or trial slot. The stream is `None` only while a round is in
+/// flight on the backend (the jobs own the streams in transit).
 struct Slot<S> {
     x: Vec<f64>,
-    stream: S,
+    stream: Option<S>,
+}
+
+impl<S> Slot<S> {
+    fn stream(&self) -> &S {
+        self.stream.as_ref().expect("stream in flight")
+    }
 }
 
 /// Execution engine: simplex state + sampling + accounting.
@@ -36,6 +46,7 @@ pub struct Engine<'a, F: StochasticObjective> {
     term: Termination,
     slots: Vec<Slot<F::Stream>>,
     n_vertices: usize,
+    backend: Arc<dyn SamplingBackend<F::Stream>>,
     clock: VirtualClock,
     seeds: SeedSequence,
     trace: Trace,
@@ -72,15 +83,17 @@ impl<'a, F: StochasticObjective> Engine<'a, F> {
         let mut seeds = SeedSequence::new(seed);
         let mut slots = Vec::with_capacity(d + 3);
         for x in init {
-            let stream = objective.open(&x, seeds.next_seed());
+            let stream = Some(objective.open(&x, seeds.next_seed()));
             slots.push(Slot { x, stream });
         }
+        let backend = cfg.backend.build();
         let mut eng = Engine {
             objective,
             cfg,
             term,
             slots,
             n_vertices: d + 1,
+            backend,
             clock: VirtualClock::new(mode),
             seeds,
             trace: Trace::new(),
@@ -135,7 +148,12 @@ impl<'a, F: StochasticObjective> Engine<'a, F> {
 
     /// Current estimate at a slot.
     pub fn estimate(&self, id: SlotId) -> Estimate {
-        self.slots[id].stream.estimate()
+        self.slots[id].stream().estimate()
+    }
+
+    /// The sampling backend executing this engine's rounds.
+    pub fn backend(&self) -> &dyn SamplingBackend<F::Stream> {
+        self.backend.as_ref()
     }
 
     /// Estimates at all simplex vertices (ids `0..n_vertices`).
@@ -178,7 +196,7 @@ impl<'a, F: StochasticObjective> Engine<'a, F> {
             m.trials_opened.inc();
         }
         let seed = self.seeds.next_seed();
-        let stream = self.objective.open(&x, seed);
+        let stream = Some(self.objective.open(&x, seed));
         self.slots.push(Slot { x, stream });
         self.slots.len() - 1
     }
@@ -188,7 +206,8 @@ impl<'a, F: StochasticObjective> Engine<'a, F> {
         (self.n_vertices..self.slots.len()).collect()
     }
 
-    /// Extend sampling for one concurrent round.
+    /// Plan one concurrent round driven by the listed slots: which slots
+    /// extend, and by how much.
     ///
     /// The listed slots drive the round: its duration is the maximum of
     /// their policy-scheduled increments. In parallel mode with continuous
@@ -196,33 +215,48 @@ impl<'a, F: StochasticObjective> Engine<'a, F> {
     /// trial — samples for the full round window, because workers never sit
     /// idle while the master deliberates; the parallel-time cost is still
     /// one round. Otherwise only the listed slots extend.
-    pub fn extend_round(&mut self, ids: &[SlotId]) {
+    fn plan_round(&self, ids: &[SlotId]) -> Vec<(SlotId, f64)> {
         if ids.is_empty() {
-            return;
+            return Vec::new();
         }
-        let sampled_before = self.total_sampling;
         let policy = self.cfg.sampling;
-        let piggyback =
-            self.cfg.continuous && self.clock.mode() == stoch_eval::clock::TimeMode::Parallel;
-        self.clock.begin_round();
+        let piggyback = self.cfg.continuous && self.clock.mode() == TimeMode::Parallel;
         if piggyback {
             let dt_round = ids
                 .iter()
-                .map(|&id| policy.next_dt(self.slots[id].stream.estimate().time))
+                .map(|&id| policy.next_dt(self.estimate(id).time))
                 .fold(0.0f64, f64::max);
-            for slot in &mut self.slots {
-                slot.stream.extend(dt_round);
-                self.clock.charge(dt_round);
-                self.total_sampling += dt_round;
-            }
+            (0..self.slots.len()).map(|id| (id, dt_round)).collect()
         } else {
-            for &id in ids {
-                let t = self.slots[id].stream.estimate().time;
-                let dt = policy.next_dt(t);
-                self.slots[id].stream.extend(dt);
-                self.clock.charge(dt);
-                self.total_sampling += dt;
-            }
+            ids.iter()
+                .map(|&id| (id, policy.next_dt(self.estimate(id).time)))
+                .collect()
+        }
+    }
+
+    /// Execute a planned round on the backend: streams move into jobs, the
+    /// batch runs (possibly on worker threads), and the returned streams are
+    /// restored with clock/total-sampling charges applied in submission
+    /// order — the fixed order that keeps accounting bit-identical across
+    /// backends.
+    fn dispatch(&mut self, plan: Vec<(SlotId, f64)>) {
+        if plan.is_empty() {
+            return;
+        }
+        let sampled_before = self.total_sampling;
+        let jobs: Vec<StreamJob<F::Stream>> = plan
+            .iter()
+            .map(|&(slot, dt)| StreamJob {
+                slot,
+                dt,
+                stream: self.slots[slot].stream.take().expect("stream in flight"),
+            })
+            .collect();
+        self.clock.begin_round();
+        for job in self.backend.extend_batch(jobs) {
+            self.clock.charge(job.dt);
+            self.total_sampling += job.dt;
+            self.slots[job.slot].stream = Some(job.stream);
         }
         self.clock.end_round();
         if let Some(m) = &self.metrics {
@@ -231,18 +265,44 @@ impl<'a, F: StochasticObjective> Engine<'a, F> {
         }
     }
 
+    /// Extend sampling for one concurrent round (see [`Engine::plan_round`]
+    /// for which slots extend and by how much).
+    pub fn extend_round(&mut self, ids: &[SlotId]) {
+        let plan = self.plan_round(ids);
+        self.dispatch(plan);
+    }
+
     /// Keep extending slot `id` (alone) until its standard error is at most
-    /// `target` or the time budget runs out. Returns the final estimate.
-    pub fn extend_until(&mut self, id: SlotId, target: f64) -> Estimate {
+    /// `target`.
+    ///
+    /// Respects the termination budget: each round is clamped to the
+    /// remaining wall-time budget, so the clock can never overshoot
+    /// `max_time` mid-wait. Returns the final estimate plus the stop reason
+    /// if the budget ran out (or the wait stalled) before the target was
+    /// reached.
+    pub fn extend_until(&mut self, id: SlotId, target: f64) -> (Estimate, Option<StopReason>) {
         let mut guard = 0u32;
-        while self.estimate(id).std_err > target {
-            if self.budget_stop().is_some() || guard > 10_000 {
-                break;
+        loop {
+            if self.estimate(id).std_err <= target {
+                return (self.estimate(id), None);
             }
-            self.extend_round(&[id]);
+            if let Some(r) = self.budget_stop() {
+                return (self.estimate(id), Some(r));
+            }
+            if guard >= 10_000 {
+                return (self.estimate(id), Some(StopReason::Stalled));
+            }
+            let mut plan = self.plan_round(&[id]);
+            if let Some(max_time) = self.term.max_time {
+                // budget_stop above guarantees remaining > 0 here.
+                let remaining = max_time - self.clock.elapsed();
+                for (_, dt) in &mut plan {
+                    *dt = dt.min(remaining);
+                }
+            }
+            self.dispatch(plan);
             guard += 1;
         }
-        self.estimate(id)
     }
 
     /// Accept a trial into vertex position `v`: the trial's point and its
@@ -278,7 +338,7 @@ impl<'a, F: StochasticObjective> Engine<'a, F> {
             }
             let seed = self.seeds.next_seed();
             let x = self.slots[i].x.clone();
-            self.slots[i].stream = self.objective.open(&x, seed);
+            self.slots[i].stream = Some(self.objective.open(&x, seed));
             fresh.push(i);
         }
         self.extend_round(&fresh);
@@ -342,7 +402,7 @@ impl<'a, F: StochasticObjective> Engine<'a, F> {
         let best = self.ordering().min;
         RunResult {
             best_point: self.slots[best].x.clone(),
-            best_observed: self.slots[best].stream.estimate().value,
+            best_observed: self.slots[best].stream().estimate().value,
             iterations: self.iterations,
             elapsed: self.clock.elapsed(),
             total_sampling: self.total_sampling,
@@ -437,9 +497,35 @@ mod tests {
             TimeMode::Parallel,
             2,
         );
-        let e = eng.extend_until(0, 1.0);
+        let (e, stop) = eng.extend_until(0, 1.0);
+        assert!(stop.is_none());
         assert!(e.std_err <= 1.0);
         assert!(e.time >= 100.0); // sigma0^2 / target^2
+    }
+
+    #[test]
+    fn extend_until_clamps_to_wall_time_budget() {
+        // High sigma0 + tiny target: the wait can never reach the target
+        // within the budget. The rounds must be clamped so elapsed lands
+        // exactly on max_time, and the budget stop must be surfaced.
+        let obj = Noisy::new(Sphere::new(2), ConstantNoise(100.0));
+        let init = vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 1.0]];
+        let mut eng = Engine::new(
+            &obj,
+            init,
+            SimplexConfig::default(),
+            Termination {
+                tolerance: None,
+                max_time: Some(50.0),
+                max_iterations: None,
+            },
+            TimeMode::Parallel,
+            4,
+        );
+        let (e, stop) = eng.extend_until(0, 1e-9);
+        assert_eq!(stop, Some(StopReason::WallTime));
+        assert!(e.std_err > 1e-9);
+        assert_eq!(eng.elapsed(), 50.0, "clock overshot the budget");
     }
 
     #[test]

@@ -70,7 +70,8 @@ pub mod prelude {
     pub use crate::anderson::{AndersonNm, AndersonSearch};
     pub use crate::baselines::{RandomSearch, SimulatedAnnealing, Spsa};
     pub use crate::config::{
-        AndersonParams, MnParams, PcConditions, PcParams, SamplingPolicy, SimplexConfig,
+        AndersonParams, BackendChoice, MnParams, PcConditions, PcParams, SamplingPolicy,
+        SimplexConfig,
     };
     pub use crate::det::Det;
     pub use crate::geometry::Coefficients;

@@ -14,13 +14,15 @@
 //! best particles, and refines it with any [`SimplexMethod`].
 
 use crate::algorithm::SimplexMethod;
+use crate::config::BackendChoice;
 use crate::result::RunResult;
 use crate::termination::{StopReason, Termination};
 use crate::trace::{StepKind, Trace, TracePoint};
 use rand::rngs::StdRng;
 use rand::Rng;
+use stoch_eval::backend::eval_round;
 use stoch_eval::clock::{TimeMode, VirtualClock};
-use stoch_eval::objective::{SampleStream, StochasticObjective};
+use stoch_eval::objective::StochasticObjective;
 use stoch_eval::rng::{rng_from_seed, SeedSequence};
 
 /// Standard global-best particle swarm over noisy estimates.
@@ -40,6 +42,8 @@ pub struct Pso {
     pub lo: f64,
     /// Search box upper bound per coordinate.
     pub hi: f64,
+    /// Which backend executes each swarm evaluation round.
+    pub backend: BackendChoice,
 }
 
 impl Default for Pso {
@@ -52,6 +56,7 @@ impl Default for Pso {
             eval_dt: 1.0,
             lo: -5.0,
             hi: 5.0,
+            backend: BackendChoice::default(),
         }
     }
 }
@@ -91,25 +96,22 @@ impl Pso {
             .map(|_| (0..d).map(|_| rng.gen_range(-vmax..vmax)).collect())
             .collect();
 
-        // Concurrent evaluation of the whole swarm.
+        // Concurrent evaluation of the whole swarm: one backend round.
+        let backend = self.backend.build::<F::Stream>();
         let eval_all = |pos: &[Vec<f64>],
                         seeds: &mut SeedSequence,
                         clock: &mut VirtualClock,
                         total: &mut f64|
          -> Vec<f64> {
-            clock.begin_round();
-            let vals = pos
-                .iter()
-                .map(|p| {
-                    let mut s = objective.open(p, seeds.next_seed());
-                    s.extend(self.eval_dt);
-                    clock.charge(self.eval_dt);
-                    *total += self.eval_dt;
-                    s.estimate().value
-                })
-                .collect();
-            clock.end_round();
-            vals
+            eval_round(
+                backend.as_ref(),
+                objective,
+                pos,
+                self.eval_dt,
+                seeds,
+                clock,
+                total,
+            )
         };
 
         let mut vals = eval_all(&pos, &mut seeds, &mut clock, &mut total);

@@ -1,0 +1,230 @@
+//! The pool-backed sampling backend: batches of stream extensions fan out
+//! over [`MwPool`] workers.
+//!
+//! This implements the `stoch-eval` [`SamplingBackend`] seam with real
+//! threads — the in-process analogue of the paper's master–worker
+//! deployment (§3.1): the master (the optimizer engine) hands a round of
+//! extensions to the backend, each extension runs on a worker, and the
+//! master blocks until the whole round is back. Determinism is inherited
+//! from the seam's contract: every stream owns its RNG, so the worker
+//! schedule cannot change any result, and results are collected in
+//! submission order so floating-point accounting sums identically to the
+//! serial backend.
+//!
+//! Do **not** wrap an [`MwObjective`](crate::objective::MwObjective) in a
+//! `ThreadedBackend` over the *same* pool: its streams call back into the
+//! pool from inside a worker job, which deadlocks once every worker is
+//! occupied by a batch job. Use one or the other — the backend subsumes the
+//! adapter for batch workloads.
+
+use crate::pool::{JobHandle, MwPool};
+use obs::{Counter, Gauge, MetricsRegistry};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+use stoch_eval::backend::{SamplingBackend, StreamJob};
+use stoch_eval::objective::SampleStream;
+
+/// Ship one extension job to the pool: the stream state moves to a worker,
+/// extends there, and is handed back through the job handle.
+///
+/// This is the single stream-shipping primitive shared by the batch backend
+/// and the per-stream [`MwStream`](crate::objective::MwStream) adapter.
+pub(crate) fn ship_extend<S: SampleStream + 'static>(
+    pool: &MwPool,
+    mut job: StreamJob<S>,
+) -> JobHandle<StreamJob<S>> {
+    pool.submit(move |_worker| {
+        job.stream.extend(job.dt);
+        job
+    })
+}
+
+/// Registry handles recorded per dispatched batch. Metric names:
+/// `mw.backend.batches`, `mw.backend.jobs`, `mw.backend.fanout_nanos`,
+/// `mw.backend.batch_size_hwm`, `mw.backend.busy_pct`.
+struct BackendObs {
+    batches: Arc<Counter>,
+    jobs: Arc<Counter>,
+    fanout_nanos: Arc<Counter>,
+    batch_size_hwm: Arc<Gauge>,
+    busy_pct: Arc<Gauge>,
+}
+
+impl BackendObs {
+    fn register(registry: &MetricsRegistry) -> Self {
+        BackendObs {
+            batches: registry.counter("mw.backend.batches"),
+            jobs: registry.counter("mw.backend.jobs"),
+            fanout_nanos: registry.counter("mw.backend.fanout_nanos"),
+            batch_size_hwm: registry.gauge("mw.backend.batch_size_hwm"),
+            busy_pct: registry.gauge("mw.backend.busy_pct"),
+        }
+    }
+}
+
+/// A [`SamplingBackend`] that runs every job of a batch on an [`MwPool`]
+/// worker and blocks until the round completes.
+pub struct ThreadedBackend {
+    pool: Arc<MwPool>,
+    obs: Option<BackendObs>,
+}
+
+/// Worker count for the shared pool: `NSX_WORKERS` if set (≥ 1), otherwise
+/// the machine's available hardware parallelism.
+pub fn default_workers() -> usize {
+    std::env::var("NSX_WORKERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+static SHARED: OnceLock<Arc<ThreadedBackend>> = OnceLock::new();
+
+impl ThreadedBackend {
+    /// Spawn a dedicated pool of `n_workers` threads for this backend.
+    pub fn new(n_workers: usize) -> Self {
+        ThreadedBackend {
+            pool: Arc::new(MwPool::new(n_workers)),
+            obs: None,
+        }
+    }
+
+    /// Run batches over an existing pool.
+    pub fn over(pool: Arc<MwPool>) -> Self {
+        ThreadedBackend { pool, obs: None }
+    }
+
+    /// Like [`ThreadedBackend::new`], with per-batch run accounting
+    /// mirrored into `registry` (`mw.backend.*`: batches, jobs, fan-out
+    /// latency, batch-size high-water mark, worker busy fraction).
+    pub fn with_metrics(n_workers: usize, registry: &MetricsRegistry) -> Self {
+        ThreadedBackend {
+            pool: Arc::new(MwPool::with_metrics(n_workers, registry)),
+            obs: Some(BackendObs::register(registry)),
+        }
+    }
+
+    /// The process-wide shared backend, sized by [`default_workers`] on
+    /// first use. Engines constructed with an auto-sized threaded backend
+    /// all share this pool, so repeated runs do not respawn threads.
+    pub fn shared() -> Arc<ThreadedBackend> {
+        Arc::clone(SHARED.get_or_init(|| Arc::new(ThreadedBackend::new(default_workers()))))
+    }
+
+    /// The underlying worker pool.
+    pub fn pool(&self) -> &Arc<MwPool> {
+        &self.pool
+    }
+
+    fn record_batch(&self, n_jobs: usize, fanout: std::time::Duration) {
+        let Some(o) = &self.obs else { return };
+        o.batches.inc();
+        o.jobs.add(n_jobs as u64);
+        o.fanout_nanos.add(fanout.as_nanos() as u64);
+        o.batch_size_hwm.record(n_jobs as u64);
+        let busy: f64 = self.pool.busy_seconds().iter().sum();
+        let idle: f64 = self.pool.idle_seconds().iter().sum();
+        if busy + idle > 0.0 {
+            o.busy_pct.record((100.0 * busy / (busy + idle)) as u64);
+        }
+    }
+}
+
+impl<S: SampleStream + 'static> SamplingBackend<S> for ThreadedBackend {
+    fn extend_batch(&self, jobs: Vec<StreamJob<S>>) -> Vec<StreamJob<S>> {
+        let n = jobs.len();
+        let t0 = Instant::now();
+        // Submit everything before waiting on anything, then collect in
+        // submission order (the seam's ordering contract; completion order
+        // is whatever the workers make of it).
+        let handles: Vec<JobHandle<StreamJob<S>>> = jobs
+            .into_iter()
+            .map(|job| ship_extend(&self.pool, job))
+            .collect();
+        let done: Vec<StreamJob<S>> = handles.into_iter().map(JobHandle::wait).collect();
+        self.record_batch(n, t0.elapsed());
+        done
+    }
+
+    fn name(&self) -> &'static str {
+        "threaded"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stoch_eval::backend::SerialBackend;
+    use stoch_eval::functions::Rosenbrock;
+    use stoch_eval::noise::ConstantNoise;
+    use stoch_eval::objective::StochasticObjective;
+    use stoch_eval::sampler::Noisy;
+
+    fn jobs_at(
+        obj: &Noisy<Rosenbrock, ConstantNoise>,
+        n: usize,
+    ) -> Vec<StreamJob<<Noisy<Rosenbrock, ConstantNoise> as StochasticObjective>::Stream>> {
+        (0..n)
+            .map(|i| StreamJob {
+                slot: i,
+                dt: 1.0 + i as f64,
+                stream: obj.open(&[i as f64, 0.5], 100 + i as u64),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn threaded_matches_serial_bit_for_bit() {
+        let obj = Noisy::new(Rosenbrock::new(2), ConstantNoise(5.0));
+        let serial = SerialBackend.extend_batch(jobs_at(&obj, 6));
+        let threaded = ThreadedBackend::new(3).extend_batch(jobs_at(&obj, 6));
+        for (a, b) in serial.iter().zip(&threaded) {
+            assert_eq!(a.slot, b.slot);
+            assert_eq!(a.dt, b.dt);
+            let (ea, eb) = (a.stream.estimate(), b.stream.estimate());
+            assert_eq!(ea.value, eb.value);
+            assert_eq!(ea.std_err, eb.std_err);
+            assert_eq!(ea.time, eb.time);
+        }
+    }
+
+    #[test]
+    fn batch_returns_in_submission_order() {
+        let obj = Noisy::new(Rosenbrock::new(2), ConstantNoise(1.0));
+        let backend = ThreadedBackend::new(4);
+        for _ in 0..20 {
+            let done = backend.extend_batch(jobs_at(&obj, 8));
+            let slots: Vec<usize> = done.iter().map(|j| j.slot).collect();
+            assert_eq!(slots, (0..8).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn metrics_record_batches_and_fanout() {
+        let reg = MetricsRegistry::new();
+        let obj = Noisy::new(Rosenbrock::new(2), ConstantNoise(1.0));
+        let backend = ThreadedBackend::with_metrics(2, &reg);
+        for _ in 0..3 {
+            backend.extend_batch(jobs_at(&obj, 5));
+        }
+        assert_eq!(reg.counter("mw.backend.batches").get(), 3);
+        assert_eq!(reg.counter("mw.backend.jobs").get(), 15);
+        assert!(reg.counter("mw.backend.fanout_nanos").get() > 0);
+        assert_eq!(reg.gauge("mw.backend.batch_size_hwm").max(), 5);
+        // The underlying pool mirrored its own counters too.
+        assert_eq!(reg.counter("mw.pool.jobs_submitted").get(), 15);
+    }
+
+    #[test]
+    fn shared_backend_is_one_pool() {
+        let a = ThreadedBackend::shared();
+        let b = ThreadedBackend::shared();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(a.pool().n_workers() >= 1);
+    }
+}

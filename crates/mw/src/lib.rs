@@ -12,24 +12,27 @@
 //! * [`pool`] — the raw worker pool (spawn/submit/call/stats).
 //! * [`task`] — the structured `MwTask`/`MwDriver`/`WorkerCtx` layer with
 //!   the server→clients fan-out.
+//! * [`backend`] — the pool-backed [`backend::ThreadedBackend`]
+//!   implementation of `stoch-eval`'s `SamplingBackend` seam: whole
+//!   sampling rounds fan out over the workers.
 //! * [`objective`] — an adapter that runs any `StochasticObjective`'s
 //!   sampling on MW workers, so the optimizers in `noisy-simplex` can be
 //!   deployed on the pool unchanged.
-//! * [`scaleup`] — the §3.4 scale-up experiment (Rosenbrock in 20/50/100
-//!   dimensions, wall-clock time per simplex step).
+//!
+//! (The §3.4 scale-up experiment lives in the `repro-bench` crate.)
 
 #![warn(missing_docs)]
 
 pub mod alloc;
+pub mod backend;
 pub mod comm;
 pub mod objective;
 pub mod pool;
-pub mod scaleup;
 pub mod task;
 
 pub use alloc::Allocation;
+pub use backend::ThreadedBackend;
 pub use comm::{network, CommError, Endpoint, Message, Packable};
 pub use objective::{MwObjective, MwStream};
 pub use pool::{JobHandle, MwPool, WorkerStats};
-pub use scaleup::{scaleup_rosenbrock, ScaleupPoint, ScaleupResult, VertexEvalTask};
 pub use task::{MwDriver, MwTask, WorkerCtx};

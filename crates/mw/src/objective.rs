@@ -7,11 +7,19 @@
 //! optimizer code (the master) is unchanged — it just sees a
 //! `StochasticObjective`.
 
+use crate::backend::ship_extend;
 use crate::pool::MwPool;
 use std::sync::Arc;
+use stoch_eval::backend::StreamJob;
 use stoch_eval::objective::{Estimate, SampleStream, StochasticObjective};
 
 /// An objective whose sampling executes on an MW worker pool.
+///
+/// Do not drive an `MwObjective` through a
+/// [`ThreadedBackend`](crate::backend::ThreadedBackend) on the same pool:
+/// its streams dispatch to the pool from inside `extend`, so a batch job
+/// would block on its own pool (see `crate::backend` docs). Keep the
+/// optimizer on the default serial backend when using this adapter.
 pub struct MwObjective<F> {
     inner: Arc<F>,
     pool: Arc<MwPool>,
@@ -38,15 +46,21 @@ pub struct MwStream<S> {
     pool: Arc<MwPool>,
 }
 
-impl<S: SampleStream + Send + 'static> SampleStream for MwStream<S> {
+impl<S: SampleStream + 'static> SampleStream for MwStream<S> {
     fn extend(&mut self, dt: f64) {
-        let mut s = self.state.take().expect("stream state lost");
-        // Ship the state to a worker, sample there, ship it back.
-        let s = self.pool.call(move |_worker| {
-            s.extend(dt);
-            s
-        });
-        self.state = Some(s);
+        // Ship the state to a worker, sample there, ship it back — the same
+        // primitive the batch backend fans out with.
+        let stream = self.state.take().expect("stream state lost");
+        let job = ship_extend(
+            &self.pool,
+            StreamJob {
+                slot: 0,
+                dt,
+                stream,
+            },
+        )
+        .wait();
+        self.state = Some(job.stream);
     }
 
     fn estimate(&self) -> Estimate {
@@ -57,7 +71,6 @@ impl<S: SampleStream + Send + 'static> SampleStream for MwStream<S> {
 impl<F> StochasticObjective for MwObjective<F>
 where
     F: StochasticObjective + Send + Sync + 'static,
-    F::Stream: Send + 'static,
 {
     type Stream = MwStream<F::Stream>;
 

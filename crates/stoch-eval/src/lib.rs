@@ -17,6 +17,9 @@
 //! * [`objective`] — the [`objective::StochasticObjective`] /
 //!   [`objective::SampleStream`] traits every optimizer in the workspace is
 //!   generic over, plus the deterministic [`objective::Objective`] trait.
+//! * [`backend`] — the [`backend::SamplingBackend`] seam: batches of stream
+//!   extensions execute through a backend (serial by default; the
+//!   `mw-framework` crate provides a thread-pool one).
 //! * [`sampler`] — the consistent Gaussian sampling stream and an empirical
 //!   (batch-based) error estimator.
 //! * [`noise`] — noise-magnitude models (`σ0(θ)`).
@@ -29,6 +32,7 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod clock;
 pub mod functions;
 pub mod functions_ext;
@@ -38,6 +42,7 @@ pub mod rng;
 pub mod sampler;
 pub mod stats;
 
+pub use backend::{SamplingBackend, SerialBackend, StreamJob};
 pub use clock::{TimeMode, VirtualClock};
 pub use functions::{BoxWilsonQuadratic, McKinnon, Powell, Rastrigin, Rosenbrock, Sphere};
 pub use functions_ext::{Ackley, Griewank, IllConditionedQuadratic, Levy, Zakharov};

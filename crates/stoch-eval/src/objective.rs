@@ -47,7 +47,11 @@ impl Estimate {
 /// Implementations must guarantee *consistency*: extending a stream refines
 /// the running estimate (variance strictly decreasing in expectation); it
 /// must not redraw an independent value. See `DESIGN.md` §6.
-pub trait SampleStream {
+///
+/// Streams are `Send`: they own their state (including their RNG), so a
+/// [`crate::backend::SamplingBackend`] may ship them to a worker thread for
+/// extension and back. See `DESIGN.md` §8.
+pub trait SampleStream: Send {
     /// Advance sampling by virtual duration `dt > 0`.
     fn extend(&mut self, dt: f64);
 
@@ -95,8 +99,10 @@ impl<T: Objective + ?Sized> Objective for &T {
 /// then driven by the optimizer. The `seed` makes streams reproducible and
 /// independent across points.
 pub trait StochasticObjective: Sync {
-    /// The sampling-stream type produced at each point.
-    type Stream: SampleStream;
+    /// The sampling-stream type produced at each point. The `'static` bound
+    /// (with `Send` from [`SampleStream`]) lets backends move streams onto
+    /// worker threads.
+    type Stream: SampleStream + 'static;
 
     /// Dimensionality of the parameter space.
     fn dim(&self) -> usize;

@@ -6,8 +6,8 @@
 //! cargo run --release --example mw_scaleup
 //! ```
 
-use mw_framework::scaleup::scaleup_rosenbrock;
 use mw_framework::Allocation;
+use repro_bench::scaleup::scaleup_rosenbrock;
 
 fn main() {
     println!("MW processor allocation (Table 3.3, Ns = 1):");

@@ -1,0 +1,95 @@
+//! The backend determinism contract (DESIGN.md §8): a sampling backend
+//! changes *where* stream extensions execute, never the results. Every
+//! simplex-family method must produce a bit-identical [`RunResult`] under
+//! the serial and threaded backends for the same seed.
+
+use noisy_simplex::prelude::*;
+use proptest::prelude::*;
+use stoch_eval::functions::{Rosenbrock, Sphere};
+use stoch_eval::noise::ConstantNoise;
+use stoch_eval::objective::StochasticObjective;
+use stoch_eval::sampler::Noisy;
+
+fn methods_with(backend: BackendChoice) -> Vec<SimplexMethod> {
+    let mut det = Det::new();
+    det.cfg.backend = backend;
+    let mut mn = MaxNoise::with_k(2.0);
+    mn.cfg.backend = backend;
+    let mut pc = PointComparison::new();
+    pc.cfg.backend = backend;
+    let mut pcmn = PcMn::new();
+    pcmn.cfg.backend = backend;
+    vec![
+        SimplexMethod::Det(det),
+        SimplexMethod::Mn(mn),
+        SimplexMethod::Pc(pc),
+        SimplexMethod::PcMn(pcmn),
+    ]
+}
+
+fn term() -> Termination {
+    Termination {
+        tolerance: Some(1e-6),
+        max_time: Some(500.0),
+        max_iterations: Some(200),
+    }
+}
+
+/// Bitwise comparison of two runs, trace included. `f64::to_bits` so that
+/// even NaN-vs-NaN or `-0.0`-vs-`0.0` divergence would be caught.
+fn assert_identical(label: &str, a: &RunResult, b: &RunResult) {
+    let bits = |v: f64| v.to_bits();
+    assert_eq!(a.best_point, b.best_point, "{label}: best_point");
+    assert_eq!(
+        bits(a.best_observed),
+        bits(b.best_observed),
+        "{label}: best_observed"
+    );
+    assert_eq!(a.iterations, b.iterations, "{label}: iterations");
+    assert_eq!(bits(a.elapsed), bits(b.elapsed), "{label}: elapsed");
+    assert_eq!(
+        bits(a.total_sampling),
+        bits(b.total_sampling),
+        "{label}: total_sampling"
+    );
+    assert_eq!(a.stop, b.stop, "{label}: stop reason");
+    let (pa, pb) = (a.trace.points(), b.trace.points());
+    assert_eq!(pa.len(), pb.len(), "{label}: trace length");
+    for (i, (x, y)) in pa.iter().zip(pb).enumerate() {
+        assert_eq!(bits(x.time), bits(y.time), "{label}: trace[{i}].time");
+        assert_eq!(x.iteration, y.iteration, "{label}: trace[{i}].iteration");
+        assert_eq!(
+            bits(x.best_observed),
+            bits(y.best_observed),
+            "{label}: trace[{i}].best_observed"
+        );
+        assert_eq!(x.step, y.step, "{label}: trace[{i}].step");
+    }
+}
+
+fn check_all_methods<F: StochasticObjective>(objective: &F, d: usize, seed: u64) {
+    let init = init::random_uniform(d, -3.0, 3.0, seed);
+    let serial = methods_with(BackendChoice::Serial);
+    let threaded = methods_with(BackendChoice::Threaded { workers: 2 });
+    for (s, t) in serial.iter().zip(&threaded) {
+        let ra = s.run(objective, init.clone(), term(), TimeMode::Parallel, seed);
+        let rb = t.run(objective, init.clone(), term(), TimeMode::Parallel, seed);
+        assert_identical(&s.name(), &ra, &rb);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn backends_agree_on_rosenbrock(seed in 1u64..10_000) {
+        let obj = Noisy::new(Rosenbrock::new(3), ConstantNoise(2.0));
+        check_all_methods(&obj, 3, seed);
+    }
+
+    #[test]
+    fn backends_agree_on_quadratic(seed in 1u64..10_000) {
+        let obj = Noisy::new(Sphere::new(2), ConstantNoise(1.0));
+        check_all_methods(&obj, 2, seed);
+    }
+}

@@ -2,8 +2,9 @@
 //! over the worker pool, and the scale-up machinery produces consistent
 //! accounting.
 
-use mw_framework::{scaleup_rosenbrock, Allocation, MwObjective, MwPool};
+use mw_framework::{Allocation, MwObjective, MwPool};
 use noisy_simplex::prelude::*;
+use repro_bench::scaleup::scaleup_rosenbrock;
 use std::sync::Arc;
 use stoch_eval::functions::Rosenbrock;
 use stoch_eval::noise::ConstantNoise;
