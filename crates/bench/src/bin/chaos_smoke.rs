@@ -1,0 +1,242 @@
+//! Fault-tolerance exhibit (DESIGN.md §9): how much does surviving worker
+//! failure cost, and does the determinism contract hold through it?
+//!
+//! Three legs, all on the same seeds:
+//!
+//! 1. **Engine under chaos** — MN on noisy Rosenbrock, serial vs a threaded
+//!    backend with an injected kill + dropped result; the RunResults must be
+//!    bit-identical and the faulted wall-clock overhead is reported.
+//! 2. **Backend counters** — a metered pool with kill/delay/drop faults
+//!    extends a batch; reports `mw.pool.workers_lost`, `mw.pool.respawns`,
+//!    `mw.retry.attempts`, `mw.retry.timeouts`.
+//! 3. **Graceful degradation** — every worker killed with a zero respawn
+//!    budget; the batch must still complete inline, bit-identical, with
+//!    `mw.backend.degraded` recorded.
+//!
+//! Writes `BENCH_faults.json`. Exits non-zero if any leg breaks the
+//! determinism contract.
+//!
+//! ```text
+//! cargo run --release --bin chaos_smoke -- [--smoke] [--out <path>]
+//! ```
+
+use mw_framework::backend::ThreadedBackend;
+use mw_framework::pool::{default_respawn_budget, RetryPolicy};
+use mw_framework::FaultPlan;
+use noisy_simplex::prelude::*;
+use obs::MetricsRegistry;
+use repro_bench::{apply_smoke_defaults, iteration_cap_or, time_budget_or};
+use std::time::{Duration, Instant};
+use stoch_eval::backend::{SamplingBackend, StreamJob};
+use stoch_eval::functions::Rosenbrock;
+use stoch_eval::noise::ConstantNoise;
+use stoch_eval::objective::SampleStream;
+use stoch_eval::sampler::{GaussianStream, Noisy};
+
+fn chaos_retry() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 5,
+        timeout: Some(Duration::from_millis(250)),
+        backoff: Duration::from_millis(1),
+    }
+}
+
+fn run_once(d: usize, backend: BackendChoice, faults: Option<FaultPlan>) -> RunResult {
+    let obj = Noisy::empirical(Rosenbrock::new(d), ConstantNoise(5.0), 0.05);
+    let mut mn = MaxNoise::with_k(2.0);
+    mn.cfg.backend = backend;
+    mn.cfg.faults = faults;
+    mn.cfg.retry = chaos_retry();
+    let term = Termination {
+        tolerance: Some(1e-8),
+        max_time: Some(time_budget_or(5_000.0)),
+        max_iterations: Some(iteration_cap_or(300)),
+    };
+    let init = init::random_uniform(d, -2.0, 2.0, 1_000 + d as u64);
+    mn.run(&obj, init, term, TimeMode::Parallel, 9_000 + d as u64)
+}
+
+fn same_result(a: &RunResult, b: &RunResult) -> bool {
+    a.best_point == b.best_point
+        && a.best_observed.to_bits() == b.best_observed.to_bits()
+        && a.iterations == b.iterations
+        && a.elapsed.to_bits() == b.elapsed.to_bits()
+        && a.total_sampling.to_bits() == b.total_sampling.to_bits()
+        && a.stop == b.stop
+        && a.trace.points().len() == b.trace.points().len()
+}
+
+fn make_batch(n: usize) -> Vec<StreamJob<GaussianStream>> {
+    (0..n)
+        .map(|i| StreamJob {
+            slot: i,
+            dt: 1.0 + i as f64 * 0.25,
+            stream: GaussianStream::new(i as f64, 3.0, 100 + i as u64),
+        })
+        .collect()
+}
+
+/// Extend `jobs` through `backend` and check the results are bit-identical
+/// to inline serial extension of the same (cloned) streams.
+fn batch_matches_serial(backend: &dyn SamplingBackend<GaussianStream>, n: usize) -> bool {
+    let jobs = make_batch(n);
+    let mut reference: Vec<GaussianStream> = jobs.iter().map(|j| j.stream.clone()).collect();
+    for (r, j) in reference.iter_mut().zip(&jobs) {
+        r.extend(j.dt);
+    }
+    let out = backend.extend_batch(jobs);
+    out.len() == n
+        && out.iter().zip(&reference).enumerate().all(|(i, (j, r))| {
+            let (a, b) = (j.stream.estimate(), r.estimate());
+            j.slot == i
+                && a.value.to_bits() == b.value.to_bits()
+                && a.std_err.to_bits() == b.std_err.to_bits()
+                && a.time.to_bits() == b.time.to_bits()
+        })
+}
+
+struct Report {
+    clean_secs: f64,
+    faulted_secs: f64,
+    engine_identical: bool,
+    iterations: u64,
+    workers_lost: u64,
+    respawns: u64,
+    retry_attempts: u64,
+    retry_timeouts: u64,
+    batch_identical: bool,
+    degraded_events: u64,
+    degraded_identical: bool,
+}
+
+impl Report {
+    fn overhead(&self) -> f64 {
+        self.faulted_secs / self.clean_secs.max(1e-12)
+    }
+
+    fn ok(&self) -> bool {
+        self.engine_identical && self.batch_identical && self.degraded_identical
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"clean_secs\": {:.6},\n  \"faulted_secs\": {:.6},\n  \
+             \"overhead\": {:.4},\n  \"engine_identical\": {},\n  \
+             \"iterations\": {},\n  \"workers_lost\": {},\n  \
+             \"respawns\": {},\n  \"retry_attempts\": {},\n  \
+             \"retry_timeouts\": {},\n  \"batch_identical\": {},\n  \
+             \"degraded_events\": {},\n  \"degraded_identical\": {}\n}}\n",
+            self.clean_secs,
+            self.faulted_secs,
+            self.overhead(),
+            self.engine_identical,
+            self.iterations,
+            self.workers_lost,
+            self.respawns,
+            self.retry_attempts,
+            self.retry_timeouts,
+            self.batch_identical,
+            self.degraded_events,
+            self.degraded_identical,
+        )
+    }
+}
+
+fn main() {
+    let mut out = std::path::PathBuf::from("BENCH_faults.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => apply_smoke_defaults(),
+            "--out" => match args.next() {
+                Some(p) => out = p.into(),
+                None => {
+                    eprintln!("error: --out requires a path argument");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                eprintln!("usage: chaos_smoke [--smoke] [--out <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!("chaos smoke: MW fault tolerance (DESIGN.md \u{a7}9)");
+    let d = 6;
+
+    // Leg 1: engine under chaos vs fault-free serial.
+    let t0 = Instant::now();
+    let clean = run_once(d, BackendChoice::Serial, None);
+    let clean_secs = t0.elapsed().as_secs_f64();
+
+    let plan = FaultPlan::none().kill(0, 2).drop_result(1, 1);
+    let t1 = Instant::now();
+    let faulted = run_once(d, BackendChoice::Threaded { workers: 3 }, Some(plan));
+    let faulted_secs = t1.elapsed().as_secs_f64();
+    let engine_identical = same_result(&clean, &faulted);
+    println!(
+        "engine: clean {clean_secs:.3}s, faulted {faulted_secs:.3}s, identical: {engine_identical}"
+    );
+
+    // Leg 2: metered backend with kill + delay + drop faults.
+    let reg = MetricsRegistry::new();
+    let metered = ThreadedBackend::with_options(
+        3,
+        FaultPlan::none()
+            .kill(0, 1)
+            .delay(1, 0, 2)
+            .drop_result(2, 2),
+        chaos_retry(),
+        default_respawn_budget(3),
+        Some(&reg),
+    );
+    let batch_identical = (0..4).all(|_| batch_matches_serial(&metered, 12));
+    let counter = |name: &str| reg.counter(name).get();
+    let (workers_lost, respawns) = (counter("mw.pool.workers_lost"), counter("mw.pool.respawns"));
+    let (retry_attempts, retry_timeouts) =
+        (counter("mw.retry.attempts"), counter("mw.retry.timeouts"));
+    println!(
+        "backend: lost {workers_lost}, respawned {respawns}, retries {retry_attempts}, \
+         timeouts {retry_timeouts}, identical: {batch_identical}"
+    );
+
+    // Leg 3: graceful degradation — all workers killed, no respawn budget.
+    let dreg = MetricsRegistry::new();
+    let doomed = ThreadedBackend::with_options(
+        2,
+        FaultPlan::none().kill(0, 0).kill(1, 0),
+        chaos_retry(),
+        0,
+        Some(&dreg),
+    );
+    let degraded_identical =
+        batch_matches_serial(&doomed, 8) && SamplingBackend::<GaussianStream>::degraded(&doomed);
+    let degraded_events = dreg.counter("mw.backend.degraded").get();
+    println!("degradation: events {degraded_events}, identical: {degraded_identical}");
+
+    let report = Report {
+        clean_secs,
+        faulted_secs,
+        engine_identical,
+        iterations: clean.iterations,
+        workers_lost,
+        respawns,
+        retry_attempts,
+        retry_timeouts,
+        batch_identical,
+        degraded_events,
+        degraded_identical,
+    };
+    if let Err(e) = std::fs::write(&out, report.to_json()) {
+        eprintln!("error: cannot write {}: {e}", out.display());
+        std::process::exit(1);
+    }
+    println!("written to {}", out.display());
+
+    if !report.ok() {
+        eprintln!("error: a fault leg broke the determinism contract");
+        std::process::exit(1);
+    }
+}

@@ -125,7 +125,9 @@ pub fn scaleup_rosenbrock_with_metrics(
 
     // Initial concurrent evaluation of all d+1 vertices.
     let tasks: Vec<VertexEvalTask> = points.iter().map(|x| eval(x, seed_gen())).collect();
-    let mut values = driver.dispatch_all(tasks);
+    let mut values = driver
+        .dispatch_all(tasks)
+        .expect("MW worker lost during scale-up bench");
 
     let t0 = Instant::now();
     let mut trace = Vec::new();
@@ -146,11 +148,14 @@ pub fn scaleup_rosenbrock_with_metrics(
         // The reflection and (prospective) expansion/contraction evaluations
         // are dispatched to the two trial-vertex workers concurrently.
         let refl_h = driver.dispatch(eval(&refl_x, seed_gen()));
-        let g_ref = refl_h.wait();
+        let g_ref = refl_h.recv().expect("MW worker lost");
 
         if g_ref < values[ord.min] {
             let exp_x = expand(&cent, &refl_x, 2.0);
-            let g_exp = driver.dispatch(eval(&exp_x, seed_gen())).wait();
+            let g_exp = driver
+                .dispatch(eval(&exp_x, seed_gen()))
+                .recv()
+                .expect("MW worker lost");
             if g_exp < g_ref {
                 points[ord.max] = exp_x;
                 values[ord.max] = g_exp;
@@ -163,7 +168,10 @@ pub fn scaleup_rosenbrock_with_metrics(
             values[ord.max] = g_ref;
         } else {
             let con_x = contract(&cent, &points[ord.max], 0.5);
-            let g_con = driver.dispatch(eval(&con_x, seed_gen())).wait();
+            let g_con = driver
+                .dispatch(eval(&con_x, seed_gen()))
+                .recv()
+                .expect("MW worker lost");
             if g_con < values[ord.max] {
                 points[ord.max] = con_x;
                 values[ord.max] = g_con;
@@ -186,7 +194,7 @@ pub fn scaleup_rosenbrock_with_metrics(
                     .map(|(i, t)| (i, driver.dispatch(t)))
                     .collect();
                 for (i, h) in handles {
-                    values[i] = h.wait();
+                    values[i] = h.recv().expect("MW worker lost");
                 }
             }
         }
@@ -265,7 +273,7 @@ mod tests {
             dt: 1.0,
             seed: 1,
         }]);
-        assert_eq!(out[0], f);
+        assert_eq!(out.unwrap()[0], f);
     }
 
     #[test]
@@ -283,7 +291,7 @@ mod tests {
                     seed: s,
                 })
                 .collect();
-            let outs = d.dispatch_all(tasks);
+            let outs = d.dispatch_all(tasks).unwrap();
             let mean_sq: f64 =
                 outs.iter().map(|v| (v - f) * (v - f)).sum::<f64>() / outs.len() as f64;
             mean_sq.sqrt()

@@ -155,7 +155,7 @@ impl AndersonSearch {
         assert!(init.len() >= 2, "structure needs at least 2 points");
         let mut seeds = SeedSequence::new(seed);
         let mut clock = VirtualClock::new(mode);
-        let backend = self.cfg.backend.build::<F::Stream>();
+        let backend = self.cfg.build_backend::<F::Stream>();
         let policy = self.cfg.sampling;
         let mut level: i64 = 0;
         let mut trace = Trace::new();
@@ -354,6 +354,7 @@ impl AndersonSearch {
             stop,
             trace,
             metrics: None,
+            notes: crate::result::notes_from_backend(backend.as_ref()),
         }
     }
 }

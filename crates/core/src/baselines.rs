@@ -164,6 +164,7 @@ impl Spsa {
             stop,
             trace,
             metrics: None,
+            notes: crate::result::notes_from_backend(backend.as_ref()),
         }
     }
 }
@@ -277,6 +278,7 @@ impl SimulatedAnnealing {
             stop,
             trace,
             metrics: None,
+            notes: crate::result::notes_from_backend(backend.as_ref()),
         }
     }
 }
@@ -371,6 +373,7 @@ impl RandomSearch {
             stop,
             trace,
             metrics: None,
+            notes: crate::result::notes_from_backend(backend.as_ref()),
         }
     }
 }

@@ -2,7 +2,9 @@
 //! per-algorithm parameter blocks.
 
 use crate::geometry::Coefficients;
-use mw_framework::backend::ThreadedBackend;
+use mw_framework::backend::{default_workers, ThreadedBackend};
+use mw_framework::pool::{default_respawn_budget, RetryPolicy};
+use mw_framework::FaultPlan;
 use std::sync::Arc;
 use stoch_eval::backend::{SamplingBackend, SerialBackend};
 use stoch_eval::objective::SampleStream;
@@ -135,6 +137,20 @@ pub struct SimplexConfig {
     /// Which backend executes each sampling round. Defaults from
     /// `NSX_BACKEND` (serial when unset); results are identical either way.
     pub backend: BackendChoice,
+    /// How a threaded backend re-dispatches work lost to worker failure
+    /// (DESIGN.md §9). Ignored by the serial backend.
+    pub retry: RetryPolicy,
+    /// Programmatic fault injection for the threaded backend's worker pool
+    /// (chaos testing). `None` defers to the `NSX_FAULTS` environment
+    /// variable; `Some` forces a dedicated (non-shared) pool so the faults
+    /// cannot leak into other runs.
+    pub faults: Option<FaultPlan>,
+    /// Worker-respawn budget override for the threaded backend's pool
+    /// (DESIGN.md §9). `None` uses [`default_respawn_budget`]; `Some(0)`
+    /// disables respawning, so losing every worker degrades the run to
+    /// serial execution instead (recorded as
+    /// [`RunNote::DegradedToSerial`](crate::result::RunNote)).
+    pub respawn_budget: Option<u64>,
 }
 
 impl Default for SimplexConfig {
@@ -144,7 +160,43 @@ impl Default for SimplexConfig {
             sampling: SamplingPolicy::default(),
             continuous: true,
             backend: BackendChoice::default(),
+            retry: RetryPolicy::default(),
+            faults: None,
+            respawn_budget: None,
         }
+    }
+}
+
+impl SimplexConfig {
+    /// Instantiate the sampling backend for this configuration.
+    ///
+    /// Like [`BackendChoice::build`], but honours the config's
+    /// [`retry`](Self::retry) policy and [`faults`](Self::faults) plan: a
+    /// non-default policy or an explicit plan forces a dedicated pool (the
+    /// shared pool keeps its own defaults and `NSX_FAULTS`-driven
+    /// injection).
+    pub fn build_backend<S: SampleStream + 'static>(&self) -> Arc<dyn SamplingBackend<S>> {
+        let BackendChoice::Threaded { workers } = self.backend else {
+            return Arc::new(SerialBackend);
+        };
+        let customized = self.faults.is_some()
+            || self.respawn_budget.is_some()
+            || self.retry != RetryPolicy::default();
+        if workers == 0 && !customized {
+            return ThreadedBackend::shared();
+        }
+        let n = if workers == 0 {
+            default_workers()
+        } else {
+            workers
+        };
+        let faults = self.faults.clone().unwrap_or_else(FaultPlan::from_env);
+        let budget = self
+            .respawn_budget
+            .unwrap_or_else(|| default_respawn_budget(n));
+        Arc::new(ThreadedBackend::with_options(
+            n, faults, self.retry, budget, None,
+        ))
     }
 }
 

@@ -86,7 +86,7 @@ impl<'a, F: StochasticObjective> Engine<'a, F> {
             let stream = Some(objective.open(&x, seeds.next_seed()));
             slots.push(Slot { x, stream });
         }
-        let backend = cfg.backend.build();
+        let backend = cfg.build_backend();
         let mut eng = Engine {
             objective,
             cfg,
@@ -409,6 +409,7 @@ impl<'a, F: StochasticObjective> Engine<'a, F> {
             stop,
             trace: self.trace,
             metrics: self.metrics.as_ref().map(EngineMetrics::summary),
+            notes: crate::result::notes_from_backend(&*self.backend),
         }
     }
 }

@@ -82,9 +82,10 @@ pub mod prelude {
     pub use crate::pcmn::PcMn;
     pub use crate::pso::{Pso, PsoSimplex};
     pub use crate::restart::RestartedSimplex;
-    pub use crate::result::{Measures, RunMetrics, RunResult};
+    pub use crate::result::{Measures, RunMetrics, RunNote, RunResult};
     pub use crate::termination::{StopReason, Termination};
     pub use crate::trace::{StepKind, Trace, TracePoint};
+    pub use mw_framework::{FaultPlan, RetryPolicy};
     pub use stoch_eval::clock::TimeMode;
 }
 

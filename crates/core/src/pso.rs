@@ -172,6 +172,7 @@ impl Pso {
             stop,
             trace,
             metrics: None,
+            notes: crate::result::notes_from_backend(backend.as_ref()),
         }
     }
 }

@@ -3,7 +3,31 @@
 
 use crate::termination::StopReason;
 use crate::trace::Trace;
+use stoch_eval::backend::SamplingBackend;
 use stoch_eval::objective::StochasticObjective;
+
+/// A notable, non-fatal event recorded during a run.
+///
+/// Notes report conditions the run survived — they never change results
+/// (the backend determinism contract holds through every note), only how
+/// the run executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunNote {
+    /// The parallel sampling backend permanently lost its worker pool
+    /// (respawn budget exhausted with no live workers) and the run finished
+    /// with inline serial execution. Results are identical to a fault-free
+    /// run; only wall-clock parallelism was lost. See DESIGN.md §9.
+    DegradedToSerial,
+}
+
+/// Collect the [`RunNote`]s a backend reports after a run.
+pub fn notes_from_backend<S>(backend: &dyn SamplingBackend<S>) -> Vec<RunNote> {
+    if backend.degraded() {
+        vec![RunNote::DegradedToSerial]
+    } else {
+        Vec::new()
+    }
+}
 
 /// The outcome of one optimization run.
 #[derive(Debug, Clone)]
@@ -26,6 +50,9 @@ pub struct RunResult {
     /// Run-accounting summary, present when a metrics registry was attached
     /// (see [`crate::metrics::EngineMetrics`]).
     pub metrics: Option<RunMetrics>,
+    /// Non-fatal events the run survived (e.g. degradation to serial
+    /// execution after worker loss). Empty for an uneventful run.
+    pub notes: Vec<RunNote>,
 }
 
 /// Plain-value snapshot of a run's accounting, taken when the engine
@@ -138,6 +165,7 @@ mod tests {
             stop: StopReason::Tolerance,
             trace: Trace::new(),
             metrics: None,
+            notes: Vec::new(),
         };
         let m = res.measures(&obj, &[1.0, 1.0, 1.0], 0.0);
         assert_eq!(m.n, 17);

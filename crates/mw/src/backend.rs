@@ -1,5 +1,5 @@
 //! The pool-backed sampling backend: batches of stream extensions fan out
-//! over [`MwPool`] workers.
+//! over [`MwPool`] workers, supervised against worker loss.
 //!
 //! This implements the `stoch-eval` [`SamplingBackend`] seam with real
 //! threads — the in-process analogue of the paper's master–worker
@@ -11,18 +11,43 @@
 //! submission order so floating-point accounting sums identically to the
 //! serial backend.
 //!
+//! # Fault tolerance (DESIGN.md §9)
+//!
+//! The backend keeps a master-side clone of every stream it ships. If a
+//! worker dies mid-job (or a per-attempt timeout fires), the extension is
+//! re-issued from the clone under the backend's [`RetryPolicy`] while the
+//! pool's supervisor respawns workers; because the clone carries the RNG
+//! state, a retried extension reproduces the lost one bit for bit. When the
+//! pool permanently fails (respawn budget exhausted, no live workers) or a
+//! job runs out of attempts, the remaining work executes inline on the
+//! calling thread — the run *degrades to serial* instead of erroring, and
+//! the backend reports it through [`SamplingBackend::degraded`] and the
+//! `mw.backend.degraded` metric.
+//!
+//! Faults themselves come from the `NSX_FAULTS` environment variable (see
+//! [`FaultPlan`]) for chaos testing, or programmatically via
+//! [`ThreadedBackend::with_options`].
+//!
 //! Do **not** wrap an [`MwObjective`](crate::objective::MwObjective) in a
 //! `ThreadedBackend` over the *same* pool: its streams call back into the
 //! pool from inside a worker job, which deadlocks once every worker is
 //! occupied by a batch job. Use one or the other — the backend subsumes the
 //! adapter for batch workloads.
 
-use crate::pool::{JobHandle, MwPool};
+use crate::faults::FaultPlan;
+use crate::pool::{default_respawn_budget, JobHandle, MwPool, RetryPolicy, WorkerLost};
 use obs::{Counter, Gauge, MetricsRegistry};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use stoch_eval::backend::{SamplingBackend, StreamJob};
 use stoch_eval::objective::SampleStream;
+
+/// How often the waiting master wakes to run a supervision pass while a
+/// batch is in flight. Bounds the detection latency for a dead or wedged
+/// worker without busy-spinning.
+const SUPERVISION_TICK: Duration = Duration::from_millis(20);
 
 /// Ship one extension job to the pool: the stream state moves to a worker,
 /// extends there, and is handed back through the job handle.
@@ -41,13 +66,18 @@ pub(crate) fn ship_extend<S: SampleStream + 'static>(
 
 /// Registry handles recorded per dispatched batch. Metric names:
 /// `mw.backend.batches`, `mw.backend.jobs`, `mw.backend.fanout_nanos`,
-/// `mw.backend.batch_size_hwm`, `mw.backend.busy_pct`.
+/// `mw.backend.batch_size_hwm`, `mw.backend.busy_pct`, plus the
+/// fault-tolerance series `mw.retry.attempts`, `mw.retry.timeouts`,
+/// `mw.backend.degraded`.
 struct BackendObs {
     batches: Arc<Counter>,
     jobs: Arc<Counter>,
     fanout_nanos: Arc<Counter>,
     batch_size_hwm: Arc<Gauge>,
     busy_pct: Arc<Gauge>,
+    retry_attempts: Arc<Counter>,
+    retry_timeouts: Arc<Counter>,
+    degraded: Arc<Counter>,
 }
 
 impl BackendObs {
@@ -58,15 +88,21 @@ impl BackendObs {
             fanout_nanos: registry.counter("mw.backend.fanout_nanos"),
             batch_size_hwm: registry.gauge("mw.backend.batch_size_hwm"),
             busy_pct: registry.gauge("mw.backend.busy_pct"),
+            retry_attempts: registry.counter("mw.retry.attempts"),
+            retry_timeouts: registry.counter("mw.retry.timeouts"),
+            degraded: registry.counter("mw.backend.degraded"),
         }
     }
 }
 
 /// A [`SamplingBackend`] that runs every job of a batch on an [`MwPool`]
-/// worker and blocks until the round completes.
+/// worker and blocks until the round completes, surviving worker loss (see
+/// the module docs for the fault model).
 pub struct ThreadedBackend {
     pool: Arc<MwPool>,
     obs: Option<BackendObs>,
+    retry: RetryPolicy,
+    degraded: AtomicBool,
 }
 
 /// Worker count for the shared pool: `NSX_WORKERS` if set (≥ 1), otherwise
@@ -85,27 +121,76 @@ pub fn default_workers() -> usize {
 
 static SHARED: OnceLock<Arc<ThreadedBackend>> = OnceLock::new();
 
+/// One in-flight batch entry: where the result goes, the master-side backup
+/// to re-issue from, and the attempt bookkeeping.
+struct Pending<S> {
+    idx: usize,
+    slot: usize,
+    dt: f64,
+    backup: S,
+    handle: JobHandle<StreamJob<S>>,
+    attempt: u32,
+    started: Instant,
+}
+
 impl ThreadedBackend {
-    /// Spawn a dedicated pool of `n_workers` threads for this backend.
+    /// Spawn a dedicated supervised pool of `n_workers` threads for this
+    /// backend, with fault injection taken from the `NSX_FAULTS`
+    /// environment variable (none when unset).
     pub fn new(n_workers: usize) -> Self {
-        ThreadedBackend {
-            pool: Arc::new(MwPool::new(n_workers)),
-            obs: None,
-        }
+        Self::with_options(
+            n_workers,
+            FaultPlan::from_env(),
+            RetryPolicy::default(),
+            default_respawn_budget(n_workers),
+            None,
+        )
     }
 
-    /// Run batches over an existing pool.
+    /// Run batches over an existing pool (no env fault injection — the pool
+    /// was configured by its owner).
     pub fn over(pool: Arc<MwPool>) -> Self {
-        ThreadedBackend { pool, obs: None }
+        ThreadedBackend {
+            pool,
+            obs: None,
+            retry: RetryPolicy::default(),
+            degraded: AtomicBool::new(false),
+        }
     }
 
     /// Like [`ThreadedBackend::new`], with per-batch run accounting
     /// mirrored into `registry` (`mw.backend.*`: batches, jobs, fan-out
-    /// latency, batch-size high-water mark, worker busy fraction).
+    /// latency, batch-size high-water mark, worker busy fraction, and the
+    /// fault-tolerance counters).
     pub fn with_metrics(n_workers: usize, registry: &MetricsRegistry) -> Self {
+        Self::with_options(
+            n_workers,
+            FaultPlan::from_env(),
+            RetryPolicy::default(),
+            default_respawn_budget(n_workers),
+            Some(registry),
+        )
+    }
+
+    /// Full-control constructor: worker count, programmatic fault plan,
+    /// retry policy, worker-respawn budget, and optional metrics registry.
+    pub fn with_options(
+        n_workers: usize,
+        faults: FaultPlan,
+        retry: RetryPolicy,
+        respawn_budget: u64,
+        registry: Option<&MetricsRegistry>,
+    ) -> Self {
         ThreadedBackend {
-            pool: Arc::new(MwPool::with_metrics(n_workers, registry)),
-            obs: Some(BackendObs::register(registry)),
+            pool: Arc::new(MwPool::with_options(
+                n_workers,
+                faults,
+                respawn_budget,
+                registry,
+            )),
+            obs: registry.map(BackendObs::register),
+            retry,
+            degraded: AtomicBool::new(false),
         }
     }
 
@@ -119,6 +204,71 @@ impl ThreadedBackend {
     /// The underlying worker pool.
     pub fn pool(&self) -> &Arc<MwPool> {
         &self.pool
+    }
+
+    /// The backend's retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Record the transition into degraded (inline) execution exactly once.
+    fn note_degraded(&self) {
+        if !self.degraded.swap(true, Ordering::SeqCst) {
+            if let Some(o) = &self.obs {
+                o.degraded.inc();
+            }
+        }
+    }
+
+    /// Re-issue a lost/expired job if attempts and workers remain;
+    /// otherwise run it inline (degradation at single-job granularity —
+    /// the batch still completes with correct results).
+    fn retry_or_inline<S: SampleStream + 'static>(
+        &self,
+        p: Pending<S>,
+        pending: &mut VecDeque<Pending<S>>,
+        out: &mut [Option<StreamJob<S>>],
+    ) {
+        let next_attempt = p.attempt + 1;
+        if next_attempt <= self.retry.max_attempts && !self.pool.is_failed() {
+            if let Some(o) = &self.obs {
+                o.retry_attempts.inc();
+            }
+            let backoff = self.retry.backoff_before(next_attempt);
+            if !backoff.is_zero() {
+                std::thread::sleep(backoff);
+            }
+            let handle = ship_extend(
+                &self.pool,
+                StreamJob {
+                    slot: p.slot,
+                    dt: p.dt,
+                    stream: p.backup.clone(),
+                },
+            );
+            pending.push_back(Pending {
+                handle,
+                attempt: next_attempt,
+                started: Instant::now(),
+                ..p
+            });
+        } else {
+            let mut stream = p.backup;
+            stream.extend(p.dt);
+            out[p.idx] = Some(StreamJob {
+                slot: p.slot,
+                dt: p.dt,
+                stream,
+            });
+        }
+    }
+
+    /// Run the whole batch inline (serial fallback).
+    fn extend_inline<S: SampleStream>(mut jobs: Vec<StreamJob<S>>) -> Vec<StreamJob<S>> {
+        for job in &mut jobs {
+            job.stream.extend(job.dt);
+        }
+        jobs
     }
 
     fn record_batch(&self, n_jobs: usize, fanout: std::time::Duration) {
@@ -139,20 +289,95 @@ impl<S: SampleStream + 'static> SamplingBackend<S> for ThreadedBackend {
     fn extend_batch(&self, jobs: Vec<StreamJob<S>>) -> Vec<StreamJob<S>> {
         let n = jobs.len();
         let t0 = Instant::now();
-        // Submit everything before waiting on anything, then collect in
-        // submission order (the seam's ordering contract; completion order
-        // is whatever the workers make of it).
-        let handles: Vec<JobHandle<StreamJob<S>>> = jobs
+        if self.degraded.load(Ordering::SeqCst) || self.pool.is_failed() {
+            self.note_degraded();
+            let done = Self::extend_inline(jobs);
+            self.record_batch(n, t0.elapsed());
+            return done;
+        }
+        // Submit everything before waiting on anything, keeping a
+        // master-side backup of each stream; collect in submission order
+        // (the seam's ordering contract; completion order is whatever the
+        // workers make of it).
+        let mut out: Vec<Option<StreamJob<S>>> = (0..n).map(|_| None).collect();
+        let mut pending: VecDeque<Pending<S>> = jobs
             .into_iter()
-            .map(|job| ship_extend(&self.pool, job))
+            .enumerate()
+            .map(|(idx, job)| Pending {
+                idx,
+                slot: job.slot,
+                dt: job.dt,
+                backup: job.stream.clone(),
+                handle: ship_extend(&self.pool, job),
+                attempt: 1,
+                started: Instant::now(),
+            })
             .collect();
-        let done: Vec<StreamJob<S>> = handles.into_iter().map(JobHandle::wait).collect();
+        while let Some(p) = pending.pop_front() {
+            // Wake at the supervision tick (or sooner if a per-attempt
+            // timeout would expire first) so a dead worker is detected and
+            // replaced even while this job sits queued behind others.
+            let mut wait = SUPERVISION_TICK;
+            if let Some(limit) = self.retry.timeout {
+                wait = wait.min(limit.saturating_sub(p.started.elapsed()));
+            }
+            match p.handle.recv_timeout(wait) {
+                Ok(Some(job)) => {
+                    out[p.idx] = Some(job);
+                }
+                Ok(None) => {
+                    if self
+                        .retry
+                        .timeout
+                        .is_some_and(|limit| p.started.elapsed() >= limit)
+                    {
+                        // The attempt overran its budget: abandon the
+                        // handle (a straggling result is ignored) and
+                        // re-issue from the backup.
+                        if let Some(o) = &self.obs {
+                            o.retry_timeouts.inc();
+                        }
+                        self.retry_or_inline(p, &mut pending, &mut out);
+                        continue;
+                    }
+                    self.pool.supervise();
+                    if self.pool.is_failed() {
+                        // Respawn budget exhausted with no live workers:
+                        // degrade — finish this job and everything still
+                        // pending inline. Queued handles would error anyway
+                        // (the failed pool drained them); the backups make
+                        // the results whole.
+                        self.note_degraded();
+                        self.retry_or_inline(p, &mut pending, &mut out);
+                    } else {
+                        pending.push_back(p);
+                    }
+                }
+                Err(WorkerLost) => {
+                    // Reap/respawn before re-issuing so the retry lands on
+                    // a live worker where possible.
+                    self.pool.supervise();
+                    if self.pool.is_failed() {
+                        self.note_degraded();
+                    }
+                    self.retry_or_inline(p, &mut pending, &mut out);
+                }
+            }
+        }
+        let done: Vec<StreamJob<S>> = out
+            .into_iter()
+            .map(|o| o.unwrap_or_else(|| panic!("MW backend dropped a batch slot")))
+            .collect();
         self.record_batch(n, t0.elapsed());
         done
     }
 
     fn name(&self) -> &'static str {
         "threaded"
+    }
+
+    fn degraded(&self) -> bool {
+        self.degraded.load(Ordering::SeqCst) || self.pool.is_failed()
     }
 }
 
@@ -178,19 +403,24 @@ mod tests {
             .collect()
     }
 
+    fn assert_batches_identical<S: SampleStream>(a: &[StreamJob<S>], b: &[StreamJob<S>]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.slot, y.slot);
+            assert_eq!(x.dt, y.dt);
+            let (ea, eb) = (x.stream.estimate(), y.stream.estimate());
+            assert_eq!(ea.value, eb.value);
+            assert_eq!(ea.std_err, eb.std_err);
+            assert_eq!(ea.time, eb.time);
+        }
+    }
+
     #[test]
     fn threaded_matches_serial_bit_for_bit() {
         let obj = Noisy::new(Rosenbrock::new(2), ConstantNoise(5.0));
         let serial = SerialBackend.extend_batch(jobs_at(&obj, 6));
         let threaded = ThreadedBackend::new(3).extend_batch(jobs_at(&obj, 6));
-        for (a, b) in serial.iter().zip(&threaded) {
-            assert_eq!(a.slot, b.slot);
-            assert_eq!(a.dt, b.dt);
-            let (ea, eb) = (a.stream.estimate(), b.stream.estimate());
-            assert_eq!(ea.value, eb.value);
-            assert_eq!(ea.std_err, eb.std_err);
-            assert_eq!(ea.time, eb.time);
-        }
+        assert_batches_identical(&serial, &threaded);
     }
 
     #[test]
@@ -205,6 +435,98 @@ mod tests {
     }
 
     #[test]
+    fn retry_recovers_from_worker_death_bit_for_bit() {
+        let obj = Noisy::new(Rosenbrock::new(2), ConstantNoise(3.0));
+        let serial = SerialBackend.extend_batch(jobs_at(&obj, 12));
+        // Worker 0 dies after one job; supervision respawns it and the lost
+        // extension is retried from the master-side backup.
+        let backend = ThreadedBackend::with_options(
+            2,
+            FaultPlan::none().kill(0, 1),
+            RetryPolicy::default(),
+            default_respawn_budget(2),
+            None,
+        );
+        let threaded = backend.extend_batch(jobs_at(&obj, 12));
+        assert_batches_identical(&serial, &threaded);
+        assert!(!SamplingBackend::<
+            <Noisy<Rosenbrock, ConstantNoise> as StochasticObjective>::Stream,
+        >::degraded(&backend));
+    }
+
+    #[test]
+    fn drop_result_fault_is_retried_identically() {
+        let obj = Noisy::new(Rosenbrock::new(2), ConstantNoise(3.0));
+        let serial = SerialBackend.extend_batch(jobs_at(&obj, 8));
+        let backend = ThreadedBackend::with_options(
+            2,
+            FaultPlan::none().drop_result(0, 2),
+            RetryPolicy::default(),
+            default_respawn_budget(2),
+            None,
+        );
+        let threaded = backend.extend_batch(jobs_at(&obj, 8));
+        assert_batches_identical(&serial, &threaded);
+    }
+
+    #[test]
+    fn exhausted_pool_degrades_to_serial_within_bounded_time() {
+        // The sole worker dies immediately and there is no respawn budget:
+        // the batch must still complete (inline), promptly, with results
+        // identical to the serial backend — and report degradation.
+        let reg = MetricsRegistry::new();
+        let obj = Noisy::new(Rosenbrock::new(2), ConstantNoise(2.0));
+        let serial = SerialBackend.extend_batch(jobs_at(&obj, 6));
+        let backend = ThreadedBackend::with_options(
+            1,
+            FaultPlan::none().kill(0, 0),
+            RetryPolicy::default(),
+            0,
+            Some(&reg),
+        );
+        let t0 = Instant::now();
+        let threaded = backend.extend_batch(jobs_at(&obj, 6));
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "degradation must be bounded, took {:?}",
+            t0.elapsed()
+        );
+        assert_batches_identical(&serial, &threaded);
+        assert!(SamplingBackend::<
+            <Noisy<Rosenbrock, ConstantNoise> as StochasticObjective>::Stream,
+        >::degraded(&backend));
+        assert!(reg.counter("mw.backend.degraded").get() >= 1);
+        // Later batches keep working, inline.
+        let again = backend.extend_batch(jobs_at(&obj, 6));
+        assert_batches_identical(&serial, &again);
+    }
+
+    #[test]
+    fn per_attempt_timeout_fires_and_results_stay_identical() {
+        let reg = MetricsRegistry::new();
+        let obj = Noisy::new(Rosenbrock::new(2), ConstantNoise(1.0));
+        let serial = SerialBackend.extend_batch(jobs_at(&obj, 2));
+        // Every job on the sole worker is delayed 60ms but the per-attempt
+        // budget is 10ms: the master gives up on the straggler, retries,
+        // and eventually falls back inline. Slowness must cost time only,
+        // never correctness.
+        let backend = ThreadedBackend::with_options(
+            1,
+            FaultPlan::none().delay(0, 0, 60),
+            RetryPolicy {
+                max_attempts: 2,
+                timeout: Some(Duration::from_millis(10)),
+                backoff: Duration::ZERO,
+            },
+            default_respawn_budget(1),
+            Some(&reg),
+        );
+        let threaded = backend.extend_batch(jobs_at(&obj, 2));
+        assert_batches_identical(&serial, &threaded);
+        assert!(reg.counter("mw.retry.timeouts").get() >= 1);
+    }
+
+    #[test]
     fn metrics_record_batches_and_fanout() {
         let reg = MetricsRegistry::new();
         let obj = Noisy::new(Rosenbrock::new(2), ConstantNoise(1.0));
@@ -216,8 +538,10 @@ mod tests {
         assert_eq!(reg.counter("mw.backend.jobs").get(), 15);
         assert!(reg.counter("mw.backend.fanout_nanos").get() > 0);
         assert_eq!(reg.gauge("mw.backend.batch_size_hwm").max(), 5);
-        // The underlying pool mirrored its own counters too.
-        assert_eq!(reg.counter("mw.pool.jobs_submitted").get(), 15);
+        // The underlying pool mirrored its own counters too. Under
+        // `NSX_FAULTS` chaos runs, retries may add submissions beyond the
+        // batch jobs, so this is a floor rather than an exact count.
+        assert!(reg.counter("mw.pool.jobs_submitted").get() >= 15);
     }
 
     #[test]

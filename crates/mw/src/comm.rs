@@ -254,7 +254,9 @@ impl Endpoint {
                 && message_tag.map(|t| m.tag == t).unwrap_or(true)
         };
         if let Some(idx) = self.stash.iter().position(matches) {
-            let m = self.stash.remove(idx).unwrap();
+            let Some(m) = self.stash.remove(idx) else {
+                unreachable!("stash index came from position()")
+            };
             if let Some(o) = &self.obs {
                 o.on_recv(m.tag, m.payload.len());
             }

@@ -1,0 +1,270 @@
+//! Fault injection for the MW worker pool: kill a worker after N jobs,
+//! delay its jobs, or drop a result on the wire.
+//!
+//! This is the chaos-testing harness behind the paper's §4.2 narrative —
+//! Condor-style opportunistic pools where "a worker is restarted by the
+//! master" after its node is reclaimed mid-task. A [`FaultPlan`] describes
+//! deterministic faults per worker slot; the pool's supervisor
+//! (`MwPool::supervise`) and the backend's retry loop are expected to make
+//! every plan that leaves at least one live worker invisible in the results
+//! (see `tests/mw_faults.rs`).
+//!
+//! Plans can be built programmatically or parsed from the `NSX_FAULTS`
+//! environment variable, a comma-separated list of directives:
+//!
+//! | Directive | Effect |
+//! |---|---|
+//! | `kill:<w>:after=<n>` | worker `w` dies after executing `n` jobs (the job in hand when it dies is lost) |
+//! | `delay:<w>:ms=<d>` | worker `w` sleeps `d` wall-clock ms before every job |
+//! | `delay:<w>:after=<n>:ms=<d>` | same, starting with its `n`-th job |
+//! | `drop:<w>:at=<n>` | worker `w` executes its `n`-th job but its result is discarded (a lost result message) |
+//!
+//! Faults apply only to a worker slot's *first* incarnation: a respawned
+//! worker is healthy, matching the restart-the-worker story.
+
+use std::time::Duration;
+
+/// A wall-clock delay injected before jobs on one worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Delay {
+    /// First job index (0-based executed count) the delay applies to.
+    pub after: u64,
+    /// Sleep duration in milliseconds.
+    pub millis: u64,
+}
+
+/// The faults injected into one worker slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkerFault {
+    /// Die (stop pulling work, dropping the in-flight job's result)
+    /// immediately after executing this many jobs.
+    pub kill_after: Option<u64>,
+    /// Sleep before executing jobs (see [`Delay`]).
+    pub delay: Option<Delay>,
+    /// Execute the job with this 0-based index but discard its result.
+    pub drop_at: Option<u64>,
+}
+
+impl WorkerFault {
+    /// True when no fault is injected.
+    pub fn is_none(&self) -> bool {
+        *self == WorkerFault::default()
+    }
+
+    /// The injected delay for a job with executed-count `executed`, if any.
+    pub fn delay_for(&self, executed: u64) -> Option<Duration> {
+        self.delay
+            .filter(|d| executed >= d.after)
+            .map(|d| Duration::from_millis(d.millis))
+    }
+}
+
+/// Deterministic per-worker fault injection plan (see module docs).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<WorkerFault>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.iter().all(WorkerFault::is_none)
+    }
+
+    fn slot(&mut self, w: usize) -> &mut WorkerFault {
+        if self.faults.len() <= w {
+            self.faults.resize(w + 1, WorkerFault::default());
+        }
+        &mut self.faults[w]
+    }
+
+    /// Kill worker `w` after it executes `after` jobs.
+    pub fn kill(mut self, w: usize, after: u64) -> Self {
+        self.slot(w).kill_after = Some(after);
+        self
+    }
+
+    /// Delay every job on worker `w` (from its `after`-th) by `millis` ms.
+    pub fn delay(mut self, w: usize, after: u64, millis: u64) -> Self {
+        self.slot(w).delay = Some(Delay { after, millis });
+        self
+    }
+
+    /// Drop the result of worker `w`'s `at`-th job (0-based).
+    pub fn drop_result(mut self, w: usize, at: u64) -> Self {
+        self.slot(w).drop_at = Some(at);
+        self
+    }
+
+    /// The fault spec for worker slot `w`, incarnation `incarnation`.
+    /// Respawned workers (incarnation ≥ 1) are healthy.
+    pub fn fault_for(&self, w: usize, incarnation: u32) -> WorkerFault {
+        if incarnation > 0 {
+            return WorkerFault::default();
+        }
+        self.faults.get(w).copied().unwrap_or_default()
+    }
+
+    /// Convert the legacy per-worker `die_after` array (the old ad-hoc
+    /// injection hook) into a plan.
+    pub fn from_die_after(faults: &[Option<u64>]) -> Self {
+        let mut plan = FaultPlan::none();
+        for (w, f) in faults.iter().enumerate() {
+            if let Some(n) = f {
+                plan = plan.kill(w, *n);
+            }
+        }
+        plan
+    }
+
+    /// Parse a comma-separated directive list (the `NSX_FAULTS` grammar —
+    /// see module docs).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::none();
+        for item in s.split(',').map(str::trim).filter(|i| !i.is_empty()) {
+            let parts: Vec<&str> = item.split(':').collect();
+            if parts.len() < 2 {
+                return Err(format!("fault directive too short: {item:?}"));
+            }
+            let w: usize = parts[1]
+                .parse()
+                .map_err(|_| format!("bad worker index in {item:?}"))?;
+            let kv = |key: &str| -> Result<Option<u64>, String> {
+                for p in &parts[2..] {
+                    if let Some(v) = p.strip_prefix(&format!("{key}=")) {
+                        return v
+                            .parse()
+                            .map(Some)
+                            .map_err(|_| format!("bad {key} value in {item:?}"));
+                    }
+                }
+                Ok(None)
+            };
+            match parts[0] {
+                "kill" => {
+                    let after = kv("after")?.ok_or(format!("kill needs after= in {item:?}"))?;
+                    plan = plan.kill(w, after);
+                }
+                "delay" => {
+                    let ms = kv("ms")?.ok_or(format!("delay needs ms= in {item:?}"))?;
+                    let after = kv("after")?.unwrap_or(0);
+                    plan = plan.delay(w, after, ms);
+                }
+                "drop" => {
+                    let at = kv("at")?.ok_or(format!("drop needs at= in {item:?}"))?;
+                    plan = plan.drop_result(w, at);
+                }
+                kind => return Err(format!("unknown fault kind {kind:?} in {item:?}")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// The plan selected by the `NSX_FAULTS` environment variable; empty
+    /// when unset. A malformed value is reported on stderr and ignored
+    /// rather than taking the process down — chaos tooling must never be
+    /// the thing that crashes the run.
+    pub fn from_env() -> Self {
+        match std::env::var("NSX_FAULTS") {
+            Ok(s) => match Self::parse(&s) {
+                Ok(plan) => plan,
+                Err(e) => {
+                    eprintln!("NSX_FAULTS ignored: {e}");
+                    FaultPlan::none()
+                }
+            },
+            Err(_) => FaultPlan::none(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_lookup() {
+        let plan = FaultPlan::none()
+            .kill(1, 3)
+            .delay(0, 2, 50)
+            .drop_result(2, 4);
+        assert_eq!(plan.fault_for(1, 0).kill_after, Some(3));
+        assert_eq!(
+            plan.fault_for(0, 0).delay,
+            Some(Delay {
+                after: 2,
+                millis: 50
+            })
+        );
+        assert_eq!(plan.fault_for(2, 0).drop_at, Some(4));
+        // Out-of-range workers and respawned incarnations are healthy.
+        assert!(plan.fault_for(9, 0).is_none());
+        assert!(plan.fault_for(1, 1).is_none());
+    }
+
+    #[test]
+    fn parse_round_trips_the_issue_grammar() {
+        let plan = FaultPlan::parse("kill:0:after=3").unwrap();
+        assert_eq!(plan.fault_for(0, 0).kill_after, Some(3));
+
+        let plan = FaultPlan::parse("kill:1:after=0, delay:0:ms=20, drop:2:at=5").unwrap();
+        assert_eq!(plan.fault_for(1, 0).kill_after, Some(0));
+        assert_eq!(
+            plan.fault_for(0, 0).delay,
+            Some(Delay {
+                after: 0,
+                millis: 20
+            })
+        );
+        assert_eq!(plan.fault_for(2, 0).drop_at, Some(5));
+
+        let plan = FaultPlan::parse("delay:3:after=2:ms=7").unwrap();
+        assert_eq!(
+            plan.fault_for(3, 0).delay,
+            Some(Delay {
+                after: 2,
+                millis: 7
+            })
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_directives() {
+        assert!(FaultPlan::parse("kill").is_err());
+        assert!(FaultPlan::parse("kill:x:after=1").is_err());
+        assert!(FaultPlan::parse("kill:0").is_err());
+        assert!(FaultPlan::parse("explode:0:after=1").is_err());
+        assert!(FaultPlan::parse("delay:0:after=2").is_err());
+        assert!(FaultPlan::parse("drop:0:at=nope").is_err());
+    }
+
+    #[test]
+    fn empty_plans() {
+        assert!(FaultPlan::none().is_empty());
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+        assert!(!FaultPlan::none().kill(0, 1).is_empty());
+        assert_eq!(
+            FaultPlan::from_die_after(&[None, Some(2)]),
+            FaultPlan::none().kill(1, 2)
+        );
+    }
+
+    #[test]
+    fn delay_for_respects_after() {
+        let f = WorkerFault {
+            delay: Some(Delay {
+                after: 2,
+                millis: 10,
+            }),
+            ..WorkerFault::default()
+        };
+        assert_eq!(f.delay_for(1), None);
+        assert_eq!(f.delay_for(2), Some(Duration::from_millis(10)));
+        assert_eq!(f.delay_for(9), Some(Duration::from_millis(10)));
+    }
+}

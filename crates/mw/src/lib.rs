@@ -9,23 +9,34 @@
 //! each other, only to the master; clients only to their server.
 //!
 //! * [`alloc`] — the processor-allocation arithmetic of Table 3.3.
-//! * [`pool`] — the raw worker pool (spawn/submit/call/stats).
+//! * [`pool`] — the supervised worker pool (spawn/submit/call/stats,
+//!   liveness detection, respawn, graceful failure).
+//! * [`faults`] — deterministic fault injection ([`faults::FaultPlan`],
+//!   `NSX_FAULTS`) for chaos-testing the supervision layer.
 //! * [`task`] — the structured `MwTask`/`MwDriver`/`WorkerCtx` layer with
 //!   the server→clients fan-out.
 //! * [`backend`] — the pool-backed [`backend::ThreadedBackend`]
 //!   implementation of `stoch-eval`'s `SamplingBackend` seam: whole
-//!   sampling rounds fan out over the workers.
+//!   sampling rounds fan out over the workers, with retry/timeout recovery
+//!   and serial degradation when the pool is lost (DESIGN.md §9).
 //! * [`objective`] — an adapter that runs any `StochasticObjective`'s
 //!   sampling on MW workers, so the optimizers in `noisy-simplex` can be
 //!   deployed on the pool unchanged.
 //!
 //! (The §3.4 scale-up experiment lives in the `repro-bench` crate.)
+//!
+//! Losing a worker must never take down or wedge a run, so production code
+//! in this crate is forbidden from `unwrap`/`expect` on recoverable paths
+//! (the lints below); worker loss is a value ([`pool::WorkerLost`]), not a
+//! panic.
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod alloc;
 pub mod backend;
 pub mod comm;
+pub mod faults;
 pub mod objective;
 pub mod pool;
 pub mod task;
@@ -33,6 +44,9 @@ pub mod task;
 pub use alloc::Allocation;
 pub use backend::ThreadedBackend;
 pub use comm::{network, CommError, Endpoint, Message, Packable};
+pub use faults::{Delay, FaultPlan, WorkerFault};
 pub use objective::{MwObjective, MwStream};
-pub use pool::{JobHandle, MwPool, WorkerStats};
+pub use pool::{
+    default_respawn_budget, JobHandle, MwPool, RetryPolicy, ShutdownError, WorkerLost, WorkerStats,
+};
 pub use task::{MwDriver, MwTask, WorkerCtx};

@@ -8,7 +8,7 @@
 //! `StochasticObjective`.
 
 use crate::backend::ship_extend;
-use crate::pool::MwPool;
+use crate::pool::{MwPool, WorkerLost};
 use std::sync::Arc;
 use stoch_eval::backend::StreamJob;
 use stoch_eval::objective::{Estimate, SampleStream, StochasticObjective};
@@ -41,6 +41,7 @@ impl<F> MwObjective<F> {
 }
 
 /// A sampling stream whose `extend` runs on a worker.
+#[derive(Clone)]
 pub struct MwStream<S> {
     state: Option<S>,
     pool: Arc<MwPool>,
@@ -49,9 +50,13 @@ pub struct MwStream<S> {
 impl<S: SampleStream + 'static> SampleStream for MwStream<S> {
     fn extend(&mut self, dt: f64) {
         // Ship the state to a worker, sample there, ship it back — the same
-        // primitive the batch backend fans out with.
-        let stream = self.state.take().expect("stream state lost");
-        let job = ship_extend(
+        // primitive the batch backend fans out with. A clone stays behind
+        // so a lost worker costs a re-execution, never the stream.
+        let Some(stream) = self.state.take() else {
+            unreachable!("MwStream state is always restored after extend")
+        };
+        let backup = stream.clone();
+        match ship_extend(
             &self.pool,
             StreamJob {
                 slot: 0,
@@ -59,12 +64,26 @@ impl<S: SampleStream + 'static> SampleStream for MwStream<S> {
                 stream,
             },
         )
-        .wait();
-        self.state = Some(job.stream);
+        .recv()
+        {
+            Ok(job) => self.state = Some(job.stream),
+            Err(WorkerLost) => {
+                // Reap/respawn for future extends, then fall back inline:
+                // the clone carries the RNG, so this reproduces exactly
+                // what the worker would have computed (DESIGN.md §9).
+                self.pool.supervise();
+                let mut stream = backup;
+                stream.extend(dt);
+                self.state = Some(stream);
+            }
+        }
     }
 
     fn estimate(&self) -> Estimate {
-        self.state.as_ref().expect("stream state lost").estimate()
+        match &self.state {
+            Some(s) => s.estimate(),
+            None => unreachable!("MwStream state is always restored after extend"),
+        }
     }
 }
 

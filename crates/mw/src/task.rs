@@ -42,7 +42,10 @@ impl WorkerCtx {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("client panicked"))
+                .map(|h| {
+                    h.join()
+                        .unwrap_or_else(|_| panic!("MW client thread panicked"))
+                })
                 .collect()
         })
     }
@@ -124,10 +127,14 @@ impl MwDriver {
     }
 
     /// Dispatch a batch concurrently and wait for every result (in input
-    /// order).
-    pub fn dispatch_all<T: MwTask>(&self, tasks: Vec<T>) -> Vec<T::Output> {
+    /// order). Any result lost to worker death fails the whole batch; use
+    /// [`dispatch_reliable`](Self::dispatch_reliable) for per-task retry.
+    pub fn dispatch_all<T: MwTask>(
+        &self,
+        tasks: Vec<T>,
+    ) -> Result<Vec<T::Output>, crate::pool::WorkerLost> {
         let handles: Vec<_> = tasks.into_iter().map(|t| self.dispatch(t)).collect();
-        handles.into_iter().map(|h| h.wait()).collect()
+        handles.into_iter().map(|h| h.recv()).collect()
     }
 
     /// Dispatch with master-side reassignment: if the executing worker dies
@@ -141,12 +148,15 @@ impl MwDriver {
     ) -> Result<T::Output, crate::pool::WorkerLost> {
         let mut attempt = 0;
         loop {
-            match self.dispatch(task.clone()).wait_result() {
+            match self.dispatch(task.clone()).recv() {
                 Ok(out) => return Ok(out),
                 Err(lost) => {
                     if attempt >= max_retries {
                         return Err(lost);
                     }
+                    // Reap the corpse (and respawn if the pool has budget)
+                    // so the retry lands on a live worker.
+                    self.pool.supervise();
                     attempt += 1;
                 }
             }
@@ -187,14 +197,18 @@ mod tests {
     #[test]
     fn dispatch_all_preserves_order() {
         let driver = MwDriver::new(4, 1);
-        let out = driver.dispatch_all((0..10).map(SquareTask).collect());
+        let out = driver
+            .dispatch_all((0..10).map(SquareTask).collect())
+            .unwrap();
         assert_eq!(out, vec![0, 1, 4, 9, 16, 25, 36, 49, 64, 81]);
     }
 
     #[test]
     fn clients_fan_out_per_worker() {
         let driver = MwDriver::new(2, 6);
-        let out = driver.dispatch_all(vec![ClientSumTask, ClientSumTask]);
+        let out = driver
+            .dispatch_all(vec![ClientSumTask, ClientSumTask])
+            .unwrap();
         // 0+1+..+5 = 15 per task.
         assert_eq!(out, vec![15, 15]);
     }
@@ -211,7 +225,9 @@ mod tests {
     #[test]
     fn job_counts_cover_all_dispatches() {
         let driver = MwDriver::new(3, 1);
-        let _ = driver.dispatch_all((0..20).map(SquareTask).collect());
+        let _ = driver
+            .dispatch_all((0..20).map(SquareTask).collect())
+            .unwrap();
         assert_eq!(driver.job_counts().iter().sum::<u64>(), 20);
     }
 

@@ -49,6 +49,16 @@ pub trait SamplingBackend<S>: Send + Sync {
 
     /// Short label for reports (`"serial"`, `"threaded"`).
     fn name(&self) -> &'static str;
+
+    /// Whether the backend has permanently lost its parallel capacity and is
+    /// (or will be) executing work inline on the calling thread — graceful
+    /// degradation rather than an error. Inline backends never degrade;
+    /// pool-backed backends report `true` once their worker-respawn budget is
+    /// exhausted. Results are unaffected (the determinism contract holds
+    /// through degradation); callers may surface the event in run reports.
+    fn degraded(&self) -> bool {
+        false
+    }
 }
 
 /// The default backend: extends every stream inline on the calling thread.

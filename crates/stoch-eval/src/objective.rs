@@ -51,7 +51,13 @@ impl Estimate {
 /// Streams are `Send`: they own their state (including their RNG), so a
 /// [`crate::backend::SamplingBackend`] may ship them to a worker thread for
 /// extension and back. See `DESIGN.md` §8.
-pub trait SampleStream: Send {
+///
+/// Streams are also `Clone`: a fault-tolerant backend keeps a master-side
+/// copy of every stream it ships, so that when a worker is lost mid-job the
+/// work can be re-issued from the copy. Because the clone carries the RNG
+/// state, the re-issued extension reproduces the lost one bit for bit
+/// (DESIGN.md §9).
+pub trait SampleStream: Send + Clone {
     /// Advance sampling by virtual duration `dt > 0`.
     fn extend(&mut self, dt: f64);
 

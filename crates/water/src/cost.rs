@@ -142,6 +142,7 @@ impl<E: PropertyEngine> WaterObjective<E> {
 }
 
 /// Sampling stream over the six noisy properties.
+#[derive(Debug, Clone)]
 pub struct WaterCostStream {
     props: [f64; 6],
     sigma0: [f64; 6],
@@ -267,6 +268,7 @@ pub fn rdf_residual(curve: &(Vec<f64>, Vec<f64>), reference: fn(f64) -> f64) -> 
 /// `extend(dt)` runs one more short simulation (a fresh seed) and folds its
 /// cost into a Welford mean. This is the full-fidelity path where the noise
 /// is genuine thermal sampling error, not a synthetic Gaussian.
+#[derive(Debug, Clone)]
 pub struct MdCostStream {
     params: [f64; 3],
     cfg: MdConfig,

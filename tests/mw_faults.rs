@@ -1,0 +1,172 @@
+//! Chaos determinism (DESIGN.md §9): injected worker faults — kills, delays,
+//! dropped results — must never change a [`RunResult`]. As long as the retry
+//! budget and at least one live worker remain, every simplex-family method
+//! stays bit-identical to its fault-free serial run; and when the respawn
+//! budget is exhausted the run degrades to serial execution (recorded as
+//! [`RunNote::DegradedToSerial`]) rather than erroring.
+
+use noisy_simplex::prelude::*;
+use proptest::prelude::*;
+use std::time::Duration;
+use stoch_eval::functions::{Rosenbrock, Sphere};
+use stoch_eval::noise::ConstantNoise;
+use stoch_eval::objective::StochasticObjective;
+use stoch_eval::sampler::Noisy;
+
+/// A generous retry policy so every injected loss is re-dispatched.
+fn chaos_retry() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 5,
+        timeout: None,
+        backoff: Duration::ZERO,
+    }
+}
+
+fn methods_with(backend: BackendChoice, faults: Option<FaultPlan>) -> Vec<SimplexMethod> {
+    let mut det = Det::new();
+    let mut mn = MaxNoise::with_k(2.0);
+    let mut pc = PointComparison::new();
+    let mut pcmn = PcMn::new();
+    for cfg in [&mut det.cfg, &mut mn.cfg, &mut pc.cfg, &mut pcmn.cfg] {
+        cfg.backend = backend;
+        cfg.faults = faults.clone();
+        if faults.is_some() {
+            cfg.retry = chaos_retry();
+        }
+    }
+    vec![
+        SimplexMethod::Det(det),
+        SimplexMethod::Mn(mn),
+        SimplexMethod::Pc(pc),
+        SimplexMethod::PcMn(pcmn),
+    ]
+}
+
+fn term() -> Termination {
+    Termination {
+        tolerance: Some(1e-6),
+        max_time: Some(500.0),
+        max_iterations: Some(120),
+    }
+}
+
+/// Bitwise comparison of two runs, trace included (same contract as
+/// `tests/backend_determinism.rs`).
+fn assert_identical(label: &str, a: &RunResult, b: &RunResult) {
+    let bits = |v: f64| v.to_bits();
+    assert_eq!(a.best_point, b.best_point, "{label}: best_point");
+    assert_eq!(
+        bits(a.best_observed),
+        bits(b.best_observed),
+        "{label}: best_observed"
+    );
+    assert_eq!(a.iterations, b.iterations, "{label}: iterations");
+    assert_eq!(bits(a.elapsed), bits(b.elapsed), "{label}: elapsed");
+    assert_eq!(
+        bits(a.total_sampling),
+        bits(b.total_sampling),
+        "{label}: total_sampling"
+    );
+    assert_eq!(a.stop, b.stop, "{label}: stop reason");
+    let (pa, pb) = (a.trace.points(), b.trace.points());
+    assert_eq!(pa.len(), pb.len(), "{label}: trace length");
+    for (i, (x, y)) in pa.iter().zip(pb).enumerate() {
+        assert_eq!(bits(x.time), bits(y.time), "{label}: trace[{i}].time");
+        assert_eq!(x.iteration, y.iteration, "{label}: trace[{i}].iteration");
+        assert_eq!(
+            bits(x.best_observed),
+            bits(y.best_observed),
+            "{label}: trace[{i}].best_observed"
+        );
+        assert_eq!(x.step, y.step, "{label}: trace[{i}].step");
+    }
+}
+
+/// Fault plans that always leave at least one worker (worker `n-1`) alive
+/// and un-delayed, across a pool of `workers` threads.
+fn survivable_plans(workers: usize) -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        ("kill-first-early", FaultPlan::none().kill(0, 1)),
+        ("kill-first-immediately", FaultPlan::none().kill(0, 0)),
+        (
+            "kill-two",
+            FaultPlan::none().kill(0, 0).kill(workers.min(2) - 1, 2),
+        ),
+        ("delay-first", FaultPlan::none().delay(0, 0, 5)),
+        (
+            "drop-then-kill",
+            FaultPlan::none().drop_result(0, 1).kill(0, 3),
+        ),
+        (
+            "mixed",
+            FaultPlan::none().kill(0, 2).delay(1 % workers, 1, 3),
+        ),
+    ]
+}
+
+fn check_chaos_matches_serial<F: StochasticObjective>(objective: &F, d: usize, seed: u64) {
+    let workers = 3;
+    let init = init::random_uniform(d, -3.0, 3.0, seed);
+    let serial = methods_with(BackendChoice::Serial, None);
+    for (plan_name, plan) in survivable_plans(workers) {
+        let faulted = methods_with(BackendChoice::Threaded { workers }, Some(plan));
+        for (s, t) in serial.iter().zip(&faulted) {
+            let ra = s.run(objective, init.clone(), term(), TimeMode::Parallel, seed);
+            let rb = t.run(objective, init.clone(), term(), TimeMode::Parallel, seed);
+            let label = format!("{} under {plan_name}", s.name());
+            assert_identical(&label, &ra, &rb);
+            assert!(
+                ra.notes.is_empty(),
+                "{label}: serial run must carry no notes"
+            );
+            assert!(
+                !rb.notes.contains(&RunNote::DegradedToSerial),
+                "{label}: a survivable fault plan must not degrade the run"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn faulted_runs_match_serial_on_rosenbrock(seed in 1u64..10_000) {
+        let obj = Noisy::new(Rosenbrock::new(3), ConstantNoise(2.0));
+        check_chaos_matches_serial(&obj, 3, seed);
+    }
+
+    #[test]
+    fn faulted_runs_match_serial_on_quadratic(seed in 1u64..10_000) {
+        let obj = Noisy::new(Sphere::new(2), ConstantNoise(1.0));
+        check_chaos_matches_serial(&obj, 2, seed);
+    }
+}
+
+/// Killing every worker with no respawn budget must not error: the engine
+/// degrades to inline serial execution, records the fact in
+/// [`RunResult::notes`], and still matches the serial run bit for bit.
+#[test]
+fn exhausted_budget_degrades_to_serial_with_note() {
+    let obj = Noisy::new(Sphere::new(2), ConstantNoise(1.0));
+    let seed = 7;
+    let init = init::random_uniform(2, -3.0, 3.0, seed);
+
+    let mut serial = Det::new();
+    serial.cfg.backend = BackendChoice::Serial;
+    let ra = serial.run(&obj, init.clone(), term(), TimeMode::Parallel, seed);
+
+    let mut doomed = Det::new();
+    doomed.cfg.backend = BackendChoice::Threaded { workers: 2 };
+    doomed.cfg.faults = Some(FaultPlan::none().kill(0, 0).kill(1, 0));
+    doomed.cfg.respawn_budget = Some(0);
+    doomed.cfg.retry = chaos_retry();
+    let rb = doomed.run(&obj, init.clone(), term(), TimeMode::Parallel, seed);
+
+    assert_identical("det degraded-to-serial", &ra, &rb);
+    assert!(
+        rb.notes.contains(&RunNote::DegradedToSerial),
+        "degraded run must record DegradedToSerial, got {:?}",
+        rb.notes
+    );
+}
