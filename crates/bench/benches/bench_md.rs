@@ -1,10 +1,12 @@
-//! Criterion micro-benchmarks for the MD substrate: the pair-force loop and
-//! a full velocity-Verlet+SHAKE step at two system sizes.
+//! Criterion micro-benchmarks for the MD substrate: the pair-force loop
+//! (naive oracle vs cell-list kernel) and a full velocity-Verlet+SHAKE step
+//! at two system sizes.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use water_md::forces::compute_forces;
 use water_md::integrate::step;
+use water_md::kernel::{ForceEngine, ForceKernel};
 use water_md::model::TIP4P;
 use water_md::system::System;
 
@@ -16,11 +18,16 @@ fn bench_md(c: &mut Criterion) {
         c.bench_function(&format!("compute_forces_n{n}"), |b| {
             b.iter(|| black_box(compute_forces(black_box(&sys), rc)))
         });
+        c.bench_function(&format!("cell_list_forces_n{n}"), |b| {
+            let mut engine = ForceEngine::new(ForceKernel::CellList);
+            b.iter(|| black_box(engine.compute(black_box(&sys), rc)))
+        });
         c.bench_function(&format!("md_step_n{n}"), |b| {
             let mut sys2 = sys.clone();
-            let mut f = compute_forces(&sys2, rc);
+            let mut engine = ForceEngine::new(ForceKernel::CellList);
+            let mut f = engine.compute(&sys2, rc);
             b.iter(|| {
-                f = step(&mut sys2, &f, 1.0, rc);
+                f = step(&mut sys2, &f, 1.0, rc, &mut engine);
                 black_box(f.potential)
             })
         });

@@ -1,0 +1,221 @@
+//! Force-kernel exhibit (DESIGN.md §10): how much does the O(n) cell-list /
+//! Verlet kernel buy over the naive O(n²) double loop, and do the two agree?
+//!
+//! For each system size the harness builds a liquid-density TIP4P box,
+//! verifies naive and cell-list forces/energy/virial agree to 1e-10
+//! relative (both on the fresh configuration and after a short trajectory
+//! that exercises stale-list reuse), then times an MD run per kernel and
+//! reports ns/step, the measured speedup, rebuild counts, and neighbor
+//! statistics.
+//!
+//! Writes `BENCH_water.json`. Exits non-zero if the kernels disagree or if
+//! the cell list fails to beat the naive kernel at n = 256.
+//!
+//! ```text
+//! cargo run --release --bin water_kernel_bench -- [--smoke] [--out <path>]
+//! ```
+
+use repro_bench::apply_smoke_defaults;
+use water_md::forces::{compute_forces, Forces};
+use water_md::integrate::step;
+use water_md::kernel::{ForceEngine, ForceKernel, DEFAULT_SKIN};
+use water_md::system::System;
+use water_md::TIP4P;
+
+/// Liquid water at ambient conditions.
+const DENSITY: f64 = 0.997;
+const TEMPERATURE: f64 = 300.0;
+/// Benchmark cutoff (Å), clamped to the half-box per size. Short enough
+/// that the O(n²) sweep — not the in-cutoff force work shared by both
+/// kernels — dominates the naive cost at n = 512 (see DESIGN.md §10).
+const RC: f64 = 3.0;
+const DT_FS: f64 = 1.0;
+const EQUIV_TOL: f64 = 1e-10;
+
+fn rel(a: f64, b: f64) -> f64 {
+    (a - b).abs() / a.abs().max(b.abs()).max(1.0)
+}
+
+fn max_rel_err(a: &Forces, b: &Forces) -> f64 {
+    let mut worst = rel(a.potential, b.potential).max(rel(a.virial, b.virial));
+    for (fa, fb) in a.f.iter().zip(&b.f) {
+        for (va, vb) in fa.iter().zip(fb) {
+            worst = worst
+                .max(rel(va.x, vb.x))
+                .max(rel(va.y, vb.y))
+                .max(rel(va.z, vb.z));
+        }
+    }
+    worst
+}
+
+/// Run `steps` MD steps from `sys0` under `kernel`; return (ns/force-eval,
+/// rebuilds, avg neighbors per molecule).
+fn time_kernel(kernel: ForceKernel, sys0: &System, rc: f64, steps: u64) -> (f64, u64, f64) {
+    let mut sys = sys0.clone();
+    let mut engine = ForceEngine::with_skin(kernel, DEFAULT_SKIN);
+    let mut f = engine.compute(&sys, rc);
+    for _ in 0..steps {
+        f = step(&mut sys, &f, DT_FS, rc, &mut engine);
+    }
+    let s = engine.stats();
+    (s.ns_per_eval(), s.rebuilds, engine.avg_neighbors())
+}
+
+/// Naive vs cell-list on the fresh lattice, then again after `steps` of
+/// cell-kernel MD (stale-list reuse + at least one rebuild in the loop).
+fn equivalence_err(sys0: &System, rc: f64, steps: u64) -> f64 {
+    let mut engine = ForceEngine::with_skin(ForceKernel::CellList, DEFAULT_SKIN);
+    let mut sys = sys0.clone();
+    let mut f = engine.compute(&sys, rc);
+    let worst = max_rel_err(&f, &compute_forces(&sys, rc));
+    for _ in 0..steps {
+        f = step(&mut sys, &f, DT_FS, rc, &mut engine);
+    }
+    worst.max(max_rel_err(&f, &compute_forces(&sys, rc)))
+}
+
+struct SizeResult {
+    n: usize,
+    rc: f64,
+    box_len: f64,
+    naive_ns_per_step: f64,
+    cell_ns_per_step: f64,
+    speedup: f64,
+    rebuilds: u64,
+    avg_neighbors: f64,
+    max_rel_err: f64,
+}
+
+impl SizeResult {
+    fn to_json(&self) -> String {
+        format!(
+            "  {{\n    \"n\": {},\n    \"rc\": {:.3},\n    \"box_len\": {:.3},\n    \
+             \"naive_ns_per_step\": {:.1},\n    \"cell_ns_per_step\": {:.1},\n    \
+             \"speedup\": {:.3},\n    \"rebuilds\": {},\n    \
+             \"avg_neighbors\": {:.2},\n    \"max_rel_err\": {:.3e}\n  }}",
+            self.n,
+            self.rc,
+            self.box_len,
+            self.naive_ns_per_step,
+            self.cell_ns_per_step,
+            self.speedup,
+            self.rebuilds,
+            self.avg_neighbors,
+            self.max_rel_err,
+        )
+    }
+}
+
+fn report_json(steps: u64, results: &[SizeResult]) -> String {
+    let sizes: Vec<String> = results.iter().map(SizeResult::to_json).collect();
+    format!(
+        "{{\n  \"density_g_cm3\": {DENSITY},\n  \"temperature_k\": {TEMPERATURE},\n  \
+         \"skin\": {DEFAULT_SKIN},\n  \"dt_fs\": {DT_FS},\n  \"steps\": {steps},\n  \
+         \"sizes\": [\n{}\n  ]\n}}\n",
+        sizes.join(",\n")
+    )
+}
+
+fn main() {
+    let mut out = std::path::PathBuf::from("BENCH_water.json");
+    let mut smoke = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => {
+                apply_smoke_defaults();
+                smoke = true;
+            }
+            "--out" => match args.next() {
+                Some(p) => out = p.into(),
+                None => {
+                    eprintln!("error: --out requires a path argument");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                eprintln!("usage: water_kernel_bench [--smoke] [--out <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let (sizes, steps): (&[usize], u64) = if smoke {
+        (&[64, 256], 30)
+    } else {
+        (&[64, 256, 512], 300)
+    };
+
+    println!("water kernel bench: naive O(n\u{b2}) vs cell-list (DESIGN.md \u{a7}10)");
+    let mut results = Vec::with_capacity(sizes.len());
+    for &n in sizes {
+        let sys = System::lattice_count(TIP4P, n, DENSITY, TEMPERATURE, 2_000 + n as u64);
+        let rc = RC.min(sys.box_len / 2.0);
+        let err = equivalence_err(&sys, rc, steps.min(50));
+        // Best of two timed runs per kernel: the short smoke runs are only
+        // a few ms and a scheduler blip would otherwise dominate them.
+        let best = |kernel: ForceKernel| {
+            let a = time_kernel(kernel, &sys, rc, steps);
+            let b = time_kernel(kernel, &sys, rc, steps);
+            if a.0 <= b.0 {
+                a
+            } else {
+                b
+            }
+        };
+        let (naive_ns, _, _) = best(ForceKernel::Naive);
+        let (cell_ns, rebuilds, avg_neighbors) = best(ForceKernel::CellList);
+        let r = SizeResult {
+            n,
+            rc,
+            box_len: sys.box_len,
+            naive_ns_per_step: naive_ns,
+            cell_ns_per_step: cell_ns,
+            speedup: naive_ns / cell_ns.max(1.0),
+            rebuilds,
+            avg_neighbors,
+            max_rel_err: err,
+        };
+        println!(
+            "n={:4}: naive {:9.0} ns/step, cell {:9.0} ns/step, speedup {:5.2}x, \
+             rebuilds {}, avg neighbors {:.1}, max rel err {:.2e}",
+            r.n,
+            r.naive_ns_per_step,
+            r.cell_ns_per_step,
+            r.speedup,
+            r.rebuilds,
+            r.avg_neighbors,
+            r.max_rel_err
+        );
+        results.push(r);
+    }
+
+    if let Err(e) = std::fs::write(&out, report_json(steps, &results)) {
+        eprintln!("error: cannot write {}: {e}", out.display());
+        std::process::exit(1);
+    }
+    println!("written to {}", out.display());
+
+    let mut ok = true;
+    for r in &results {
+        if r.max_rel_err > EQUIV_TOL {
+            eprintln!(
+                "error: kernels disagree at n={} (max rel err {:.3e} > {EQUIV_TOL:.0e})",
+                r.n, r.max_rel_err
+            );
+            ok = false;
+        }
+        if r.n == 256 && r.speedup <= 1.0 {
+            eprintln!(
+                "error: cell list is not faster than naive at n=256 (speedup {:.3})",
+                r.speedup
+            );
+            ok = false;
+        }
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -44,10 +44,12 @@ use std::time::{Duration, Instant};
 use stoch_eval::backend::{SamplingBackend, StreamJob};
 use stoch_eval::objective::SampleStream;
 
-/// How often the waiting master wakes to run a supervision pass while a
-/// batch is in flight. Bounds the detection latency for a dead or wedged
-/// worker without busy-spinning.
-const SUPERVISION_TICK: Duration = Duration::from_millis(20);
+/// Fallback wake-up bound while a batch is in flight. Batch completion is
+/// event-driven — the pool's completion notifier wakes the master the
+/// moment any job resolves or a worker dies — so this only bounds how long
+/// a *silent* stall (a wedged-but-alive worker) can defer a supervision
+/// pass. It is not a completion-latency quantum.
+const SUPERVISION_FALLBACK: Duration = Duration::from_millis(100);
 
 /// Ship one extension job to the pool: the stream state moves to a worker,
 /// extends there, and is handed back through the job handle.
@@ -313,55 +315,77 @@ impl<S: SampleStream + 'static> SamplingBackend<S> for ThreadedBackend {
                 started: Instant::now(),
             })
             .collect();
-        while let Some(p) = pending.pop_front() {
-            // Wake at the supervision tick (or sooner if a per-attempt
-            // timeout would expire first) so a dead worker is detected and
-            // replaced even while this job sits queued behind others.
-            let mut wait = SUPERVISION_TICK;
-            if let Some(limit) = self.retry.timeout {
-                wait = wait.min(limit.saturating_sub(p.started.elapsed()));
-            }
-            match p.handle.recv_timeout(wait) {
-                Ok(Some(job)) => {
-                    out[p.idx] = Some(job);
-                }
-                Ok(None) => {
-                    if self
-                        .retry
-                        .timeout
-                        .is_some_and(|limit| p.started.elapsed() >= limit)
-                    {
-                        // The attempt overran its budget: abandon the
-                        // handle (a straggling result is ignored) and
-                        // re-issue from the backup.
-                        if let Some(o) = &self.obs {
-                            o.retry_timeouts.inc();
+        while !pending.is_empty() {
+            // Snapshot the completion generation BEFORE scanning: a result
+            // that lands mid-scan bumps past this snapshot, so the wait at
+            // the bottom returns immediately instead of sleeping through
+            // the wakeup.
+            let seen = self.pool.completion_generation();
+            let mut still: VecDeque<Pending<S>> = VecDeque::with_capacity(pending.len());
+            while let Some(p) = pending.pop_front() {
+                match p.handle.try_recv() {
+                    Ok(Some(job)) => {
+                        out[p.idx] = Some(job);
+                    }
+                    Ok(None) => {
+                        if self
+                            .retry
+                            .timeout
+                            .is_some_and(|limit| p.started.elapsed() >= limit)
+                        {
+                            // The attempt overran its budget: abandon the
+                            // handle (a straggling result is ignored) and
+                            // re-issue from the backup.
+                            if let Some(o) = &self.obs {
+                                o.retry_timeouts.inc();
+                            }
+                            self.retry_or_inline(p, &mut still, &mut out);
+                        } else {
+                            still.push_back(p);
                         }
-                        self.retry_or_inline(p, &mut pending, &mut out);
-                        continue;
                     }
-                    self.pool.supervise();
-                    if self.pool.is_failed() {
-                        // Respawn budget exhausted with no live workers:
-                        // degrade — finish this job and everything still
-                        // pending inline. Queued handles would error anyway
-                        // (the failed pool drained them); the backups make
-                        // the results whole.
-                        self.note_degraded();
-                        self.retry_or_inline(p, &mut pending, &mut out);
-                    } else {
-                        pending.push_back(p);
+                    Err(WorkerLost) => {
+                        // Reap/respawn before re-issuing so the retry lands
+                        // on a live worker where possible.
+                        self.pool.supervise();
+                        if self.pool.is_failed() {
+                            self.note_degraded();
+                        }
+                        self.retry_or_inline(p, &mut still, &mut out);
                     }
                 }
-                Err(WorkerLost) => {
-                    // Reap/respawn before re-issuing so the retry lands on
-                    // a live worker where possible.
-                    self.pool.supervise();
-                    if self.pool.is_failed() {
-                        self.note_degraded();
-                    }
-                    self.retry_or_inline(p, &mut pending, &mut out);
+            }
+            pending = still;
+            if pending.is_empty() {
+                break;
+            }
+            // A supervision pass each round keeps dead-worker detection
+            // bounded even when nothing completes.
+            self.pool.supervise();
+            if self.pool.is_failed() {
+                // Respawn budget exhausted with no live workers: degrade —
+                // finish everything still pending inline. Queued handles
+                // would error anyway (the failed pool drained them); the
+                // backups make the results whole.
+                self.note_degraded();
+                let mut sink = VecDeque::new();
+                while let Some(p) = pending.pop_front() {
+                    // is_failed() makes retry_or_inline run inline.
+                    self.retry_or_inline(p, &mut sink, &mut out);
                 }
+                debug_assert!(sink.is_empty(), "failed pool must not re-queue");
+                break;
+            }
+            // Sleep until a completion event, the earliest per-attempt
+            // deadline, or the supervision fallback — whichever is first.
+            let mut wait = SUPERVISION_FALLBACK;
+            if let Some(limit) = self.retry.timeout {
+                for p in &pending {
+                    wait = wait.min(limit.saturating_sub(p.started.elapsed()));
+                }
+            }
+            if !wait.is_zero() {
+                self.pool.wait_for_completion(seen, wait);
             }
         }
         let done: Vec<StreamJob<S>> = out

@@ -23,7 +23,7 @@ use crate::faults::{FaultPlan, WorkerFault};
 use crossbeam_channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use obs::{Counter, Gauge, MetricsRegistry};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -73,6 +73,71 @@ impl PoolObs {
             worker_idle_nanos: (0..n_workers)
                 .map(|w| registry.counter(&format!("mw.pool.worker{w}.idle_nanos")))
                 .collect(),
+        }
+    }
+}
+
+/// Wakes masters blocked in a batch wait whenever something that can change
+/// a pending [`JobHandle`]'s outcome happens: a job finishes (result sent
+/// *or* dropped), a worker dies, or the failed-pool drain discards queued
+/// jobs. Callers snapshot [`generation`](CompletionNotifier::generation)
+/// *before* scanning their handles, then [`wait`](CompletionNotifier::wait)
+/// on that snapshot — a completion racing the scan bumps past the snapshot
+/// and the wait returns immediately, so no wakeup is ever lost.
+// Mutex<u64> + Condvar is the textbook generation counter for parking
+// waiters; an atomic (what clippy::mutex_integer suggests) cannot pair with
+// a condvar's wait/notify.
+#[allow(clippy::mutex_integer)]
+pub(crate) struct CompletionNotifier {
+    generation: Mutex<u64>,
+    cond: Condvar,
+}
+
+impl CompletionNotifier {
+    fn new() -> Self {
+        CompletionNotifier {
+            generation: Mutex::new(0),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Poison-proof lock: a waiter must keep waking even if a panicking
+    /// thread poisoned the counter mid-bump.
+    fn lock(&self) -> MutexGuard<'_, u64> {
+        match self.generation.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// The current completion generation.
+    pub(crate) fn generation(&self) -> u64 {
+        *self.lock()
+    }
+
+    /// Record a completion event and wake every waiter.
+    fn bump(&self) {
+        let mut g = self.lock();
+        *g = g.wrapping_add(1);
+        drop(g);
+        self.cond.notify_all();
+    }
+
+    /// Block until the generation advances past `seen` or `timeout`
+    /// elapses, whichever comes first (spurious wakeups re-wait only for
+    /// the remainder).
+    pub(crate) fn wait(&self, seen: u64, timeout: Duration) {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut g = self.lock();
+        while *g == seen {
+            let Some(remaining) = deadline.checked_duration_since(std::time::Instant::now()) else {
+                return;
+            };
+            let (guard, _) = match self.cond.wait_timeout(g, remaining) {
+                Ok(pair) => pair,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            g = guard;
         }
     }
 }
@@ -230,6 +295,7 @@ pub struct MwPool {
     respawns: AtomicU64,
     failed: AtomicBool,
     faults: FaultPlan,
+    notifier: Arc<CompletionNotifier>,
     obs: Option<Arc<PoolObs>>,
 }
 
@@ -241,6 +307,7 @@ struct AliveGuard {
     alive: Arc<AtomicBool>,
     lost: Arc<AtomicU64>,
     lost_obs: Option<Arc<Counter>>,
+    notifier: Arc<CompletionNotifier>,
     defused: bool,
 }
 
@@ -253,6 +320,9 @@ impl Drop for AliveGuard {
                 c.inc();
             }
         }
+        // A worker exit can disconnect an in-flight job's channel; wake any
+        // master blocked on a batch so it observes the loss now.
+        self.notifier.bump();
     }
 }
 
@@ -266,6 +336,7 @@ fn spawn_worker(
     queue_depth: Arc<AtomicU64>,
     alive: Arc<AtomicBool>,
     lost: Arc<AtomicU64>,
+    notifier: Arc<CompletionNotifier>,
     obs: Option<Arc<PoolObs>>,
 ) -> JoinHandle<()> {
     std::thread::Builder::new()
@@ -275,6 +346,7 @@ fn spawn_worker(
                 alive,
                 lost,
                 lost_obs: obs.as_ref().map(|o| Arc::clone(&o.workers_lost)),
+                notifier: Arc::clone(&notifier),
                 defused: false,
             };
             // MWWorker loop: execute a task, report the result, wait for
@@ -323,6 +395,9 @@ fn spawn_worker(
                 if let Some(o) = &obs {
                     o.worker_busy_nanos[w].add(dt);
                 }
+                // The job either sent its result or dropped the sender
+                // (injected loss): either way a pending handle resolved.
+                notifier.bump();
             }
         })
         .unwrap_or_else(|e| panic!("failed to spawn MW worker {w}: {e}"))
@@ -381,6 +456,7 @@ impl MwPool {
             Arc::new((0..n_workers).map(|_| WorkerStats::default()).collect());
         let queue_depth = Arc::new(AtomicU64::new(0));
         let workers_lost = Arc::new(AtomicU64::new(0));
+        let notifier = Arc::new(CompletionNotifier::new());
         let obs = registry.map(|reg| Arc::new(PoolObs::register(reg, n_workers)));
         let slots = (0..n_workers)
             .map(|w| {
@@ -394,6 +470,7 @@ impl MwPool {
                     Arc::clone(&queue_depth),
                     Arc::clone(&alive),
                     Arc::clone(&workers_lost),
+                    Arc::clone(&notifier),
                     obs.clone(),
                 );
                 Slot {
@@ -418,6 +495,7 @@ impl MwPool {
             respawns: AtomicU64::new(0),
             failed: AtomicBool::new(false),
             faults,
+            notifier,
             obs,
         }
     }
@@ -501,6 +579,7 @@ impl MwPool {
                 Arc::clone(&self.queue_depth),
                 Arc::clone(&alive),
                 Arc::clone(&self.workers_lost),
+                Arc::clone(&self.notifier),
                 self.obs.clone(),
             );
             core.slots[w] = Slot {
@@ -528,10 +607,30 @@ impl MwPool {
     /// Discard every queued job. Each dropped job drops its result sender,
     /// so the corresponding [`JobHandle`] reports [`WorkerLost`] promptly.
     fn drain_queue(&self) {
+        let mut drained = false;
         while let Ok(job) = self.job_rx.try_recv() {
             self.queue_depth.fetch_sub(1, Ordering::Relaxed);
             drop(job);
+            drained = true;
         }
+        if drained {
+            // Dropped jobs disconnected their handles; wake blocked masters.
+            self.notifier.bump();
+        }
+    }
+
+    /// Snapshot the completion generation. Take this *before* scanning
+    /// pending handles; pass it to [`wait_for_completion`]
+    /// (MwPool::wait_for_completion) so a completion that lands mid-scan
+    /// wakes the wait immediately instead of being lost.
+    pub(crate) fn completion_generation(&self) -> u64 {
+        self.notifier.generation()
+    }
+
+    /// Block until any job completion / worker death / queue drain happens
+    /// after the `seen` snapshot, or `timeout` elapses.
+    pub(crate) fn wait_for_completion(&self, seen: u64, timeout: Duration) {
+        self.notifier.wait(seen, timeout);
     }
 
     /// Submit a job; returns immediately with a handle. Never panics: on a

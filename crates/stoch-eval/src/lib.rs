@@ -48,5 +48,5 @@ pub use functions::{BoxWilsonQuadratic, McKinnon, Powell, Rastrigin, Rosenbrock,
 pub use functions_ext::{Ackley, Griewank, IllConditionedQuadratic, Levy, Zakharov};
 pub use noise::{ConstantNoise, NoiseModel, RelativeNoise, ZeroNoise};
 pub use objective::{Estimate, Objective, SampleStream, StochasticObjective};
-pub use sampler::{EmpiricalStream, GaussianStream, Noisy};
+pub use sampler::{EmpiricalStream, GaussianStream, Noisy, NormalSource};
 pub use stats::{Histogram, Summary, Welford};

@@ -1,0 +1,98 @@
+//! The sufficient-statistics fast path in `EmpiricalStream::extend`
+//! (taken when `ceil(dt/dt_sample) > 1`) must agree with the per-sample
+//! Welford slow path. Both paths consume the identical variate sequence,
+//! so any disagreement is pure floating-point reassociation — bounded
+//! here at 1e-12 relative.
+
+use proptest::prelude::*;
+use stoch_eval::objective::SampleStream;
+use stoch_eval::sampler::EmpiricalStream;
+
+/// Drive a same-seed stream through the slow path only: `extend(dt_sample)`
+/// runs one batch per call, which always takes the per-sample push branch.
+fn slow_reference(
+    f: f64,
+    sigma0: f64,
+    dt_sample: f64,
+    seed: u64,
+    total_batches: u64,
+) -> (f64, f64) {
+    let mut s = EmpiricalStream::new(f, sigma0, dt_sample, seed);
+    for _ in 0..total_batches {
+        s.extend(dt_sample);
+    }
+    let e = s.estimate();
+    (e.value, e.std_err)
+}
+
+fn rel_close(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol * a.abs().max(b.abs()).max(1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fast_path_matches_per_sample_welford(
+        f in -100.0f64..100.0,
+        sigma0 in 0.01f64..50.0,
+        dt_sample in 0.01f64..2.0,
+        seed in 0u64..1_000,
+        // A sequence of extensions, each covering 2..=400 batches so every
+        // extend() call takes the fast path; total stays ≤ ~2000 samples to
+        // keep accumulated rounding within the 1e-12 budget.
+        batch_counts in collection::vec(2u64..=400, 1..6),
+    ) {
+        let mut fast = EmpiricalStream::new(f, sigma0, dt_sample, seed);
+        let mut total = 0u64;
+        for &b in &batch_counts {
+            // dt chosen so ceil(dt/dt_sample) == b exactly.
+            let dt = (b as f64 - 0.5) * dt_sample;
+            fast.extend(dt);
+            total += b;
+        }
+        let e = fast.estimate();
+        let (slow_mean, slow_err) = slow_reference(f, sigma0, dt_sample, seed, total);
+        prop_assert!(
+            rel_close(e.value, slow_mean, 1e-12),
+            "mean: fast {} vs slow {}", e.value, slow_mean
+        );
+        prop_assert!(
+            rel_close(e.std_err, slow_err, 1e-12),
+            "std_err: fast {} vs slow {}", e.std_err, slow_err
+        );
+        prop_assert_eq!(e.time, total as f64 * dt_sample);
+    }
+
+    #[test]
+    fn fast_path_composes_with_single_sample_extensions(
+        f in -10.0f64..10.0,
+        sigma0 in 0.1f64..10.0,
+        seed in 0u64..1_000,
+    ) {
+        // Interleave slow (1-batch) and fast (multi-batch) extensions; the
+        // merged accumulator must match an all-slow run of the same total.
+        let dt_sample = 0.5;
+        let mut mixed = EmpiricalStream::new(f, sigma0, dt_sample, seed);
+        mixed.extend(dt_sample);        // 1 batch  (slow)
+        mixed.extend(10.0 * dt_sample); // 10 batches (fast)
+        mixed.extend(dt_sample);        // 1 batch  (slow)
+        mixed.extend(40.0 * dt_sample); // 40 batches (fast)
+        let e = mixed.estimate();
+        let (slow_mean, slow_err) = slow_reference(f, sigma0, dt_sample, seed, 52);
+        prop_assert!(rel_close(e.value, slow_mean, 1e-12));
+        prop_assert!(rel_close(e.std_err, slow_err, 1e-12));
+    }
+
+    #[test]
+    fn zero_noise_fast_path_is_exact(
+        f in -100.0f64..100.0,
+        batches in 2u64..500,
+    ) {
+        let mut s = EmpiricalStream::new(f, 0.0, 1.0, 7);
+        s.extend(batches as f64 - 0.25);
+        let e = s.estimate();
+        prop_assert_eq!(e.value, f);
+        prop_assert_eq!(e.std_err, 0.0);
+    }
+}

@@ -20,10 +20,8 @@
 use crate::reference::Experiment;
 use crate::simulate::{run_md, MdConfig};
 use crate::surrogate::{prop, PropertyEngine};
-use rand::rngs::StdRng;
 use stoch_eval::objective::{Estimate, SampleStream, StochasticObjective};
-use stoch_eval::rng::rng_from_seed;
-use stoch_eval::sampler::standard_normal;
+use stoch_eval::sampler::NormalSource;
 use stoch_eval::stats::Welford;
 
 /// Weights and normalization scales of the six cost terms.
@@ -149,7 +147,7 @@ pub struct WaterCostStream {
     weights: CostWeights,
     t: f64,
     sums: [f64; 6],
-    rng: StdRng,
+    src: NormalSource,
 }
 
 impl SampleStream for WaterCostStream {
@@ -157,7 +155,7 @@ impl SampleStream for WaterCostStream {
         assert!(dt > 0.0);
         for i in 0..6 {
             let z = if self.sigma0[i] > 0.0 {
-                standard_normal(&mut self.rng)
+                self.src.sample()
             } else {
                 0.0
             };
@@ -208,7 +206,7 @@ impl<E: PropertyEngine> StochasticObjective for WaterObjective<E> {
             weights: self.weights,
             t: 0.0,
             sums: [0.0; 6],
-            rng: rng_from_seed(seed),
+            src: NormalSource::new(seed),
         }
     }
 

@@ -6,7 +6,8 @@
 //! corrects positions after the drift step; RATTLE projects constraint-
 //! violating components out of the velocities after the second half-kick.
 
-use crate::forces::{compute_forces, Forces};
+use crate::forces::Forces;
+use crate::kernel::ForceEngine;
 use crate::system::{System, MASSES};
 use crate::units::{KB, KCAL_ACC, KE_TO_KCAL};
 use crate::vec3::Vec3;
@@ -86,8 +87,15 @@ fn rattle(r: &[Vec3; 3], v: &mut [Vec3; 3], cons: &[(usize, usize, f64); 3]) {
 
 /// One velocity-Verlet step of length `dt` (fs). Takes the forces at the
 /// current positions and returns the forces at the new positions (so force
-/// evaluations are never repeated).
-pub fn step(sys: &mut System, forces: &Forces, dt: f64, rc: f64) -> Forces {
+/// evaluations are never repeated). Force evaluation goes through `engine`,
+/// which owns the kernel selection and neighbor-list cache.
+pub fn step(
+    sys: &mut System,
+    forces: &Forces,
+    dt: f64,
+    rc: f64,
+    engine: &mut ForceEngine,
+) -> Forces {
     let cons = constraints(sys);
 
     // First half-kick + drift, then SHAKE.
@@ -104,7 +112,7 @@ pub fn step(sys: &mut System, forces: &Forces, dt: f64, rc: f64) -> Forces {
     }
 
     // New forces, second half-kick, then RATTLE.
-    let new_forces = compute_forces(sys, rc);
+    let new_forces = engine.compute(sys, rc);
     for (mol, f) in sys.molecules.iter_mut().zip(&new_forces.f) {
         for s in 0..3 {
             mol.v[s] += f[s] * (0.5 * dt * KCAL_ACC / MASSES[s]);
@@ -159,6 +167,11 @@ mod tests {
     use super::*;
     use crate::model::TIP4P;
 
+    fn engine() -> ForceEngine {
+        // from_env so the CI kernel matrix exercises both paths here.
+        ForceEngine::from_env()
+    }
+
     fn small_system(seed: u64) -> System {
         // 27 molecules: rc = L/2 ≈ 4.65 Å, beyond the first coordination
         // shell, so cutoff artefacts stay small.
@@ -169,9 +182,10 @@ mod tests {
     fn constraints_hold_over_many_steps() {
         let mut sys = small_system(1);
         let rc = sys.box_len / 2.0;
-        let mut f = compute_forces(&sys, rc);
+        let mut eng = engine();
+        let mut f = eng.compute(&sys, rc);
         for _ in 0..200 {
-            f = step(&mut sys, &f, 1.0, rc);
+            f = step(&mut sys, &f, 1.0, rc, &mut eng);
         }
         assert!(sys.constraints_satisfied(1e-6));
     }
@@ -180,9 +194,10 @@ mod tests {
     fn rattle_keeps_bond_velocities_orthogonal() {
         let mut sys = small_system(2);
         let rc = sys.box_len / 2.0;
-        let mut f = compute_forces(&sys, rc);
+        let mut eng = engine();
+        let mut f = eng.compute(&sys, rc);
         for _ in 0..20 {
-            f = step(&mut sys, &f, 1.0, rc);
+            f = step(&mut sys, &f, 1.0, rc, &mut eng);
         }
         for mol in &sys.molecules {
             let rij = mol.r[0] - mol.r[1];
@@ -196,16 +211,17 @@ mod tests {
         let mut sys = small_system(3);
         let rc = sys.box_len / 2.0;
         // Short settle so the lattice overlaps relax, then measure drift.
-        let mut f = compute_forces(&sys, rc);
+        let mut eng = engine();
+        let mut f = eng.compute(&sys, rc);
         for _ in 0..100 {
-            f = step(&mut sys, &f, 0.5, rc);
+            f = step(&mut sys, &f, 0.5, rc, &mut eng);
             rescale_to(&mut sys, 298.0);
         }
         let e0 = f.potential + kinetic_energy(&sys);
         let mut e_min = e0;
         let mut e_max = e0;
         for _ in 0..400 {
-            f = step(&mut sys, &f, 0.5, rc);
+            f = step(&mut sys, &f, 0.5, rc, &mut eng);
             let e = f.potential + kinetic_energy(&sys);
             e_min = e_min.min(e);
             e_max = e_max.max(e);
@@ -220,9 +236,10 @@ mod tests {
         let mut sys = small_system(4);
         let rc = sys.box_len / 2.0;
         let p0 = sys.momentum();
-        let mut f = compute_forces(&sys, rc);
+        let mut eng = engine();
+        let mut f = eng.compute(&sys, rc);
         for _ in 0..100 {
-            f = step(&mut sys, &f, 1.0, rc);
+            f = step(&mut sys, &f, 1.0, rc, &mut eng);
         }
         assert!((sys.momentum() - p0).norm() < 1e-8);
     }

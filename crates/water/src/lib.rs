@@ -24,6 +24,7 @@ pub mod blocking;
 pub mod cost;
 pub mod forces;
 pub mod integrate;
+pub mod kernel;
 pub mod model;
 pub mod npt;
 pub mod properties;
@@ -36,6 +37,7 @@ pub mod units;
 pub mod vec3;
 
 pub use cost::{CostWeights, WaterObjective};
+pub use kernel::{ForceEngine, ForceKernel};
 pub use model::{WaterModel, TIP4P};
 pub use reference::Experiment;
 pub use simulate::{run_md, MdConfig, MdProperties, Measured};

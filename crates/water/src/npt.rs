@@ -6,8 +6,8 @@
 //! Rigid molecules are scaled by their centers of mass so constraints are
 //! never violated by the box move.
 
-use crate::forces::compute_forces;
 use crate::integrate::{rescale_to, step, temperature};
+use crate::kernel::ForceEngine;
 use crate::properties::pressure_atm;
 use crate::system::{System, MASSES};
 use crate::vec3::Vec3;
@@ -92,10 +92,11 @@ pub fn equilibrate_npt(
     use crate::units::WATER_MOLAR_MASS;
     let mut box_trace = Vec::with_capacity(steps / 10 + 1);
     let mut p_tail = Vec::new();
-    let mut f = compute_forces(sys, sys.box_len / 2.0);
+    let mut engine = ForceEngine::from_env();
+    let mut f = engine.compute(sys, sys.box_len / 2.0);
     for i in 0..steps {
         let rc = sys.box_len / 2.0;
-        f = step(sys, &f, dt, rc);
+        f = step(sys, &f, dt, rc, &mut engine);
         if i % 5 == 0 {
             rescale_to(sys, t_target);
         }
@@ -103,6 +104,10 @@ pub fn equilibrate_npt(
         let p_inst = pressure_atm(sys, t_inst, f.virial);
         let mu = barostat.scale_factor(p_inst, dt);
         scale_box(sys, mu);
+        // The rescale moved every molecule and changed rc for the next
+        // step; the engine's box-length key would catch this, but make the
+        // invalidation explicit rather than relying on the cache heuristic.
+        engine.invalidate();
         if i % 10 == 0 {
             box_trace.push((i, sys.box_len));
         }

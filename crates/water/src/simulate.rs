@@ -3,8 +3,8 @@
 //! are measured with error bars.
 
 use crate::blocking::block_analysis;
-use crate::forces::compute_forces;
 use crate::integrate::{kinetic_energy, rescale_to, step, temperature};
+use crate::kernel::{ForceEngine, ForceKernel};
 use crate::model::WaterModel;
 use crate::properties::{pressure_atm, MsdTracker, RdfAccumulator, RdfKind};
 use crate::system::System;
@@ -30,6 +30,11 @@ pub struct MdConfig {
     pub sample_every: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Force evaluation path (default: `NSX_FORCE_KERNEL`, else cell-list).
+    pub kernel: ForceKernel,
+    /// O–O cutoff, Å. `None` uses the half-box convention; explicit values
+    /// are clamped to `box_len / 2`.
+    pub rc: Option<f64>,
 }
 
 impl Default for MdConfig {
@@ -43,6 +48,8 @@ impl Default for MdConfig {
             prod_steps: 2_000,
             sample_every: 10,
             seed: 0,
+            kernel: ForceKernel::from_env(),
+            rc: None,
         }
     }
 }
@@ -80,12 +87,14 @@ pub struct MdProperties {
 /// Run the full two-phase protocol for `model` under `cfg`.
 pub fn run_md(model: WaterModel, cfg: &MdConfig) -> MdProperties {
     let mut sys = System::lattice(model, cfg.n_side, cfg.density, cfg.temperature, cfg.seed);
-    let rc = sys.box_len / 2.0;
+    let half_box = sys.box_len / 2.0;
+    let rc = cfg.rc.map_or(half_box, |r| r.min(half_box));
+    let mut engine = ForceEngine::new(cfg.kernel);
 
     // Phase 1: NVT equilibration with velocity rescaling.
-    let mut f = compute_forces(&sys, rc);
+    let mut f = engine.compute(&sys, rc);
     for i in 0..cfg.equil_steps {
-        f = step(&mut sys, &f, cfg.dt, rc);
+        f = step(&mut sys, &f, cfg.dt, rc, &mut engine);
         if i % 5 == 0 {
             rescale_to(&mut sys, cfg.temperature);
         }
@@ -102,7 +111,7 @@ pub fn run_md(model: WaterModel, cfg: &MdConfig) -> MdProperties {
     let mut t_acc = Welford::new();
 
     for i in 1..=cfg.prod_steps {
-        f = step(&mut sys, &f, cfg.dt, rc);
+        f = step(&mut sys, &f, cfg.dt, rc, &mut engine);
         if i % cfg.sample_every == 0 {
             let t_inst = temperature(&sys);
             u_series.push(f.potential / sys.n_molecules() as f64);

@@ -80,7 +80,33 @@ impl System {
         seed: u64,
     ) -> System {
         assert!(n_side >= 1);
-        let n = n_side * n_side * n_side;
+        Self::lattice_count(
+            model,
+            n_side * n_side * n_side,
+            density_g_cm3,
+            temperature,
+            seed,
+        )
+    }
+
+    /// Build exactly `n` molecules at the given mass density: the smallest
+    /// cubic grid holding `n` sites, with `n` of them occupied at evenly
+    /// strided indices so vacancies spread uniformly rather than clustering
+    /// in one corner. For perfect cubes this reduces to [`System::lattice`]
+    /// (same site order, same RNG consumption — bit-identical systems).
+    pub fn lattice_count(
+        model: WaterModel,
+        n: usize,
+        density_g_cm3: f64,
+        temperature: f64,
+        seed: u64,
+    ) -> System {
+        assert!(n >= 1);
+        let mut n_side = (n as f64).cbrt().round() as usize;
+        while n_side * n_side * n_side < n {
+            n_side += 1;
+        }
+        let total = n_side * n_side * n_side;
         let rho = number_density(density_g_cm3, WATER_MOLAR_MASS);
         let box_len = (n as f64 / rho).cbrt();
         let spacing = box_len / n_side as f64;
@@ -88,26 +114,27 @@ impl System {
         let (o_ref, h1_ref, h2_ref) = model.reference_sites();
 
         let mut molecules = Vec::with_capacity(n);
-        for ix in 0..n_side {
-            for iy in 0..n_side {
-                for iz in 0..n_side {
-                    let center = Vec3::new(
-                        (ix as f64 + 0.5) * spacing,
-                        (iy as f64 + 0.5) * spacing,
-                        (iz as f64 + 0.5) * spacing,
-                    );
-                    let q = random_quaternion(&mut rng);
-                    let r = [
-                        center + rotate(o_ref, q),
-                        center + rotate(h1_ref, q),
-                        center + rotate(h2_ref, q),
-                    ];
-                    molecules.push(Molecule {
-                        r,
-                        v: [Vec3::zero(); 3],
-                    });
-                }
-            }
+        for k in 0..n {
+            // Evenly strided occupied-site index; strictly increasing since
+            // total / n >= 1, and the identity map when n == total.
+            let s = k * total / n;
+            let (ix, rem) = (s / (n_side * n_side), s % (n_side * n_side));
+            let (iy, iz) = (rem / n_side, rem % n_side);
+            let center = Vec3::new(
+                (ix as f64 + 0.5) * spacing,
+                (iy as f64 + 0.5) * spacing,
+                (iz as f64 + 0.5) * spacing,
+            );
+            let q = random_quaternion(&mut rng);
+            let r = [
+                center + rotate(o_ref, q),
+                center + rotate(h1_ref, q),
+                center + rotate(h2_ref, q),
+            ];
+            molecules.push(Molecule {
+                r,
+                v: [Vec3::zero(); 3],
+            });
         }
 
         let mut sys = System {
@@ -187,6 +214,34 @@ impl System {
 mod tests {
     use super::*;
     use crate::model::TIP4P;
+
+    #[test]
+    fn lattice_count_matches_lattice_for_perfect_cubes() {
+        let a = System::lattice(TIP4P, 3, 0.997, 298.0, 42);
+        let b = System::lattice_count(TIP4P, 27, 0.997, 298.0, 42);
+        assert_eq!(a.box_len, b.box_len);
+        for (ma, mb) in a.molecules.iter().zip(&b.molecules) {
+            assert_eq!(ma.r, mb.r);
+            assert_eq!(ma.v, mb.v);
+        }
+    }
+
+    #[test]
+    fn lattice_count_handles_non_cubes() {
+        use crate::units::WATER_MOLAR_MASS;
+        let sys = System::lattice_count(TIP4P, 256, 0.997, 298.0, 1);
+        assert_eq!(sys.n_molecules(), 256);
+        assert!(sys.constraints_satisfied(1e-9));
+        let density = 256.0 * WATER_MOLAR_MASS / 0.602_214_076 / sys.volume();
+        assert!((density - 0.997).abs() < 1e-9, "density {density}");
+        // No two molecules share a lattice site.
+        for i in 0..sys.n_molecules() {
+            for j in i + 1..sys.n_molecules() {
+                let d = min_image_vec(sys.molecules[i].r[0] - sys.molecules[j].r[0], sys.box_len);
+                assert!(d.norm() > 1.0, "molecules {i} and {j} overlap");
+            }
+        }
+    }
 
     #[test]
     fn min_image_wraps_to_half_box() {

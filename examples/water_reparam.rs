@@ -93,18 +93,19 @@ fn main() {
     );
 
     // Dump a short viewable trajectory of the optimized model.
-    use water_md::forces::compute_forces;
     use water_md::integrate::step;
+    use water_md::kernel::ForceEngine;
     use water_md::system::System;
     use water_md::trajectory::XyzWriter;
     let mut sys = System::lattice(model, 3, 0.997, 298.0, 7);
     let rc = sys.box_len / 2.0;
-    let mut f = compute_forces(&sys, rc);
+    let mut engine = ForceEngine::from_env();
+    let mut f = engine.compute(&sys, rc);
     if let Ok(file) = std::fs::File::create("results/optimized_water.xyz") {
         let mut xyz = XyzWriter::new(std::io::BufWriter::new(file));
         for frame in 0..20 {
             for _ in 0..25 {
-                f = step(&mut sys, &f, 1.0, rc);
+                f = step(&mut sys, &f, 1.0, rc, &mut engine);
             }
             let _ = xyz.write_frame(&sys, (frame + 1) as f64 * 25.0);
         }

@@ -170,3 +170,57 @@ fn exhausted_budget_degrades_to_serial_with_note() {
         rb.notes
     );
 }
+
+/// The per-attempt timeout contract (PR 3 `RetryPolicy`) must survive the
+/// event-driven batch wait: a worker slower than the budget trips
+/// `mw.retry.timeouts`, the job is re-issued (and ultimately completes
+/// inline), and the results stay bit-identical to serial.
+#[test]
+fn per_attempt_timeouts_still_fire_and_count() {
+    use mw_framework::backend::ThreadedBackend;
+    use mw_framework::pool::default_respawn_budget;
+    use obs::MetricsRegistry;
+    use stoch_eval::backend::{SamplingBackend, StreamJob};
+    use stoch_eval::objective::SampleStream;
+    use stoch_eval::sampler::GaussianStream;
+
+    let make_jobs = || -> Vec<StreamJob<GaussianStream>> {
+        (0..3)
+            .map(|i| StreamJob {
+                slot: i,
+                dt: 1.0 + i as f64,
+                stream: GaussianStream::new(i as f64, 2.0, 400 + i as u64),
+            })
+            .collect()
+    };
+    let mut reference: Vec<GaussianStream> = make_jobs().into_iter().map(|j| j.stream).collect();
+    for (i, r) in reference.iter_mut().enumerate() {
+        r.extend(1.0 + i as f64);
+    }
+
+    // The sole worker sleeps 60ms per job against a 10ms budget: every
+    // attempt must time out, be counted, and fall back inline.
+    let reg = MetricsRegistry::new();
+    let backend = ThreadedBackend::with_options(
+        1,
+        FaultPlan::none().delay(0, 0, 60),
+        RetryPolicy {
+            max_attempts: 2,
+            timeout: Some(Duration::from_millis(10)),
+            backoff: Duration::ZERO,
+        },
+        default_respawn_budget(1),
+        Some(&reg),
+    );
+    let done = backend.extend_batch(make_jobs());
+    assert!(
+        reg.counter("mw.retry.timeouts").get() >= 1,
+        "slow worker must trip the per-attempt timeout counter"
+    );
+    for (j, r) in done.iter().zip(&reference) {
+        let (a, b) = (j.stream.estimate(), r.estimate());
+        assert_eq!(a.value.to_bits(), b.value.to_bits());
+        assert_eq!(a.std_err.to_bits(), b.std_err.to_bits());
+        assert_eq!(a.time.to_bits(), b.time.to_bits());
+    }
+}
