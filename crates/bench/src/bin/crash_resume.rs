@@ -1,0 +1,408 @@
+//! Crash-recovery exhibit (DESIGN.md §11): does a run SIGKILLed mid-flight
+//! recover bit-identically from its last durable checkpoint, and what does
+//! the checkpoint write cost per round?
+//!
+//! Three legs, all on the same seed:
+//!
+//! 1. **Golden** — MN on empirical noisy Rosenbrock runs uninterrupted
+//!    in-process, with run accounting attached.
+//! 2. **Crash + resume** — the same configuration is re-run in a *child
+//!    process* (`--run-child`, spawned from this binary) whose streams are
+//!    slowed so the kill lands mid-run. The child checkpoints every
+//!    iteration; the parent polls the checkpoint until it reaches
+//!    `--kill-at` iterations, then delivers a real SIGKILL. The run is then
+//!    resumed in-process from the survivor file and must match the golden
+//!    run bit for bit — best point, values, counters, trace length, and the
+//!    full accounting summary.
+//! 3. **Write overhead** — a real snapshot payload is written (atomic tmp +
+//!    fsync + rename, retention on) repeatedly and the mean cost is gated
+//!    at < 2% of a representative sampling round. The round time is
+//!    measured on a sampling-bound objective (a 5 ms floor per extension —
+//!    orders of magnitude below the minutes-long MD rounds of the paper's
+//!    deployment, so the gate is conservative).
+//!
+//! Writes `BENCH_checkpoint.json`. Exits non-zero if the child was not
+//! killed mid-run, recovery is not bit-identical, or the write overhead
+//! breaches the gate.
+//!
+//! ```text
+//! cargo run --release --bin crash_resume -- [--smoke] [--kill-at <N>] [--out <path>]
+//! ```
+
+use noisy_simplex::engine::Engine;
+use noisy_simplex::prelude::*;
+use obs::MetricsRegistry;
+use repro_bench::{apply_smoke_defaults, iteration_cap_or, time_budget_or};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+use stoch_eval::codec::{CodecError, Reader, Writer};
+use stoch_eval::functions::Rosenbrock;
+use stoch_eval::noise::ConstantNoise;
+use stoch_eval::objective::{Estimate, SampleStream, StochasticObjective};
+use stoch_eval::sampler::{Noisy, NoisyStream};
+
+/// Wall-clock microseconds each stream extension sleeps. Zero in the parent
+/// (golden + resume legs); non-zero in the crash child so the SIGKILL lands
+/// mid-run, and in the representative-round measurement. Sleeping changes
+/// nothing observable: virtual clocks and RNG draws are wall-time free.
+static SLEEP_US: AtomicU64 = AtomicU64::new(0);
+
+/// [`NoisyStream`] slowed by [`SLEEP_US`]. Persistence delegates to the
+/// inner stream, so checkpoints written by a slow child are byte-identical
+/// to ones a fast run would write.
+#[derive(Debug, Clone)]
+struct SlowStream(NoisyStream);
+
+impl SampleStream for SlowStream {
+    fn extend(&mut self, dt: f64) {
+        let us = SLEEP_US.load(Ordering::Relaxed);
+        if us > 0 {
+            std::thread::sleep(Duration::from_micros(us));
+        }
+        self.0.extend(dt);
+    }
+    fn estimate(&self) -> Estimate {
+        self.0.estimate()
+    }
+    fn save_state(&self, w: &mut Writer) -> Result<(), CodecError> {
+        self.0.save_state(w)
+    }
+    fn load_state(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(SlowStream(NoisyStream::load_state(r)?))
+    }
+    fn nonfinite_samples(&self) -> u64 {
+        self.0.nonfinite_samples()
+    }
+}
+
+struct SlowObjective(Noisy<Rosenbrock, ConstantNoise>);
+
+impl StochasticObjective for SlowObjective {
+    type Stream = SlowStream;
+    fn dim(&self) -> usize {
+        self.0.dim()
+    }
+    fn open(&self, x: &[f64], seed: u64) -> SlowStream {
+        SlowStream(self.0.open(x, seed))
+    }
+    fn true_value(&self, x: &[f64]) -> Option<f64> {
+        self.0.true_value(x)
+    }
+}
+
+const D: usize = 3;
+const SEED: u64 = 42;
+
+fn objective() -> SlowObjective {
+    SlowObjective(Noisy::empirical(
+        Rosenbrock::new(D),
+        ConstantNoise(2.0),
+        0.25,
+    ))
+}
+
+fn term() -> Termination {
+    Termination {
+        tolerance: Some(1e-6),
+        max_time: Some(time_budget_or(3_000.0)),
+        max_iterations: Some(iteration_cap_or(150)),
+    }
+}
+
+fn method(checkpoint: Option<CheckpointConfig>) -> MaxNoise {
+    let mut mn = MaxNoise::with_k(2.0);
+    mn.cfg.backend = BackendChoice::Serial;
+    mn.cfg.checkpoint = checkpoint;
+    mn
+}
+
+fn initial_simplex() -> Vec<Vec<f64>> {
+    init::random_uniform(D, -2.0, 2.0, SEED)
+}
+
+fn same_result(a: &RunResult, b: &RunResult) -> bool {
+    a.best_point == b.best_point
+        && a.best_observed.to_bits() == b.best_observed.to_bits()
+        && a.iterations == b.iterations
+        && a.elapsed.to_bits() == b.elapsed.to_bits()
+        && a.total_sampling.to_bits() == b.total_sampling.to_bits()
+        && a.stop == b.stop
+        && a.trace.points().len() == b.trace.points().len()
+}
+
+/// Child mode: run with per-iteration checkpointing and slowed streams
+/// until the parent's SIGKILL arrives (or termination, if the kill never
+/// comes — the parent treats that as a failure).
+fn run_child(path: &Path) -> ! {
+    SLEEP_US.store(3_000, Ordering::Relaxed);
+    let mn = method(Some(CheckpointConfig {
+        path: path.to_path_buf(),
+        every: 1,
+        retain: true,
+    }));
+    let reg = MetricsRegistry::new();
+    let obj = objective();
+    let _ = mn.run_with_metrics(
+        &obj,
+        initial_simplex(),
+        term(),
+        TimeMode::Parallel,
+        SEED,
+        Some(&reg),
+    );
+    std::process::exit(0);
+}
+
+/// Poll the checkpoint until it reports at least `kill_at` iterations, then
+/// SIGKILL the child. Returns the iteration count observed at kill time.
+fn kill_when_ready(
+    child: &mut std::process::Child,
+    path: &Path,
+    kill_at: u64,
+) -> Result<u64, String> {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if let Ok(info) = noisy_simplex::checkpoint::inspect(path) {
+            if info.iterations >= kill_at {
+                // `Child::kill` delivers SIGKILL on Unix: no destructors, no
+                // flush — the only state the run keeps is the checkpoint.
+                child.kill().map_err(|e| format!("kill failed: {e}"))?;
+                let status = child.wait().map_err(|e| format!("wait failed: {e}"))?;
+                if status.success() {
+                    return Err("child finished before the kill landed".into());
+                }
+                return Ok(info.iterations);
+            }
+        }
+        if let Ok(Some(status)) = child.try_wait() {
+            return Err(format!("child exited early with {status}"));
+        }
+        if Instant::now() > deadline {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err("timed out waiting for the checkpoint to advance".into());
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Mean wall-clock cost of one durable checkpoint write (atomic + fsync +
+/// retention), using a real snapshot payload.
+fn mean_write_secs(payload: &[u8], path: &Path) -> f64 {
+    const REPS: u32 = 30;
+    let t0 = Instant::now();
+    for _ in 0..REPS {
+        noisy_simplex::checkpoint::save(path, true, payload).expect("bench write");
+    }
+    let secs = t0.elapsed().as_secs_f64() / f64::from(REPS);
+    cleanup(path);
+    secs
+}
+
+/// Wall-clock per iteration on a sampling-bound objective (5 ms floor per
+/// stream extension) — the representative round the overhead gate divides
+/// by.
+fn representative_round_secs() -> f64 {
+    SLEEP_US.store(5_000, Ordering::Relaxed);
+    let mn = method(None);
+    let t = Termination {
+        tolerance: None,
+        max_time: None,
+        max_iterations: Some(8),
+    };
+    let obj = objective();
+    let t0 = Instant::now();
+    let res = mn.run(&obj, initial_simplex(), t, TimeMode::Parallel, SEED);
+    let secs = t0.elapsed().as_secs_f64();
+    SLEEP_US.store(0, Ordering::Relaxed);
+    secs / res.iterations.max(1) as f64
+}
+
+fn cleanup(path: &Path) {
+    for suffix in ["", ".1", ".tmp"] {
+        let mut p = path.as_os_str().to_os_string();
+        p.push(suffix);
+        let _ = std::fs::remove_file(PathBuf::from(p));
+    }
+}
+
+struct Report {
+    golden_secs: f64,
+    golden_iterations: u64,
+    killed_at_iteration: u64,
+    resume_identical: bool,
+    metrics_identical: bool,
+    write_usecs: f64,
+    round_usecs: f64,
+    overhead_pct: f64,
+}
+
+impl Report {
+    fn ok(&self) -> bool {
+        self.resume_identical && self.metrics_identical && self.overhead_pct < 2.0
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"golden_secs\": {:.6},\n  \"golden_iterations\": {},\n  \
+             \"killed_at_iteration\": {},\n  \"resume_identical\": {},\n  \
+             \"metrics_identical\": {},\n  \"write_usecs\": {:.2},\n  \
+             \"round_usecs\": {:.2},\n  \"overhead_pct\": {:.4},\n  \
+             \"overhead_ok\": {}\n}}\n",
+            self.golden_secs,
+            self.golden_iterations,
+            self.killed_at_iteration,
+            self.resume_identical,
+            self.metrics_identical,
+            self.write_usecs,
+            self.round_usecs,
+            self.overhead_pct,
+            self.overhead_pct < 2.0,
+        )
+    }
+}
+
+fn main() {
+    let mut out = PathBuf::from("BENCH_checkpoint.json");
+    let mut kill_at: u64 = 3;
+    let mut child_path: Option<PathBuf> = None;
+    let mut smoke = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => {
+                smoke = true;
+                apply_smoke_defaults();
+            }
+            "--kill-at" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => kill_at = n,
+                None => die("--kill-at requires an integer argument"),
+            },
+            "--out" => match args.next() {
+                Some(p) => out = p.into(),
+                None => die("--out requires a path argument"),
+            },
+            "--run-child" => match args.next() {
+                Some(p) => child_path = Some(p.into()),
+                None => die("--run-child requires a checkpoint path"),
+            },
+            other => die(&format!(
+                "unknown argument `{other}`\nusage: crash_resume [--smoke] [--kill-at <N>] [--out <path>]"
+            )),
+        }
+    }
+    if let Some(path) = child_path {
+        run_child(&path);
+    }
+
+    println!("crash resume: durable checkpoint recovery (DESIGN.md \u{a7}11)");
+
+    // Leg 1: golden uninterrupted run.
+    let obj = objective();
+    let golden_reg = MetricsRegistry::new();
+    let t0 = Instant::now();
+    let golden = method(None).run_with_metrics(
+        &obj,
+        initial_simplex(),
+        term(),
+        TimeMode::Parallel,
+        SEED,
+        Some(&golden_reg),
+    );
+    let golden_secs = t0.elapsed().as_secs_f64();
+    println!(
+        "golden: {} iterations in {:.3}s, stop {:?}",
+        golden.iterations, golden_secs, golden.stop
+    );
+    if golden.iterations <= kill_at {
+        die(&format!(
+            "golden run too short ({} iterations) to kill at {kill_at}",
+            golden.iterations
+        ));
+    }
+
+    // Leg 2: crash a child mid-run, resume from its checkpoint.
+    let ckpt = std::env::temp_dir().join(format!("nsx_crash_resume_{}.bin", std::process::id()));
+    cleanup(&ckpt);
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut cmd = std::process::Command::new(exe);
+    cmd.arg("--run-child").arg(&ckpt);
+    if smoke {
+        cmd.arg("--smoke");
+    }
+    let mut child = cmd.spawn().expect("spawn crash child");
+    let killed_at_iteration = match kill_when_ready(&mut child, &ckpt, kill_at) {
+        Ok(n) => n,
+        Err(e) => {
+            cleanup(&ckpt);
+            die(&format!("crash leg failed: {e}"));
+        }
+    };
+    println!("child SIGKILLed at iteration {killed_at_iteration}");
+
+    let resume_reg = MetricsRegistry::new();
+    let resumed = match method(Some(CheckpointConfig {
+        path: ckpt.clone(),
+        every: 1,
+        retain: true,
+    }))
+    .resume_with_metrics(&obj, &ckpt, Some(term()), Some(&resume_reg))
+    {
+        Ok(r) => r,
+        Err(e) => {
+            cleanup(&ckpt);
+            die(&format!("resume from crashed checkpoint failed: {e}"));
+        }
+    };
+    let resume_identical = same_result(&golden, &resumed);
+    let metrics_identical = golden.metrics == resumed.metrics;
+    println!("resume: identical {resume_identical}, accounting identical {metrics_identical}");
+
+    // Leg 3: checkpoint write overhead against a representative round.
+    let eng = Engine::new(
+        &obj,
+        initial_simplex(),
+        method(None).cfg.clone(),
+        term(),
+        TimeMode::Parallel,
+        SEED,
+    );
+    let payload = eng.snapshot().expect("snapshot");
+    drop(eng);
+    let write_secs = mean_write_secs(&payload, &ckpt);
+    let round_secs = representative_round_secs();
+    let overhead_pct = 100.0 * write_secs / round_secs;
+    println!(
+        "overhead: write {:.1}us, round {:.1}us, {overhead_pct:.3}% (gate < 2%)",
+        write_secs * 1e6,
+        round_secs * 1e6
+    );
+    cleanup(&ckpt);
+
+    let report = Report {
+        golden_secs,
+        golden_iterations: golden.iterations,
+        killed_at_iteration,
+        resume_identical,
+        metrics_identical,
+        write_usecs: write_secs * 1e6,
+        round_usecs: round_secs * 1e6,
+        overhead_pct,
+    };
+    if let Err(e) = std::fs::write(&out, report.to_json()) {
+        eprintln!("error: cannot write {}: {e}", out.display());
+        std::process::exit(1);
+    }
+    println!("written to {}", out.display());
+
+    if !report.ok() {
+        eprintln!("error: crash recovery broke the bit-identical contract or the overhead gate");
+        std::process::exit(1);
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

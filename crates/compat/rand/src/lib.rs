@@ -232,6 +232,24 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The raw xoshiro256++ state words (for checkpoint serialization).
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator from raw state words previously obtained via
+        /// [`StdRng::state`]. An all-zero state (a xoshiro fixed point, never
+        /// produced by seeding) is mapped to the same guard value
+        /// `seed_from_u64` would use.
+        pub fn from_state(mut s: [u64; 4]) -> Self {
+            if s == [0; 4] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         #[inline]
         fn next_u64(&mut self) -> u64 {

@@ -2,6 +2,7 @@
 //! experiment harness to sweep methods homogeneously.
 
 use crate::anderson::AndersonNm;
+use crate::checkpoint::CheckpointError;
 use crate::det::Det;
 use crate::mn::MaxNoise;
 use crate::pc::PointComparison;
@@ -9,6 +10,7 @@ use crate::pcmn::PcMn;
 use crate::result::RunResult;
 use crate::termination::Termination;
 use obs::MetricsRegistry;
+use std::path::Path;
 use stoch_eval::clock::TimeMode;
 use stoch_eval::objective::StochasticObjective;
 
@@ -77,6 +79,48 @@ impl SimplexMethod {
             }
             SimplexMethod::Anderson(m) => {
                 m.run_with_metrics(objective, init, term, mode, seed, registry)
+            }
+        }
+    }
+
+    /// Resume a checkpointed run of this method from `path` (with `.1`
+    /// retention fallback) and continue it to termination.
+    ///
+    /// The restored run is bit-identical to one that never stopped: same
+    /// best point, values, iteration counts, trace, and accounting.
+    /// `term_override` replaces the persisted termination criteria (pass the
+    /// full-run criteria when resuming a deliberately truncated run);
+    /// `None` keeps what was persisted.
+    pub fn resume<F: StochasticObjective>(
+        &self,
+        objective: &F,
+        path: &Path,
+        term_override: Option<Termination>,
+    ) -> Result<RunResult, CheckpointError> {
+        self.resume_with_metrics(objective, path, term_override, None)
+    }
+
+    /// [`resume`](Self::resume) with optional run accounting. Persisted
+    /// accounting is replayed into `registry` first, so the final summary
+    /// matches an uninterrupted run's.
+    pub fn resume_with_metrics<F: StochasticObjective>(
+        &self,
+        objective: &F,
+        path: &Path,
+        term_override: Option<Termination>,
+        registry: Option<&MetricsRegistry>,
+    ) -> Result<RunResult, CheckpointError> {
+        match self {
+            SimplexMethod::Det(m) => {
+                m.resume_with_metrics(objective, path, term_override, registry)
+            }
+            SimplexMethod::Mn(m) => m.resume_with_metrics(objective, path, term_override, registry),
+            SimplexMethod::Pc(m) => m.resume_with_metrics(objective, path, term_override, registry),
+            SimplexMethod::PcMn(m) => {
+                m.resume_with_metrics(objective, path, term_override, registry)
+            }
+            SimplexMethod::Anderson(m) => {
+                m.resume_with_metrics(objective, path, term_override, registry)
             }
         }
     }

@@ -16,13 +16,15 @@
 //!   acceptance rule is a simplified best-point comparison, documented here
 //!   rather than claiming fidelity to the original.
 
-use crate::classic::{run_classic, MAX_WAIT_ROUNDS};
+use crate::checkpoint::CheckpointError;
+use crate::classic::{resume_classic, run_classic, MAX_WAIT_ROUNDS};
 use crate::config::{AndersonParams, SimplexConfig};
 use crate::engine::Engine;
 use crate::result::RunResult;
 use crate::termination::{StopReason, Termination};
 use crate::trace::{StepKind, Trace, TracePoint};
 use obs::MetricsRegistry;
+use std::path::Path;
 use stoch_eval::clock::{TimeMode, VirtualClock};
 use stoch_eval::objective::{SampleStream, StochasticObjective};
 use stoch_eval::rng::SeedSequence;
@@ -127,6 +129,41 @@ impl AndersonNm {
             // Trials receive one sampling round before comparison, exactly
             // as in MN (Algorithm 2): both criteria gate only the vertex
             // noise, which keeps the Table 3.2 comparison fair.
+            move |eng, id| eng.extend_round(&[id]),
+        )
+    }
+
+    /// Resume a checkpointed Anderson-criterion run (see
+    /// [`SimplexMethod::resume`](crate::algorithm::SimplexMethod::resume)).
+    ///
+    /// The Eq. 2.4 wait is a pure function of the current vertex estimates
+    /// and the persisted contraction level, so state permits an exact
+    /// resume.
+    pub fn resume<F: StochasticObjective>(
+        &self,
+        objective: &F,
+        path: &Path,
+        term_override: Option<Termination>,
+    ) -> Result<RunResult, CheckpointError> {
+        self.resume_with_metrics(objective, path, term_override, None)
+    }
+
+    /// [`resume`](Self::resume) with optional run accounting.
+    pub fn resume_with_metrics<F: StochasticObjective>(
+        &self,
+        objective: &F,
+        path: &Path,
+        term_override: Option<Termination>,
+        registry: Option<&MetricsRegistry>,
+    ) -> Result<RunResult, CheckpointError> {
+        let params = self.params;
+        resume_classic(
+            objective,
+            self.cfg.clone(),
+            path,
+            term_override,
+            registry,
+            move |eng| Self::wait(params, eng),
             move |eng, id| eng.extend_round(&[id]),
         )
     }

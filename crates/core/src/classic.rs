@@ -8,6 +8,7 @@
 //! we implement it once. The PC family has different comparison structure
 //! and lives in [`crate::pc`].
 
+use crate::checkpoint::{self, CheckpointError};
 use crate::config::SimplexConfig;
 use crate::engine::{Engine, SlotId};
 use crate::geometry::{contract, expand, reflect};
@@ -16,6 +17,7 @@ use crate::result::RunResult;
 use crate::termination::{StopReason, Termination};
 use crate::trace::StepKind;
 use obs::MetricsRegistry;
+use std::path::Path;
 use stoch_eval::clock::TimeMode;
 use stoch_eval::objective::StochasticObjective;
 
@@ -37,20 +39,58 @@ pub(crate) fn run_classic<F, G, P>(
     mode: TimeMode,
     seed: u64,
     registry: Option<&MetricsRegistry>,
-    mut gate: G,
-    mut prepare: P,
+    gate: G,
+    prepare: P,
 ) -> RunResult
 where
     F: StochasticObjective,
     G: FnMut(&mut Engine<F>) -> Option<StopReason>,
     P: FnMut(&mut Engine<F>, SlotId),
 {
-    let coeff = cfg.coefficients;
     let mut eng = Engine::new(objective, init, cfg, term, mode, seed);
     if let Some(reg) = registry {
         eng.attach_metrics(EngineMetrics::register(reg));
     }
+    classic_loop(eng, gate, prepare)
+}
+
+/// Resume a classic-body run from a checkpoint file (with retention
+/// fallback), then continue it to termination. `term_override` replaces the
+/// persisted termination criteria when given.
+pub(crate) fn resume_classic<F, G, P>(
+    objective: &F,
+    cfg: SimplexConfig,
+    path: &Path,
+    term_override: Option<Termination>,
+    registry: Option<&MetricsRegistry>,
+    gate: G,
+    prepare: P,
+) -> Result<RunResult, CheckpointError>
+where
+    F: StochasticObjective,
+    G: FnMut(&mut Engine<F>) -> Option<StopReason>,
+    P: FnMut(&mut Engine<F>, SlotId),
+{
+    let (payload, _from) = checkpoint::load_with_fallback(path)?;
+    let mut eng = Engine::resume(objective, cfg, &payload, term_override)?;
+    if let Some(reg) = registry {
+        eng.attach_metrics(EngineMetrics::register(reg));
+    }
+    Ok(classic_loop(eng, gate, prepare))
+}
+
+/// The classic iteration loop over an already-built engine (fresh or
+/// resumed). Checkpoints, when configured, are written at the loop top —
+/// between iterations, where no streams are in flight.
+pub(crate) fn classic_loop<F, G, P>(mut eng: Engine<F>, mut gate: G, mut prepare: P) -> RunResult
+where
+    F: StochasticObjective,
+    G: FnMut(&mut Engine<F>) -> Option<StopReason>,
+    P: FnMut(&mut Engine<F>, SlotId),
+{
+    let coeff = eng.config().coefficients;
     loop {
+        eng.checkpoint_if_due();
         if let Some(r) = eng.should_stop() {
             return eng.finish(r);
         }

@@ -1,6 +1,7 @@
 //! Shared configuration: sampling policy, sampling-backend selection, and
 //! per-algorithm parameter blocks.
 
+use crate::checkpoint::CheckpointConfig;
 use crate::geometry::Coefficients;
 use mw_framework::backend::{default_workers, ThreadedBackend};
 use mw_framework::pool::{default_respawn_budget, RetryPolicy};
@@ -120,6 +121,23 @@ impl SamplingPolicy {
     }
 }
 
+/// What the engine does when a sampling stream ingests a non-finite value
+/// (NaN or ±inf) — e.g. an objective that diverges, or a simulation that
+/// blows up numerically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NonFinitePolicy {
+    /// Quarantine (default): the stream pins the affected vertex's estimate
+    /// to `+inf` with zero standard error, so it loses every ordering
+    /// comparison and is replaced like any bad vertex. The event is recorded
+    /// as [`RunNote::NonFiniteSample`](crate::result::RunNote) and counted
+    /// under `eval.nonfinite`; the run continues.
+    #[default]
+    Quarantine,
+    /// Stop the run at the next decision point with
+    /// [`StopReason::NonFinite`](crate::termination::StopReason).
+    FailFast,
+}
+
 /// Configuration shared by every simplex-family algorithm.
 #[derive(Debug, Clone)]
 pub struct SimplexConfig {
@@ -151,6 +169,16 @@ pub struct SimplexConfig {
     /// serial execution instead (recorded as
     /// [`RunNote::DegradedToSerial`](crate::result::RunNote)).
     pub respawn_budget: Option<u64>,
+    /// Durable checkpointing: when set, the engine atomically snapshots the
+    /// complete run state to [`CheckpointConfig::path`] every
+    /// [`CheckpointConfig::every`] iterations, and
+    /// [`SimplexMethod::resume`](crate::algorithm::SimplexMethod::resume)
+    /// reconstructs the run bit-identically. Defaults from the
+    /// `NSX_CHECKPOINT` environment variable (`path[:every=N][:keep=0|1]`),
+    /// `None` when unset.
+    pub checkpoint: Option<CheckpointConfig>,
+    /// What to do when a stream ingests a non-finite sample.
+    pub nonfinite: NonFinitePolicy,
 }
 
 impl Default for SimplexConfig {
@@ -163,6 +191,8 @@ impl Default for SimplexConfig {
             retry: RetryPolicy::default(),
             faults: None,
             respawn_budget: None,
+            checkpoint: CheckpointConfig::from_env(),
+            nonfinite: NonFinitePolicy::default(),
         }
     }
 }

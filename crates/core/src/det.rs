@@ -7,11 +7,13 @@
 //! straw baseline: it converges, but often to a point far from the true
 //! minimum because noise corrupts the vertex ordering.
 
-use crate::classic::run_classic;
+use crate::checkpoint::CheckpointError;
+use crate::classic::{resume_classic, run_classic};
 use crate::config::SimplexConfig;
 use crate::result::RunResult;
 use crate::termination::Termination;
 use obs::MetricsRegistry;
+use std::path::Path;
 use stoch_eval::clock::TimeMode;
 use stoch_eval::objective::StochasticObjective;
 
@@ -72,6 +74,36 @@ impl Det {
             term,
             mode,
             seed,
+            registry,
+            |_eng| None,
+            |eng, id| eng.extend_round(&[id]),
+        )
+    }
+
+    /// Resume a checkpointed DET run (see
+    /// [`SimplexMethod::resume`](crate::algorithm::SimplexMethod::resume)).
+    pub fn resume<F: StochasticObjective>(
+        &self,
+        objective: &F,
+        path: &Path,
+        term_override: Option<Termination>,
+    ) -> Result<RunResult, CheckpointError> {
+        self.resume_with_metrics(objective, path, term_override, None)
+    }
+
+    /// [`resume`](Self::resume) with optional run accounting.
+    pub fn resume_with_metrics<F: StochasticObjective>(
+        &self,
+        objective: &F,
+        path: &Path,
+        term_override: Option<Termination>,
+        registry: Option<&MetricsRegistry>,
+    ) -> Result<RunResult, CheckpointError> {
+        resume_classic(
+            objective,
+            self.cfg.clone(),
+            path,
+            term_override,
             registry,
             |_eng| None,
             |eng, id| eng.extend_round(&[id]),

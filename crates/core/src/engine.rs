@@ -11,15 +11,17 @@
 //! runs concurrently, so a "round" that extends several slots costs the
 //! maximum of the individual extensions in parallel time.
 
-use crate::config::{SamplingPolicy, SimplexConfig};
+use crate::checkpoint::{self, CheckpointError};
+use crate::config::{NonFinitePolicy, SamplingPolicy, SimplexConfig};
 use crate::geometry::{self, centroid_excluding, diameter, ContractionLevel, Ordering};
 use crate::metrics::EngineMetrics;
-use crate::result::RunResult;
+use crate::result::{RunMetrics, RunNote, RunResult};
 use crate::termination::{StopReason, Termination};
 use crate::trace::{StepKind, Trace, TracePoint};
 use std::sync::Arc;
 use stoch_eval::backend::{SamplingBackend, StreamJob};
 use stoch_eval::clock::{TimeMode, VirtualClock};
+use stoch_eval::codec::{CodecError, Reader, Writer};
 use stoch_eval::objective::{Estimate, SampleStream, StochasticObjective};
 use stoch_eval::rng::SeedSequence;
 
@@ -54,6 +56,18 @@ pub struct Engine<'a, F: StochasticObjective> {
     total_sampling: f64,
     level: ContractionLevel,
     metrics: Option<EngineMetrics>,
+    /// Iteration at which the last checkpoint was written (0 = never).
+    last_ckpt: u64,
+    /// Notes accumulated so far (including those carried over a resume).
+    notes: Vec<RunNote>,
+    /// Non-finite samples observed across all dispatches so far.
+    nonfinite_seen: u64,
+    /// Set under [`NonFinitePolicy::FailFast`] once a non-finite sample is
+    /// seen; surfaces as [`StopReason::NonFinite`] at the next budget check.
+    poisoned: bool,
+    /// Metrics summary carried over a resume, replayed into the registry
+    /// handles by [`Engine::attach_metrics`].
+    restored_metrics: Option<RunMetrics>,
 }
 
 impl<'a, F: StochasticObjective> Engine<'a, F> {
@@ -101,6 +115,11 @@ impl<'a, F: StochasticObjective> Engine<'a, F> {
             total_sampling: 0.0,
             level: ContractionLevel::default(),
             metrics: None,
+            last_ckpt: 0,
+            notes: Vec::new(),
+            nonfinite_seen: 0,
+            poisoned: false,
+            restored_metrics: None,
         };
         let ids: Vec<SlotId> = (0..eng.n_vertices).collect();
         eng.extend_round(&ids);
@@ -113,6 +132,11 @@ impl<'a, F: StochasticObjective> Engine<'a, F> {
     ///
     /// [`RunResult::metrics`]: crate::result::RunResult::metrics
     pub fn attach_metrics(&mut self, metrics: EngineMetrics) {
+        // A resumed engine replays its persisted accounting first, so the
+        // final summary equals an uninterrupted run's.
+        if let Some(prior) = self.restored_metrics.take() {
+            metrics.absorb(&prior);
+        }
         self.metrics = Some(metrics);
     }
 
@@ -244,6 +268,11 @@ impl<'a, F: StochasticObjective> Engine<'a, F> {
             return;
         }
         let sampled_before = self.total_sampling;
+        let nf_before: u64 = plan
+            .iter()
+            .map(|&(slot, _)| self.slots[slot].stream().nonfinite_samples())
+            .sum();
+        let slots_in_round: Vec<SlotId> = plan.iter().map(|&(slot, _)| slot).collect();
         let jobs: Vec<StreamJob<F::Stream>> = plan
             .iter()
             .map(|&(slot, dt)| StreamJob {
@@ -262,6 +291,21 @@ impl<'a, F: StochasticObjective> Engine<'a, F> {
         if let Some(m) = &self.metrics {
             m.rounds.inc();
             m.sampling_time.add(self.total_sampling - sampled_before);
+        }
+        let nf_after: u64 = slots_in_round
+            .iter()
+            .map(|&slot| self.slots[slot].stream().nonfinite_samples())
+            .sum();
+        let delta = nf_after.saturating_sub(nf_before);
+        if delta > 0 {
+            self.nonfinite_seen += delta;
+            if let Some(m) = &self.metrics {
+                m.nonfinite.add(delta);
+            }
+            self.note(RunNote::NonFiniteSample);
+            if self.cfg.nonfinite == NonFinitePolicy::FailFast {
+                self.poisoned = true;
+            }
         }
     }
 
@@ -384,22 +428,70 @@ impl<'a, F: StochasticObjective> Engine<'a, F> {
     }
 
     /// Check the time/iteration budget (used inside resampling loops).
+    /// A poisoned run (FailFast non-finite policy) stops here too, so every
+    /// wait loop exits promptly.
     pub fn budget_stop(&self) -> Option<StopReason> {
+        if self.poisoned {
+            return Some(StopReason::NonFinite);
+        }
         self.term
             .budget_exceeded(self.clock.elapsed(), self.iterations)
     }
 
-    /// Full termination check: Eq. 2.9 spread first, then budgets.
+    /// Full termination check: Eq. 2.9 spread first, then geometric
+    /// degeneracy, then budgets.
     pub fn should_stop(&self) -> Option<StopReason> {
         if self.term.spread_met(&self.vertex_values()) {
             return Some(StopReason::Tolerance);
         }
+        if self.is_degenerate() {
+            return Some(StopReason::Degenerate);
+        }
         self.budget_stop()
+    }
+
+    /// True when the simplex has collapsed below machine precision: its
+    /// diameter is non-finite or at most `ε` times the coordinate scale, so
+    /// no reflection/contraction can produce a geometrically distinct point
+    /// and further iterations only spin. Surfaced as
+    /// [`StopReason::Degenerate`]; under a
+    /// [`RestartedSimplex`](crate::restart::RestartedSimplex) this triggers
+    /// a fresh start like any other stop.
+    pub fn is_degenerate(&self) -> bool {
+        let dia = self.diameter();
+        if !dia.is_finite() {
+            return true;
+        }
+        let scale = self
+            .slots
+            .iter()
+            .take(self.n_vertices)
+            .flat_map(|s| s.x.iter())
+            .fold(1.0f64, |m, &c| m.max(c.abs()));
+        dia <= f64::EPSILON * scale
+    }
+
+    /// Record a note, once per kind per run.
+    fn note(&mut self, n: RunNote) {
+        if !self.notes.contains(&n) {
+            self.notes.push(n);
+        }
+    }
+
+    /// Non-finite samples observed so far across all dispatches.
+    pub fn nonfinite_seen(&self) -> u64 {
+        self.nonfinite_seen
     }
 
     /// Finish the run, consuming the engine.
     pub fn finish(self, stop: StopReason) -> RunResult {
         let best = self.ordering().min;
+        let mut notes = self.notes;
+        for n in crate::result::notes_from_backend(&*self.backend) {
+            if !notes.contains(&n) {
+                notes.push(n);
+            }
+        }
         RunResult {
             best_point: self.slots[best].x.clone(),
             best_observed: self.slots[best].stream().estimate().value,
@@ -409,9 +501,344 @@ impl<'a, F: StochasticObjective> Engine<'a, F> {
             stop,
             trace: self.trace,
             metrics: self.metrics.as_ref().map(EngineMetrics::summary),
-            notes: crate::result::notes_from_backend(&*self.backend),
+            notes,
         }
     }
+}
+
+/// Checkpoint/resume (DESIGN.md §11). The engine's complete run state —
+/// simplex geometry, per-slot stream state (RNG words, spare normal,
+/// sufficient statistics), virtual clock, counters, seeds, trace, notes,
+/// and accounting — round-trips through the `stoch_eval::codec` byte format
+/// so a resumed run is bit-identical to one that never stopped.
+impl<'a, F: StochasticObjective> Engine<'a, F> {
+    /// Serialize the complete run state.
+    ///
+    /// Must be called between rounds (no streams in flight, which is every
+    /// point where algorithm loops run); the first 16 bytes are the
+    /// iteration count and elapsed time so [`checkpoint::inspect`] can
+    /// summarize a file cheaply. Fails with [`CodecError::Unsupported`] when
+    /// the stream type does not implement persistence.
+    pub fn snapshot(&self) -> Result<Vec<u8>, CodecError> {
+        let mut w = Writer::new();
+        w.put_u64(self.iterations);
+        w.put_f64(self.clock.elapsed());
+        w.put_u8(match self.clock.mode() {
+            TimeMode::Parallel => 0,
+            TimeMode::Serial => 1,
+        });
+        w.put_f64(self.total_sampling);
+        w.put_i64(self.level.0);
+        w.put_u64(self.nonfinite_seen);
+        w.put_bool(self.poisoned);
+        w.put_opt_f64(self.term.tolerance);
+        w.put_opt_f64(self.term.max_time);
+        w.put_opt_u64(self.term.max_iterations);
+        w.put_u64(self.n_vertices as u64);
+        w.put_u64(self.slots.len() as u64);
+        for slot in &self.slots {
+            w.put_f64_slice(&slot.x);
+            let mut sw = Writer::new();
+            slot.stream().save_state(&mut sw)?;
+            w.put_bytes(&sw.into_bytes());
+        }
+        let (parent, next) = self.seeds.state();
+        w.put_u64(parent);
+        w.put_u64(next);
+        w.put_u64(self.trace.len() as u64);
+        for p in self.trace.points() {
+            w.put_f64(p.time);
+            w.put_u64(p.iteration);
+            w.put_f64(p.best_observed);
+            w.put_opt_f64(p.best_true);
+            w.put_f64(p.diameter);
+            w.put_u8(step_tag(p.step));
+        }
+        // Backend-reported notes merge in so e.g. a pre-checkpoint
+        // degradation survives the resume (the fresh backend won't re-report
+        // it).
+        let mut notes = self.notes.clone();
+        for n in crate::result::notes_from_backend(&*self.backend) {
+            if !notes.contains(&n) {
+                notes.push(n);
+            }
+        }
+        w.put_u64(notes.len() as u64);
+        for n in &notes {
+            w.put_u8(note_tag(*n));
+        }
+        match &self.metrics {
+            Some(m) => {
+                w.put_bool(true);
+                write_metrics(&mut w, &m.summary());
+            }
+            None => w.put_bool(false),
+        }
+        Ok(w.into_bytes())
+    }
+
+    /// Reconstruct an engine from a [`snapshot`](Self::snapshot) payload.
+    ///
+    /// The restored engine continues exactly where the snapshot was taken:
+    /// same vertices, same stream statistics and RNG positions, same clock
+    /// and counters — so the remainder of the run is bit-identical to one
+    /// that never stopped. `term_override` replaces the persisted
+    /// termination criteria (a snapshot from a truncated run would otherwise
+    /// stop immediately); `None` keeps them.
+    pub fn resume(
+        objective: &'a F,
+        cfg: SimplexConfig,
+        payload: &[u8],
+        term_override: Option<Termination>,
+    ) -> Result<Self, CheckpointError> {
+        cfg.coefficients
+            .validate()
+            .map_err(CheckpointError::Mismatch)?;
+        cfg.sampling.validate().map_err(CheckpointError::Mismatch)?;
+        let d = objective.dim();
+        let mut r = Reader::new(payload);
+        let iterations = r.take_u64()?;
+        let elapsed = r.take_f64()?;
+        let mode = match r.take_u8()? {
+            0 => TimeMode::Parallel,
+            1 => TimeMode::Serial,
+            tag => {
+                return Err(CodecError::Tag {
+                    what: "TimeMode",
+                    tag,
+                }
+                .into())
+            }
+        };
+        let total_sampling = r.take_f64()?;
+        let level = ContractionLevel(r.take_i64()?);
+        let nonfinite_seen = r.take_u64()?;
+        let poisoned = r.take_bool()?;
+        let term = Termination {
+            tolerance: r.take_opt_f64()?,
+            max_time: r.take_opt_f64()?,
+            max_iterations: r.take_opt_u64()?,
+        };
+        let n_vertices = r.take_u64()? as usize;
+        if n_vertices != d + 1 {
+            return Err(CheckpointError::Mismatch(format!(
+                "snapshot has {n_vertices} vertices but the objective needs {}",
+                d + 1
+            )));
+        }
+        let n_slots = r.take_u64()? as usize;
+        if n_slots < n_vertices {
+            return Err(CheckpointError::Mismatch(format!(
+                "snapshot has {n_slots} slots for {n_vertices} vertices"
+            )));
+        }
+        let mut slots = Vec::with_capacity(n_slots);
+        for i in 0..n_slots {
+            let x = r.take_f64_vec()?;
+            if x.len() != d {
+                return Err(CheckpointError::Mismatch(format!(
+                    "slot {i} has dimension {} but the objective has {d}",
+                    x.len()
+                )));
+            }
+            let bytes = r.take_bytes()?;
+            let mut sr = Reader::new(bytes);
+            let stream = F::Stream::load_state(&mut sr)?;
+            sr.finish()?;
+            slots.push(Slot {
+                x,
+                stream: Some(stream),
+            });
+        }
+        let seeds = SeedSequence::from_state(r.take_u64()?, r.take_u64()?);
+        let n_trace = r.take_u64()? as usize;
+        // Bound preallocation by what the payload could actually hold
+        // (>= 26 bytes per point), mirroring the codec's own guards.
+        if n_trace > payload.len() / 26 + 1 {
+            return Err(CodecError::Invalid {
+                what: "trace length",
+            }
+            .into());
+        }
+        let mut trace = Trace::new();
+        for _ in 0..n_trace {
+            trace.push(TracePoint {
+                time: r.take_f64()?,
+                iteration: r.take_u64()?,
+                best_observed: r.take_f64()?,
+                best_true: r.take_opt_f64()?,
+                diameter: r.take_f64()?,
+                step: step_from_tag(r.take_u8()?)?,
+            });
+        }
+        let n_notes = r.take_u64()? as usize;
+        if n_notes > 16 {
+            return Err(CodecError::Invalid { what: "note count" }.into());
+        }
+        let mut notes = Vec::with_capacity(n_notes);
+        for _ in 0..n_notes {
+            notes.push(note_from_tag(r.take_u8()?)?);
+        }
+        let restored_metrics = if r.take_bool()? {
+            Some(read_metrics(&mut r)?)
+        } else {
+            None
+        };
+        r.finish()?;
+
+        let backend = cfg.build_backend();
+        Ok(Engine {
+            objective,
+            cfg,
+            term: term_override.unwrap_or(term),
+            slots,
+            n_vertices,
+            backend,
+            clock: VirtualClock::with_elapsed(mode, elapsed),
+            seeds,
+            trace,
+            iterations,
+            total_sampling,
+            level,
+            metrics: None,
+            // Suppress an immediate re-write of the checkpoint we just
+            // resumed from.
+            last_ckpt: iterations,
+            notes,
+            nonfinite_seen,
+            poisoned,
+            restored_metrics,
+        })
+    }
+
+    /// Write a checkpoint if the configured cadence says one is due.
+    ///
+    /// Called by every algorithm loop between iterations. Failures never
+    /// stop the run — checkpointing is best-effort — but are recorded once
+    /// as [`RunNote::CheckpointFailed`].
+    pub fn checkpoint_if_due(&mut self) {
+        let due = match &self.cfg.checkpoint {
+            None => false,
+            Some(ck) => {
+                self.iterations > 0
+                    && self.iterations.is_multiple_of(ck.every.max(1))
+                    && self.iterations != self.last_ckpt
+            }
+        };
+        if !due {
+            return;
+        }
+        let Some(ck) = self.cfg.checkpoint.clone() else {
+            return;
+        };
+        let written = self
+            .snapshot()
+            .map_err(CheckpointError::from)
+            .and_then(|payload| checkpoint::save(&ck.path, ck.retain, &payload));
+        match written {
+            Ok(()) => {
+                self.last_ckpt = self.iterations;
+                if let Some(m) = &self.metrics {
+                    m.ckpt_writes.inc();
+                }
+            }
+            Err(_) => self.note(RunNote::CheckpointFailed),
+        }
+    }
+}
+
+fn step_tag(s: StepKind) -> u8 {
+    match s {
+        StepKind::Reflect => 0,
+        StepKind::Expand => 1,
+        StepKind::Contract => 2,
+        StepKind::Collapse => 3,
+    }
+}
+
+fn step_from_tag(tag: u8) -> Result<StepKind, CodecError> {
+    Ok(match tag {
+        0 => StepKind::Reflect,
+        1 => StepKind::Expand,
+        2 => StepKind::Contract,
+        3 => StepKind::Collapse,
+        tag => {
+            return Err(CodecError::Tag {
+                what: "StepKind",
+                tag,
+            })
+        }
+    })
+}
+
+fn note_tag(n: RunNote) -> u8 {
+    match n {
+        RunNote::DegradedToSerial => 0,
+        RunNote::NonFiniteSample => 1,
+        RunNote::CheckpointFailed => 2,
+    }
+}
+
+fn note_from_tag(tag: u8) -> Result<RunNote, CodecError> {
+    Ok(match tag {
+        0 => RunNote::DegradedToSerial,
+        1 => RunNote::NonFiniteSample,
+        2 => RunNote::CheckpointFailed,
+        tag => {
+            return Err(CodecError::Tag {
+                what: "RunNote",
+                tag,
+            })
+        }
+    })
+}
+
+fn write_metrics(w: &mut Writer, m: &RunMetrics) {
+    w.put_u64(m.steps_reflect);
+    w.put_u64(m.steps_expand);
+    w.put_u64(m.steps_contract);
+    w.put_u64(m.steps_collapse);
+    w.put_u64(m.trials_opened);
+    w.put_u64(m.trials_dropped);
+    w.put_u64(m.rounds);
+    w.put_f64(m.sampling_time);
+    for i in 0..7 {
+        w.put_u64(m.site_decided_true[i]);
+        w.put_u64(m.site_decided_false[i]);
+        w.put_u64(m.site_undecided_resample[i]);
+        w.put_f64(m.site_resample_time[i]);
+    }
+    w.put_u64(m.mn_gate_checks);
+    w.put_u64(m.mn_gate_failures);
+    w.put_u64(m.mn_extension_rounds);
+    w.put_f64(m.mn_equalize_time);
+    w.put_u64(m.nonfinite);
+}
+
+fn read_metrics(r: &mut Reader<'_>) -> Result<RunMetrics, CodecError> {
+    let mut m = RunMetrics {
+        steps_reflect: r.take_u64()?,
+        steps_expand: r.take_u64()?,
+        steps_contract: r.take_u64()?,
+        steps_collapse: r.take_u64()?,
+        trials_opened: r.take_u64()?,
+        trials_dropped: r.take_u64()?,
+        rounds: r.take_u64()?,
+        sampling_time: r.take_f64()?,
+        ..RunMetrics::default()
+    };
+    for i in 0..7 {
+        m.site_decided_true[i] = r.take_u64()?;
+        m.site_decided_false[i] = r.take_u64()?;
+        m.site_undecided_resample[i] = r.take_u64()?;
+        m.site_resample_time[i] = r.take_f64()?;
+    }
+    m.mn_gate_checks = r.take_u64()?;
+    m.mn_gate_failures = r.take_u64()?;
+    m.mn_extension_rounds = r.take_u64()?;
+    m.mn_equalize_time = r.take_f64()?;
+    m.nonfinite = r.take_u64()?;
+    Ok(m)
 }
 
 #[cfg(test)]

@@ -47,6 +47,7 @@
 pub mod algorithm;
 pub mod anderson;
 pub mod baselines;
+pub mod checkpoint;
 pub(crate) mod classic;
 pub mod compare;
 pub mod config;
@@ -69,9 +70,10 @@ pub mod prelude {
     pub use crate::algorithm::SimplexMethod;
     pub use crate::anderson::{AndersonNm, AndersonSearch};
     pub use crate::baselines::{RandomSearch, SimulatedAnnealing, Spsa};
+    pub use crate::checkpoint::{CheckpointConfig, CheckpointError, SnapshotInfo};
     pub use crate::config::{
-        AndersonParams, BackendChoice, MnParams, PcConditions, PcParams, SamplingPolicy,
-        SimplexConfig,
+        AndersonParams, BackendChoice, MnParams, NonFinitePolicy, PcConditions, PcParams,
+        SamplingPolicy, SimplexConfig,
     };
     pub use crate::det::Det;
     pub use crate::geometry::Coefficients;

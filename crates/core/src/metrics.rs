@@ -61,6 +61,12 @@ pub struct EngineMetrics {
     pub mn_extension_rounds: Arc<Counter>,
     /// Virtual time spent equalizing noise in the MN wait loop.
     pub mn_equalize_time: Arc<TimeAccumulator>,
+    /// Non-finite samples quarantined at stream ingestion.
+    pub nonfinite: Arc<Counter>,
+    /// Checkpoint files written. Registry-only: deliberately excluded from
+    /// [`RunMetrics`] so a resumed run's summary stays bit-identical to an
+    /// uninterrupted golden run (which writes no checkpoints).
+    pub ckpt_writes: Arc<Counter>,
 }
 
 impl EngineMetrics {
@@ -88,7 +94,40 @@ impl EngineMetrics {
             mn_gate_failures: registry.counter("mn.gate.failures"),
             mn_extension_rounds: registry.counter("mn.extension_rounds"),
             mn_equalize_time: registry.time("mn.equalize_time"),
+            nonfinite: registry.counter("eval.nonfinite"),
+            ckpt_writes: registry.counter("ckpt.writes"),
         }
+    }
+
+    /// Replay a restored [`RunMetrics`] snapshot into this block's handles.
+    ///
+    /// Called once on resume, before any new accounting, so `summary()` at
+    /// the end of the resumed run equals the uninterrupted run's summary:
+    /// each counter receives the persisted partial sum as a single `add`,
+    /// and each time accumulator a single float addition onto `0.0` —
+    /// which preserves bit-identity because `(0.0 + s) + x == s + x`.
+    pub fn absorb(&self, prior: &RunMetrics) {
+        self.steps[0].add(prior.steps_reflect);
+        self.steps[1].add(prior.steps_expand);
+        self.steps[2].add(prior.steps_contract);
+        self.steps[3].add(prior.steps_collapse);
+        self.trials_opened.add(prior.trials_opened);
+        self.trials_dropped.add(prior.trials_dropped);
+        self.rounds.add(prior.rounds);
+        self.sampling_time.add(prior.sampling_time);
+        for i in 0..7 {
+            self.sites[i].decided_true.add(prior.site_decided_true[i]);
+            self.sites[i].decided_false.add(prior.site_decided_false[i]);
+            self.sites[i]
+                .undecided_resample
+                .add(prior.site_undecided_resample[i]);
+            self.sites[i].resample_time.add(prior.site_resample_time[i]);
+        }
+        self.mn_gate_checks.add(prior.mn_gate_checks);
+        self.mn_gate_failures.add(prior.mn_gate_failures);
+        self.mn_extension_rounds.add(prior.mn_extension_rounds);
+        self.mn_equalize_time.add(prior.mn_equalize_time);
+        self.nonfinite.add(prior.nonfinite);
     }
 
     /// Record an accepted move.
@@ -128,6 +167,7 @@ impl EngineMetrics {
             mn_gate_failures: self.mn_gate_failures.get(),
             mn_extension_rounds: self.mn_extension_rounds.get(),
             mn_equalize_time: self.mn_equalize_time.get(),
+            nonfinite: self.nonfinite.get(),
         }
     }
 }

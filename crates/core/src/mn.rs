@@ -18,12 +18,16 @@
 //! comparison, mirroring the MW deployment where the d+3 workers sample
 //! concurrently.
 
-use crate::classic::{internal_variance, max_noise_variance, run_classic, MAX_WAIT_ROUNDS};
+use crate::checkpoint::CheckpointError;
+use crate::classic::{
+    internal_variance, max_noise_variance, resume_classic, run_classic, MAX_WAIT_ROUNDS,
+};
 use crate::config::{MnParams, SimplexConfig};
 use crate::engine::Engine;
 use crate::result::RunResult;
 use crate::termination::{StopReason, Termination};
 use obs::MetricsRegistry;
+use std::path::Path;
 use stoch_eval::clock::TimeMode;
 use stoch_eval::objective::StochasticObjective;
 
@@ -114,6 +118,41 @@ impl MaxNoise {
             term,
             mode,
             seed,
+            registry,
+            move |eng| mn_wait(k, eng),
+            move |eng, id| eng.extend_round(&[id]),
+        )
+    }
+
+    /// Resume a checkpointed MN run (see
+    /// [`SimplexMethod::resume`](crate::algorithm::SimplexMethod::resume)).
+    pub fn resume<F: StochasticObjective>(
+        &self,
+        objective: &F,
+        path: &Path,
+        term_override: Option<Termination>,
+    ) -> Result<RunResult, CheckpointError> {
+        self.resume_with_metrics(objective, path, term_override, None)
+    }
+
+    /// [`resume`](Self::resume) with optional run accounting.
+    ///
+    /// The MN gate is stateless (Eq. 2.3 is a pure function of the current
+    /// vertex estimates), so the resumed run re-enters the loop exactly
+    /// where the original would have been.
+    pub fn resume_with_metrics<F: StochasticObjective>(
+        &self,
+        objective: &F,
+        path: &Path,
+        term_override: Option<Termination>,
+        registry: Option<&MetricsRegistry>,
+    ) -> Result<RunResult, CheckpointError> {
+        let k = self.params.k;
+        resume_classic(
+            objective,
+            self.cfg.clone(),
+            path,
+            term_override,
             registry,
             move |eng| mn_wait(k, eng),
             move |eng, id| eng.extend_round(&[id]),

@@ -9,6 +9,7 @@
 //! Figures 3.8–3.17 ablate exactly this choice via
 //! [`PcConditions`](crate::config::PcConditions).
 
+use crate::checkpoint::{self, CheckpointError};
 use crate::compare::{confident_greater, confident_less, Decision};
 use crate::config::{PcParams, SimplexConfig};
 use crate::engine::Engine;
@@ -18,6 +19,7 @@ use crate::result::RunResult;
 use crate::termination::{StopReason, Termination};
 use crate::trace::StepKind;
 use obs::MetricsRegistry;
+use std::path::Path;
 use stoch_eval::clock::TimeMode;
 use stoch_eval::objective::StochasticObjective;
 
@@ -246,13 +248,48 @@ impl PointComparison {
         if let Some(reg) = registry {
             eng.attach_metrics(EngineMetrics::register(reg));
         }
-        loop {
-            if let Some(r) = eng.should_stop() {
-                return eng.finish(r);
-            }
-            if let Some(r) = pc_iteration(&mut eng, self.params) {
-                return eng.finish(r);
-            }
+        pc_loop(eng, self.params)
+    }
+
+    /// Resume a checkpointed PC run (see
+    /// [`SimplexMethod::resume`](crate::algorithm::SimplexMethod::resume)).
+    pub fn resume<F: StochasticObjective>(
+        &self,
+        objective: &F,
+        path: &Path,
+        term_override: Option<Termination>,
+    ) -> Result<RunResult, CheckpointError> {
+        self.resume_with_metrics(objective, path, term_override, None)
+    }
+
+    /// [`resume`](Self::resume) with optional run accounting.
+    pub fn resume_with_metrics<F: StochasticObjective>(
+        &self,
+        objective: &F,
+        path: &Path,
+        term_override: Option<Termination>,
+        registry: Option<&MetricsRegistry>,
+    ) -> Result<RunResult, CheckpointError> {
+        let (payload, _from) = checkpoint::load_with_fallback(path)?;
+        let mut eng = Engine::resume(objective, self.cfg.clone(), &payload, term_override)?;
+        if let Some(reg) = registry {
+            eng.attach_metrics(EngineMetrics::register(reg));
+        }
+        Ok(pc_loop(eng, self.params))
+    }
+}
+
+/// The PC iteration loop over an already-built engine (fresh or resumed).
+/// Checkpoints, when configured, are written at the loop top — between
+/// iterations, where no streams are in flight.
+pub(crate) fn pc_loop<F: StochasticObjective>(mut eng: Engine<F>, params: PcParams) -> RunResult {
+    loop {
+        eng.checkpoint_if_due();
+        if let Some(r) = eng.should_stop() {
+            return eng.finish(r);
+        }
+        if let Some(r) = pc_iteration(&mut eng, params) {
+            return eng.finish(r);
         }
     }
 }

@@ -7,6 +7,7 @@
 //! *far* fewer simplex steps (178 vs 900 at `σ0 = 1000`), because each step
 //! is taken on better-sampled vertices.
 
+use crate::checkpoint::{self, CheckpointError};
 use crate::config::{MnParams, PcParams, SimplexConfig};
 use crate::engine::Engine;
 use crate::metrics::EngineMetrics;
@@ -15,6 +16,7 @@ use crate::pc::pc_iteration;
 use crate::result::RunResult;
 use crate::termination::Termination;
 use obs::MetricsRegistry;
+use std::path::Path;
 use stoch_eval::clock::TimeMode;
 use stoch_eval::objective::StochasticObjective;
 
@@ -64,16 +66,49 @@ impl PcMn {
         if let Some(reg) = registry {
             eng.attach_metrics(EngineMetrics::register(reg));
         }
-        loop {
-            if let Some(r) = eng.should_stop() {
-                return eng.finish(r);
-            }
-            if let Some(r) = mn_wait(self.mn.k, &mut eng) {
-                return eng.finish(r);
-            }
-            if let Some(r) = pc_iteration(&mut eng, self.pc) {
-                return eng.finish(r);
-            }
+        pcmn_loop(eng, self.mn, self.pc)
+    }
+
+    /// Resume a checkpointed PC+MN run (see
+    /// [`SimplexMethod::resume`](crate::algorithm::SimplexMethod::resume)).
+    pub fn resume<F: StochasticObjective>(
+        &self,
+        objective: &F,
+        path: &Path,
+        term_override: Option<Termination>,
+    ) -> Result<RunResult, CheckpointError> {
+        self.resume_with_metrics(objective, path, term_override, None)
+    }
+
+    /// [`resume`](Self::resume) with optional run accounting.
+    pub fn resume_with_metrics<F: StochasticObjective>(
+        &self,
+        objective: &F,
+        path: &Path,
+        term_override: Option<Termination>,
+        registry: Option<&MetricsRegistry>,
+    ) -> Result<RunResult, CheckpointError> {
+        let (payload, _from) = checkpoint::load_with_fallback(path)?;
+        let mut eng = Engine::resume(objective, self.cfg.clone(), &payload, term_override)?;
+        if let Some(reg) = registry {
+            eng.attach_metrics(EngineMetrics::register(reg));
+        }
+        Ok(pcmn_loop(eng, self.mn, self.pc))
+    }
+}
+
+/// The PC+MN iteration loop over an already-built engine (fresh or resumed).
+fn pcmn_loop<F: StochasticObjective>(mut eng: Engine<F>, mn: MnParams, pc: PcParams) -> RunResult {
+    loop {
+        eng.checkpoint_if_due();
+        if let Some(r) = eng.should_stop() {
+            return eng.finish(r);
+        }
+        if let Some(r) = mn_wait(mn.k, &mut eng) {
+            return eng.finish(r);
+        }
+        if let Some(r) = pc_iteration(&mut eng, pc) {
+            return eng.finish(r);
         }
     }
 }

@@ -18,6 +18,14 @@ pub enum RunNote {
     /// with inline serial execution. Results are identical to a fault-free
     /// run; only wall-clock parallelism was lost. See DESIGN.md §9.
     DegradedToSerial,
+    /// At least one sampling stream ingested a non-finite value (NaN/±inf).
+    /// Under the default quarantine policy the affected vertex's estimate is
+    /// pinned to `+inf` (it loses every comparison) and the run continues.
+    NonFiniteSample,
+    /// A scheduled checkpoint write failed (I/O error). The run continued —
+    /// checkpointing is best-effort — but crash recovery would resume from
+    /// an older snapshot. Reported once per run.
+    CheckpointFailed,
 }
 
 /// Collect the [`RunNote`]s a backend reports after a run.
@@ -92,6 +100,8 @@ pub struct RunMetrics {
     pub mn_extension_rounds: u64,
     /// Virtual time spent equalizing noise in the MN wait loop.
     pub mn_equalize_time: f64,
+    /// Non-finite samples quarantined at stream ingestion (`eval.nonfinite`).
+    pub nonfinite: u64,
 }
 
 impl RunMetrics {

@@ -13,6 +13,14 @@ pub enum StopReason {
     /// The algorithm could not make further progress (e.g. a zero-noise
     /// resampling loop that can never decide a comparison).
     Stalled,
+    /// The simplex collapsed below machine precision: its diameter fell
+    /// under `ε · scale` (or became non-finite), so no further move can
+    /// change the geometry. Under [`crate::restart::RestartedSimplex`] this
+    /// triggers a fresh start like any other stop.
+    Degenerate,
+    /// A stream produced a non-finite sample and the run's
+    /// [`crate::config::NonFinitePolicy`] is `FailFast`.
+    NonFinite,
 }
 
 /// Combined termination criteria. Any satisfied criterion stops the run;

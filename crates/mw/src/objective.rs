@@ -85,6 +85,18 @@ impl<S: SampleStream + 'static> SampleStream for MwStream<S> {
             None => unreachable!("MwStream state is always restored after extend"),
         }
     }
+
+    // `save_state`/`load_state` keep the trait defaults (unsupported): a
+    // restored stream could not rebuild its pool handle from bytes alone, so
+    // checkpoint/resume runs drive the pool through the `ThreadedBackend`
+    // seam instead of this adapter (engine state then lives master-side).
+
+    fn nonfinite_samples(&self) -> u64 {
+        match &self.state {
+            Some(s) => s.nonfinite_samples(),
+            None => unreachable!("MwStream state is always restored after extend"),
+        }
+    }
 }
 
 impl<F> StochasticObjective for MwObjective<F>

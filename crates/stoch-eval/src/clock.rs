@@ -47,6 +47,19 @@ impl VirtualClock {
         self.mode
     }
 
+    /// Rebuild a clock mid-run from persisted state. Checkpoints are only
+    /// taken between rounds, so `mode` and `elapsed` are the complete state
+    /// (the per-round accumulators are always quiescent at snapshot time).
+    pub fn with_elapsed(mode: TimeMode, elapsed: f64) -> Self {
+        VirtualClock {
+            mode,
+            elapsed,
+            round_max: 0.0,
+            round_sum: 0.0,
+            in_round: false,
+        }
+    }
+
     /// Begin a concurrent sampling round.
     pub fn begin_round(&mut self) {
         debug_assert!(!self.in_round, "nested sampling rounds");

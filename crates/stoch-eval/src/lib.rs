@@ -26,6 +26,8 @@
 //! * [`functions`] — the analytic test suite (Rosenbrock, Powell, sphere,
 //!   Box–Wilson quadratic, Rastrigin, McKinnon).
 //! * [`clock`] — virtual-time accounting (serial and parallel modes).
+//! * [`codec`] — the hand-rolled little-endian binary codec (plus CRC-32)
+//!   used by checkpoint/resume; streams persist their state through it.
 //! * [`stats`] — Welford accumulators, quantiles, histograms, and the paired
 //!   log-ratio analysis used by the paper's comparison figures.
 //! * [`rng`] — reproducible, splittable seeding.
@@ -34,6 +36,7 @@
 
 pub mod backend;
 pub mod clock;
+pub mod codec;
 pub mod functions;
 pub mod functions_ext;
 pub mod noise;
@@ -44,6 +47,7 @@ pub mod stats;
 
 pub use backend::{SamplingBackend, SerialBackend, StreamJob};
 pub use clock::{TimeMode, VirtualClock};
+pub use codec::{crc32, CodecError, Reader, Writer};
 pub use functions::{BoxWilsonQuadratic, McKinnon, Powell, Rastrigin, Rosenbrock, Sphere};
 pub use functions_ext::{Ackley, Griewank, IllConditionedQuadratic, Levy, Zakharov};
 pub use noise::{ConstantNoise, NoiseModel, RelativeNoise, ZeroNoise};

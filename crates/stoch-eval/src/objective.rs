@@ -57,12 +57,51 @@ impl Estimate {
 /// work can be re-issued from the copy. Because the clone carries the RNG
 /// state, the re-issued extension reproduces the lost one bit for bit
 /// (DESIGN.md §9).
+/// Streams may additionally support *state persistence* (`save_state` /
+/// `load_state`): serializing their complete state — RNG, cached variates,
+/// sufficient statistics — so a checkpointed run can resume bit-identically.
+/// The default implementations report [`CodecError::Unsupported`]; every
+/// stream shipped in this workspace overrides them. See `DESIGN.md` §11.
+///
+/// [`CodecError::Unsupported`]: crate::codec::CodecError::Unsupported
 pub trait SampleStream: Send + Clone {
     /// Advance sampling by virtual duration `dt > 0`.
     fn extend(&mut self, dt: f64);
 
     /// The current estimate (value, standard error, accumulated time).
     fn estimate(&self) -> Estimate;
+
+    /// Serialize the complete stream state into `w` such that
+    /// [`load_state`](Self::load_state) reconstructs a stream whose future
+    /// behaviour is bit-identical to this one's.
+    ///
+    /// Default: unsupported (checkpointing degrades gracefully for streams
+    /// that cannot persist).
+    fn save_state(&self, _w: &mut crate::codec::Writer) -> Result<(), crate::codec::CodecError> {
+        Err(crate::codec::CodecError::Unsupported {
+            what: std::any::type_name::<Self>(),
+        })
+    }
+
+    /// Reconstruct a stream from bytes written by
+    /// [`save_state`](Self::save_state).
+    fn load_state(_r: &mut crate::codec::Reader<'_>) -> Result<Self, crate::codec::CodecError>
+    where
+        Self: Sized,
+    {
+        Err(crate::codec::CodecError::Unsupported {
+            what: std::any::type_name::<Self>(),
+        })
+    }
+
+    /// Number of non-finite (NaN/±Inf) raw samples the stream has quarantined
+    /// at ingestion. Streams that quarantine report their estimate as `+inf`
+    /// with zero standard error once this is non-zero, so a poisoned point
+    /// loses every ordering comparison instead of corrupting vertex means
+    /// (or panicking the ordering) silently. Default: `0` (no detection).
+    fn nonfinite_samples(&self) -> u64 {
+        0
+    }
 }
 
 /// A deterministic multivariate objective `f: R^d -> R`.

@@ -62,6 +62,18 @@ impl SeedSequence {
     pub fn next_rng(&mut self) -> StdRng {
         rng_from_seed(self.next_seed())
     }
+
+    /// The `(parent, next)` state pair (for checkpoint serialization).
+    pub fn state(&self) -> (u64, u64) {
+        (self.parent, self.next)
+    }
+
+    /// Rebuild a sequence from a state pair obtained via
+    /// [`state`](Self::state); the restored sequence hands out exactly the
+    /// child seeds the original would have.
+    pub fn from_state(parent: u64, next: u64) -> Self {
+        Self { parent, next }
+    }
 }
 
 #[cfg(test)]

@@ -12,6 +12,7 @@
 //! has exactly variance `σ0²/t`. Successive estimates are correlated in the
 //! way a true running average is.
 
+use crate::codec::{CodecError, Reader, Writer};
 use crate::noise::NoiseModel;
 use crate::objective::{Estimate, Objective, SampleStream, StochasticObjective};
 use crate::rng::rng_from_seed;
@@ -81,6 +82,31 @@ impl NormalSource {
             }
         }
     }
+
+    /// Serialize the RNG state words *and* the cached spare variate.
+    ///
+    /// Persisting the spare is load-bearing for bit-identical resume: a
+    /// restored source that dropped it would consume the RNG one accepted
+    /// polar trial early and shift every subsequent variate.
+    pub fn save_state(&self, w: &mut Writer) {
+        for word in self.rng.state() {
+            w.put_u64(word);
+        }
+        w.put_opt_f64(self.spare);
+    }
+
+    /// Reconstruct a source from bytes written by
+    /// [`save_state`](Self::save_state).
+    pub fn load_state(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let mut s = [0u64; 4];
+        for word in &mut s {
+            *word = r.take_u64()?;
+        }
+        Ok(NormalSource {
+            rng: StdRng::from_state(s),
+            spare: r.take_opt_f64()?,
+        })
+    }
 }
 
 /// A consistent Gaussian sampling stream at a fixed point.
@@ -94,6 +120,7 @@ pub struct GaussianStream {
     sigma0: f64,
     t: f64,
     sum: f64,
+    nonfinite: u64,
     src: NormalSource,
 }
 
@@ -106,6 +133,7 @@ impl GaussianStream {
             sigma0,
             t: 0.0,
             sum: 0.0,
+            nonfinite: 0,
             src: NormalSource::new(seed),
         }
     }
@@ -130,11 +158,28 @@ impl SampleStream for GaussianStream {
         } else {
             0.0
         };
-        self.sum += self.f * dt + self.sigma0 * dt.sqrt() * z;
+        let inc = self.f * dt + self.sigma0 * dt.sqrt() * z;
+        if !inc.is_finite() {
+            // Quarantine at ingestion: a NaN/Inf underlying value must not
+            // reach the Brownian accumulator (it would silently poison every
+            // later estimate). Time still advances — the sampling effort was
+            // spent — and `estimate` reports `+inf` from now on.
+            self.nonfinite += 1;
+            self.t += dt;
+            return;
+        }
+        self.sum += inc;
         self.t += dt;
     }
 
     fn estimate(&self) -> Estimate {
+        if self.nonfinite > 0 {
+            return Estimate {
+                value: f64::INFINITY,
+                std_err: 0.0,
+                time: self.t,
+            };
+        }
         if self.t <= 0.0 {
             // An unsampled stream is maximally uncertain; report the prior
             // mean with infinite error so no confidence comparison passes.
@@ -154,6 +199,31 @@ impl SampleStream for GaussianStream {
             time: self.t,
         }
     }
+
+    fn save_state(&self, w: &mut Writer) -> Result<(), CodecError> {
+        w.put_f64(self.f);
+        w.put_f64(self.sigma0);
+        w.put_f64(self.t);
+        w.put_f64(self.sum);
+        w.put_u64(self.nonfinite);
+        self.src.save_state(w);
+        Ok(())
+    }
+
+    fn load_state(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(GaussianStream {
+            f: r.take_f64()?,
+            sigma0: r.take_f64()?,
+            t: r.take_f64()?,
+            sum: r.take_f64()?,
+            nonfinite: r.take_u64()?,
+            src: NormalSource::load_state(r)?,
+        })
+    }
+
+    fn nonfinite_samples(&self) -> u64 {
+        self.nonfinite
+    }
 }
 
 /// A stream that estimates its own standard error empirically from discrete
@@ -171,6 +241,7 @@ pub struct EmpiricalStream {
     n: u64,
     mean: f64,
     m2: f64,
+    nonfinite: u64,
     src: NormalSource,
 }
 
@@ -186,11 +257,28 @@ impl EmpiricalStream {
             n: 0,
             mean: 0.0,
             m2: 0.0,
+            nonfinite: 0,
             src: NormalSource::new(seed),
         }
     }
 
+    /// Whether unit samples from this stream are finite. Noise variates are
+    /// always finite, so finiteness is a per-stream property of `f` and the
+    /// unit standard deviation — either every sample is finite or every
+    /// sample is quarantined, which keeps the single-sample and batched
+    /// ingestion paths consistent.
+    fn samples_finite(&self) -> bool {
+        self.f.is_finite()
+            && (self.sigma0 == 0.0 || (self.sigma0 / self.dt_sample.sqrt()).is_finite())
+    }
+
     fn push(&mut self, x: f64) {
+        if !x.is_finite() {
+            // Quarantine at ingestion (see `SampleStream::nonfinite_samples`):
+            // one NaN through Welford would corrupt `mean`/`m2` forever.
+            self.nonfinite += 1;
+            return;
+        }
         self.n += 1;
         let delta = x - self.mean;
         self.mean += delta / self.n as f64;
@@ -204,6 +292,18 @@ impl EmpiricalStream {
     /// parallel-Welford merge into the running accumulator. Consumes
     /// exactly the same variate sequence as `batches` calls to `push`.
     fn extend_batched(&mut self, batches: u64) {
+        if !self.samples_finite() {
+            // Every unit sample would be non-finite: quarantine the whole
+            // batch, but still consume the same number of noise variates as
+            // the per-sample path so RNG trajectories stay aligned.
+            for _ in 0..batches {
+                if self.sigma0 > 0.0 {
+                    let _ = self.src.sample();
+                }
+            }
+            self.nonfinite += batches;
+            return;
+        }
         let unit_sd = self.sigma0 / self.dt_sample.sqrt();
         let (mut sum_c, mut sumsq_c) = (0.0, 0.0);
         for _ in 0..batches {
@@ -252,6 +352,17 @@ impl SampleStream for EmpiricalStream {
     }
 
     fn estimate(&self) -> Estimate {
+        if self.nonfinite > 0 {
+            // Quarantined point: worst possible value with zero uncertainty,
+            // so it loses every confidence comparison outright instead of
+            // stalling gates behind an infinite error bar. Time counts the
+            // quarantined draws — that sampling effort was spent.
+            return Estimate {
+                value: f64::INFINITY,
+                std_err: 0.0,
+                time: (self.n + self.nonfinite) as f64 * self.dt_sample,
+            };
+        }
         if self.n < 2 {
             return Estimate {
                 value: if self.n == 1 { self.mean } else { self.f },
@@ -265,6 +376,43 @@ impl SampleStream for EmpiricalStream {
             std_err: (var / self.n as f64).sqrt(),
             time: self.n as f64 * self.dt_sample,
         }
+    }
+
+    fn save_state(&self, w: &mut Writer) -> Result<(), CodecError> {
+        w.put_f64(self.f);
+        w.put_f64(self.sigma0);
+        w.put_f64(self.dt_sample);
+        w.put_u64(self.n);
+        w.put_f64(self.mean);
+        w.put_f64(self.m2);
+        w.put_u64(self.nonfinite);
+        self.src.save_state(w);
+        Ok(())
+    }
+
+    fn load_state(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let f = r.take_f64()?;
+        let sigma0 = r.take_f64()?;
+        let dt_sample = r.take_f64()?;
+        if dt_sample.is_nan() || dt_sample <= 0.0 {
+            return Err(CodecError::Invalid {
+                what: "EmpiricalStream dt_sample",
+            });
+        }
+        Ok(EmpiricalStream {
+            f,
+            sigma0,
+            dt_sample,
+            n: r.take_u64()?,
+            mean: r.take_f64()?,
+            m2: r.take_f64()?,
+            nonfinite: r.take_u64()?,
+            src: NormalSource::load_state(r)?,
+        })
+    }
+
+    fn nonfinite_samples(&self) -> u64 {
+        self.nonfinite
     }
 }
 
@@ -326,6 +474,37 @@ impl SampleStream for NoisyStream {
         match self {
             NoisyStream::Oracle(s) => s.estimate(),
             NoisyStream::Empirical(s) => s.estimate(),
+        }
+    }
+
+    fn save_state(&self, w: &mut Writer) -> Result<(), CodecError> {
+        match self {
+            NoisyStream::Oracle(s) => {
+                w.put_u8(0);
+                s.save_state(w)
+            }
+            NoisyStream::Empirical(s) => {
+                w.put_u8(1);
+                s.save_state(w)
+            }
+        }
+    }
+
+    fn load_state(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.take_u8()? {
+            0 => Ok(NoisyStream::Oracle(GaussianStream::load_state(r)?)),
+            1 => Ok(NoisyStream::Empirical(EmpiricalStream::load_state(r)?)),
+            tag => Err(CodecError::Tag {
+                what: "NoisyStream variant",
+                tag,
+            }),
+        }
+    }
+
+    fn nonfinite_samples(&self) -> u64 {
+        match self {
+            NoisyStream::Oracle(s) => s.nonfinite_samples(),
+            NoisyStream::Empirical(s) => s.nonfinite_samples(),
         }
     }
 }
@@ -475,6 +654,110 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(a.sample().to_bits(), b.sample().to_bits());
         }
+    }
+
+    #[test]
+    fn gaussian_stream_quarantines_nonfinite() {
+        let mut s = GaussianStream::new(f64::NAN, 1.0, 7);
+        s.extend(1.0);
+        s.extend(2.0);
+        assert_eq!(s.nonfinite_samples(), 2);
+        let e = s.estimate();
+        assert_eq!(e.value, f64::INFINITY);
+        assert_eq!(e.std_err, 0.0);
+        assert_eq!(e.time, 3.0); // sampling effort still counted
+    }
+
+    #[test]
+    fn empirical_stream_quarantines_both_paths() {
+        // Single-sample path.
+        let mut s = EmpiricalStream::new(f64::INFINITY, 1.0, 1.0, 8);
+        s.extend(1.0);
+        assert_eq!(s.nonfinite_samples(), 1);
+        // Batched path consumes the same variate count as per-sample pushes.
+        let mut a = EmpiricalStream::new(f64::NAN, 2.0, 1.0, 9);
+        let mut b = a.clone();
+        a.extend(16.0); // batched
+        for _ in 0..16 {
+            b.extend(1.0); // per-sample
+        }
+        assert_eq!(a.nonfinite_samples(), 16);
+        assert_eq!(b.nonfinite_samples(), 16);
+        assert_eq!(a.src.sample().to_bits(), b.src.sample().to_bits());
+        let e = a.estimate();
+        assert_eq!(e.value, f64::INFINITY);
+        assert_eq!(e.std_err, 0.0);
+        assert_eq!(e.time, 16.0);
+    }
+
+    #[test]
+    fn finite_streams_report_zero_nonfinite() {
+        let mut g = GaussianStream::new(1.0, 2.0, 10);
+        g.extend(5.0);
+        assert_eq!(g.nonfinite_samples(), 0);
+        let mut e = EmpiricalStream::new(1.0, 2.0, 1.0, 10);
+        e.extend(5.0);
+        assert_eq!(e.nonfinite_samples(), 0);
+    }
+
+    /// Save → load → continue must be bit-identical to continuing directly.
+    fn assert_replay_identical<S: SampleStream>(mut live: S) {
+        let mut w = Writer::new();
+        live.save_state(&mut w).expect("save");
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let mut restored = S::load_state(&mut r).expect("load");
+        r.finish().expect("no trailing bytes");
+        for i in 0..50 {
+            live.extend(0.7);
+            restored.extend(0.7);
+            let (a, b) = (live.estimate(), restored.estimate());
+            assert_eq!(a.value.to_bits(), b.value.to_bits(), "value step {i}");
+            assert_eq!(a.std_err.to_bits(), b.std_err.to_bits(), "err step {i}");
+            assert_eq!(a.time.to_bits(), b.time.to_bits(), "time step {i}");
+        }
+    }
+
+    #[test]
+    fn gaussian_stream_state_round_trip() {
+        let mut s = GaussianStream::new(3.0, 7.0, 11);
+        s.extend(2.5); // leaves a cached spare in the NormalSource
+        assert_replay_identical(s);
+    }
+
+    #[test]
+    fn empirical_stream_state_round_trip() {
+        let mut s = EmpiricalStream::new(-1.0, 4.0, 0.5, 12);
+        s.extend(3.0);
+        assert_replay_identical(s);
+    }
+
+    #[test]
+    fn noisy_stream_state_round_trip_both_variants() {
+        let oracle = Noisy::new(Const(2.0), ConstantNoise(3.0));
+        let mut s = oracle.open(&[0.0], 13);
+        s.extend(1.0);
+        assert_replay_identical(s);
+        let emp = Noisy::empirical(Const(2.0), ConstantNoise(3.0), 1.0);
+        let mut s = emp.open(&[0.0], 14);
+        s.extend(4.0);
+        assert_replay_identical(s);
+    }
+
+    #[test]
+    fn empirical_load_rejects_bad_dt_sample() {
+        let mut s = EmpiricalStream::new(0.0, 1.0, 1.0, 15);
+        s.extend(1.0);
+        let mut w = Writer::new();
+        s.save_state(&mut w).expect("save");
+        let mut bytes = w.into_bytes();
+        // dt_sample is the third f64 field (bytes 16..24); zero it out.
+        bytes[16..24].copy_from_slice(&0.0f64.to_le_bytes());
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(
+            EmpiricalStream::load_state(&mut r),
+            Err(CodecError::Invalid { .. })
+        ));
     }
 
     #[test]

@@ -147,6 +147,7 @@ pub struct WaterCostStream {
     weights: CostWeights,
     t: f64,
     sums: [f64; 6],
+    nonfinite: u64,
     src: NormalSource,
 }
 
@@ -154,17 +155,34 @@ impl SampleStream for WaterCostStream {
     fn extend(&mut self, dt: f64) {
         assert!(dt > 0.0);
         for i in 0..6 {
+            // Always draw the variate for a noisy property so the RNG
+            // position does not depend on the data — quarantined extends
+            // must consume exactly as many variates as clean ones.
             let z = if self.sigma0[i] > 0.0 {
                 self.src.sample()
             } else {
                 0.0
             };
-            self.sums[i] += self.props[i] * dt + self.sigma0[i] * dt.sqrt() * z;
+            let incr = self.props[i] * dt + self.sigma0[i] * dt.sqrt() * z;
+            if incr.is_finite() {
+                self.sums[i] += incr;
+            } else {
+                // A diverged simulation property (e.g. a NaN RDF residual)
+                // is quarantined rather than poisoning the running sums.
+                self.nonfinite += 1;
+            }
         }
         self.t += dt;
     }
 
     fn estimate(&self) -> Estimate {
+        if self.nonfinite > 0 {
+            return Estimate {
+                value: f64::INFINITY,
+                std_err: 0.0,
+                time: self.t,
+            };
+        }
         if self.t <= 0.0 {
             return Estimate {
                 value: self.weights.cost(&self.props),
@@ -183,6 +201,53 @@ impl SampleStream for WaterCostStream {
             std_err: self.weights.cost_std_err(&est, &errs),
             time: self.t,
         }
+    }
+
+    fn save_state(
+        &self,
+        w: &mut stoch_eval::codec::Writer,
+    ) -> Result<(), stoch_eval::codec::CodecError> {
+        w.put_f64_slice(&self.props);
+        w.put_f64_slice(&self.sigma0);
+        w.put_f64_slice(&self.weights.w);
+        w.put_f64_slice(&self.weights.floors);
+        w.put_f64(self.t);
+        w.put_f64_slice(&self.sums);
+        w.put_u64(self.nonfinite);
+        self.src.save_state(w);
+        Ok(())
+    }
+
+    fn load_state(
+        r: &mut stoch_eval::codec::Reader<'_>,
+    ) -> Result<Self, stoch_eval::codec::CodecError> {
+        let take6 = |r: &mut stoch_eval::codec::Reader<'_>| -> Result<[f64; 6], _> {
+            let v = r.take_f64_vec()?;
+            <[f64; 6]>::try_from(v).map_err(|_| stoch_eval::codec::CodecError::Invalid {
+                what: "WaterCostStream property vector",
+            })
+        };
+        let props = take6(r)?;
+        let sigma0 = take6(r)?;
+        let w = take6(r)?;
+        let floors = take6(r)?;
+        let t = r.take_f64()?;
+        let sums = take6(r)?;
+        let nonfinite = r.take_u64()?;
+        let src = NormalSource::load_state(r)?;
+        Ok(WaterCostStream {
+            props,
+            sigma0,
+            weights: CostWeights { w, floors },
+            t,
+            sums,
+            nonfinite,
+            src,
+        })
+    }
+
+    fn nonfinite_samples(&self) -> u64 {
+        self.nonfinite
     }
 }
 
@@ -206,6 +271,7 @@ impl<E: PropertyEngine> StochasticObjective for WaterObjective<E> {
             weights: self.weights,
             t: 0.0,
             sums: [0.0; 6],
+            nonfinite: 0,
             src: NormalSource::new(seed),
         }
     }
@@ -385,6 +451,52 @@ mod tests {
             fine.value
         );
         assert!(fine.std_err < rough.std_err);
+    }
+
+    #[test]
+    fn water_stream_state_round_trips_bit_identically() {
+        let obj = WaterObjective::new(SurrogateWater);
+        let mut s = obj.open(&TIP4P_PARAMS, 7);
+        s.extend(2.5);
+        s.extend(0.5);
+
+        let mut w = stoch_eval::codec::Writer::new();
+        s.save_state(&mut w).unwrap();
+        let bytes = w.into_bytes();
+        let mut r = stoch_eval::codec::Reader::new(&bytes);
+        let mut restored = WaterCostStream::load_state(&mut r).unwrap();
+        r.finish().unwrap();
+
+        // Same estimate now, and identical future trajectory (RNG position
+        // restored exactly).
+        for _ in 0..5 {
+            let a = s.estimate();
+            let b = restored.estimate();
+            assert_eq!(a.value.to_bits(), b.value.to_bits());
+            assert_eq!(a.std_err.to_bits(), b.std_err.to_bits());
+            assert_eq!(a.time.to_bits(), b.time.to_bits());
+            s.extend(1.25);
+            restored.extend(1.25);
+        }
+    }
+
+    #[test]
+    fn water_stream_quarantines_nonfinite_increments() {
+        let obj = WaterObjective::new(SurrogateWater);
+        let mut s = obj.open(&[f64::NAN, 3.1540, 0.5200], 3);
+        assert_eq!(s.nonfinite_samples(), 0);
+        s.extend(1.0);
+        assert!(s.nonfinite_samples() > 0, "NaN property not quarantined");
+        let e = s.estimate();
+        assert!(e.value.is_infinite() && e.value > 0.0);
+        assert_eq!(e.std_err, 0.0);
+        // The quarantine tally survives a save/load round trip.
+        let mut w = stoch_eval::codec::Writer::new();
+        s.save_state(&mut w).unwrap();
+        let bytes = w.into_bytes();
+        let mut r = stoch_eval::codec::Reader::new(&bytes);
+        let restored = WaterCostStream::load_state(&mut r).unwrap();
+        assert_eq!(restored.nonfinite_samples(), s.nonfinite_samples());
     }
 
     #[test]

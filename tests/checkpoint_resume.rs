@@ -1,0 +1,604 @@
+//! Durable checkpoint/resume (DESIGN.md §11): a run truncated at iteration
+//! `k`, checkpointed, dropped, and resumed must be bit-identical to one that
+//! never stopped — best point, values, counters, trace, and accounting —
+//! for every simplex-family method, on both sampling backends, under any
+//! checkpoint cadence, and composed with worker fault injection.
+
+use noisy_simplex::engine::Engine;
+use noisy_simplex::prelude::*;
+use obs::MetricsRegistry;
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use stoch_eval::codec::{CodecError, Reader, Writer};
+use stoch_eval::functions::{Rosenbrock, Sphere};
+use stoch_eval::noise::ConstantNoise;
+use stoch_eval::objective::{Estimate, Objective, SampleStream, StochasticObjective};
+use stoch_eval::sampler::Noisy;
+
+/// A unique checkpoint path per call (tests run concurrently in one
+/// process, and cargo may run several test binaries at once).
+fn tmp_ckpt(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, AtomicOrdering::Relaxed);
+    std::env::temp_dir().join(format!("nsx_ckpt_{tag}_{}_{n}.bin", std::process::id()))
+}
+
+/// Remove a checkpoint plus its retention (`.1`) and staging (`.tmp`) files.
+fn cleanup(path: &Path) {
+    for suffix in ["", ".1", ".tmp"] {
+        let mut p = path.as_os_str().to_os_string();
+        p.push(suffix);
+        let _ = std::fs::remove_file(PathBuf::from(p));
+    }
+}
+
+fn all_methods() -> Vec<SimplexMethod> {
+    vec![
+        SimplexMethod::Det(Det::new()),
+        SimplexMethod::Mn(MaxNoise::with_k(2.0)),
+        SimplexMethod::Pc(PointComparison::new()),
+        SimplexMethod::PcMn(PcMn::new()),
+        SimplexMethod::Anderson(AndersonNm::with_k1(1024.0)),
+    ]
+}
+
+/// Clone a method with its shared [`SimplexConfig`] adjusted.
+fn with_cfg(m: &SimplexMethod, f: impl FnOnce(&mut SimplexConfig)) -> SimplexMethod {
+    let mut m = m.clone();
+    match &mut m {
+        SimplexMethod::Det(x) => f(&mut x.cfg),
+        SimplexMethod::Mn(x) => f(&mut x.cfg),
+        SimplexMethod::Pc(x) => f(&mut x.cfg),
+        SimplexMethod::PcMn(x) => f(&mut x.cfg),
+        SimplexMethod::Anderson(x) => f(&mut x.cfg),
+    }
+    m
+}
+
+fn full_term() -> Termination {
+    Termination {
+        tolerance: Some(1e-6),
+        max_time: Some(300.0),
+        max_iterations: Some(100),
+    }
+}
+
+/// Bitwise comparison of two runs: result fields, trace, accounting, notes.
+fn assert_identical(label: &str, a: &RunResult, b: &RunResult) {
+    let bits = |v: f64| v.to_bits();
+    assert_eq!(a.best_point, b.best_point, "{label}: best_point");
+    assert_eq!(
+        bits(a.best_observed),
+        bits(b.best_observed),
+        "{label}: best_observed"
+    );
+    assert_eq!(a.iterations, b.iterations, "{label}: iterations");
+    assert_eq!(bits(a.elapsed), bits(b.elapsed), "{label}: elapsed");
+    assert_eq!(
+        bits(a.total_sampling),
+        bits(b.total_sampling),
+        "{label}: total_sampling"
+    );
+    assert_eq!(a.stop, b.stop, "{label}: stop reason");
+    assert_eq!(a.notes, b.notes, "{label}: notes");
+    assert_eq!(a.metrics, b.metrics, "{label}: metrics summary");
+    let (pa, pb) = (a.trace.points(), b.trace.points());
+    assert_eq!(pa.len(), pb.len(), "{label}: trace length");
+    for (i, (x, y)) in pa.iter().zip(pb).enumerate() {
+        assert_eq!(bits(x.time), bits(y.time), "{label}: trace[{i}].time");
+        assert_eq!(x.iteration, y.iteration, "{label}: trace[{i}].iteration");
+        assert_eq!(
+            bits(x.best_observed),
+            bits(y.best_observed),
+            "{label}: trace[{i}].best_observed"
+        );
+        assert_eq!(x.step, y.step, "{label}: trace[{i}].step");
+    }
+}
+
+/// The core round trip: golden uninterrupted run vs. (run to `cut`
+/// iterations with checkpointing → drop everything → resume from the file
+/// with the golden termination) — must be bit-identical.
+fn check_roundtrip<F: StochasticObjective>(
+    method: &SimplexMethod,
+    objective: &F,
+    d: usize,
+    seed: u64,
+    every: u64,
+    cut: u64,
+    backend: BackendChoice,
+) {
+    let init = init::random_uniform(d, -3.0, 3.0, seed);
+    let label = format!(
+        "{} every={every} cut={cut} {}",
+        method.name(),
+        backend.label()
+    );
+
+    let golden_m = with_cfg(method, |c| {
+        c.backend = backend;
+        c.checkpoint = None;
+    });
+    let golden_reg = MetricsRegistry::new();
+    let golden = golden_m.run_with_metrics(
+        objective,
+        init.clone(),
+        full_term(),
+        TimeMode::Parallel,
+        seed,
+        Some(&golden_reg),
+    );
+    if golden.iterations <= cut {
+        return; // nothing to truncate — the run finished before the cut
+    }
+
+    let path = tmp_ckpt("rt");
+    let ckpt_m = with_cfg(method, |c| {
+        c.backend = backend;
+        c.checkpoint = Some(CheckpointConfig {
+            path: path.clone(),
+            every,
+            retain: true,
+        });
+    });
+    let trunc_term = Termination {
+        max_iterations: Some(cut),
+        ..full_term()
+    };
+    let trunc_reg = MetricsRegistry::new();
+    let truncated = ckpt_m.run_with_metrics(
+        objective,
+        init,
+        trunc_term,
+        TimeMode::Parallel,
+        seed,
+        Some(&trunc_reg),
+    );
+    assert!(
+        truncated.iterations <= cut + 1,
+        "{label}: truncated run overshot the cut"
+    );
+
+    let resume_reg = MetricsRegistry::new();
+    let resumed = ckpt_m
+        .resume_with_metrics(objective, &path, Some(full_term()), Some(&resume_reg))
+        .unwrap_or_else(|e| panic!("{label}: resume failed: {e}"));
+    cleanup(&path);
+
+    assert_identical(&label, &golden, &resumed);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Oracle-error streams: all five methods, both backends.
+    #[test]
+    fn resume_is_bit_identical_on_noisy_sphere(
+        seed in 1u64..10_000,
+        every in 1u64..=3,
+        cut in 3u64..=6,
+    ) {
+        let obj = Noisy::new(Sphere::new(2), ConstantNoise(1.0));
+        for m in &all_methods() {
+            for backend in [BackendChoice::Serial, BackendChoice::Threaded { workers: 2 }] {
+                check_roundtrip(m, &obj, 2, seed, every, cut, backend);
+            }
+        }
+    }
+
+    /// Empirical-error streams (batch statistics persisted too) on a second
+    /// test function.
+    #[test]
+    fn resume_is_bit_identical_on_empirical_rosenbrock(
+        seed in 1u64..10_000,
+        every in 1u64..=3,
+        cut in 3u64..=6,
+    ) {
+        let obj = Noisy::empirical(Rosenbrock::new(3), ConstantNoise(2.0), 0.25);
+        for m in &all_methods() {
+            for backend in [BackendChoice::Serial, BackendChoice::Threaded { workers: 2 }] {
+                check_roundtrip(m, &obj, 3, seed, every, cut, backend);
+            }
+        }
+    }
+
+    /// Checkpoint cadence composed with worker fault injection: a threaded
+    /// pool that loses a worker mid-run must still checkpoint and resume
+    /// bit-identically (the retry layer re-issues lost work from master-side
+    /// stream copies, so the fault never reaches the persisted state).
+    #[test]
+    fn resume_composes_with_fault_injection(
+        seed in 1u64..10_000,
+        every in 1u64..=2,
+        cut in 3u64..=5,
+        kill_after in 1u64..=3,
+    ) {
+        let obj = Noisy::new(Sphere::new(2), ConstantNoise(1.0));
+        let methods = [
+            SimplexMethod::Mn(MaxNoise::with_k(2.0)),
+            SimplexMethod::Pc(PointComparison::new()),
+        ];
+        for m in &methods {
+            let faulty = with_cfg(m, |c| {
+                c.faults = Some(FaultPlan::none().kill(0, kill_after));
+            });
+            check_roundtrip(
+                &faulty,
+                &obj,
+                2,
+                seed,
+                every,
+                cut,
+                BackendChoice::Threaded { workers: 2 },
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// extend_until + checkpoint interaction
+// ---------------------------------------------------------------------------
+
+/// A stream whose standard error never shrinks: `extend_until` can never
+/// reach its target and must give up with [`StopReason::Stalled`].
+#[derive(Debug, Clone)]
+struct FlatStream {
+    value: f64,
+    t: f64,
+}
+
+impl SampleStream for FlatStream {
+    fn extend(&mut self, dt: f64) {
+        self.t += dt;
+    }
+    fn estimate(&self) -> Estimate {
+        Estimate {
+            value: self.value,
+            std_err: 1.0,
+            time: self.t,
+        }
+    }
+    fn save_state(&self, w: &mut Writer) -> Result<(), CodecError> {
+        w.put_f64(self.value);
+        w.put_f64(self.t);
+        Ok(())
+    }
+    fn load_state(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(FlatStream {
+            value: r.take_f64()?,
+            t: r.take_f64()?,
+        })
+    }
+}
+
+struct FlatObjective;
+
+impl StochasticObjective for FlatObjective {
+    type Stream = FlatStream;
+    fn dim(&self) -> usize {
+        2
+    }
+    fn open(&self, x: &[f64], _seed: u64) -> FlatStream {
+        FlatStream {
+            value: x.iter().map(|v| v * v).sum(),
+            t: 0.0,
+        }
+    }
+}
+
+fn simplex_2d() -> Vec<Vec<f64>> {
+    vec![vec![1.0, 1.0], vec![2.0, 1.0], vec![1.0, 2.0]]
+}
+
+fn serial_cfg() -> SimplexConfig {
+    SimplexConfig {
+        backend: BackendChoice::Serial,
+        checkpoint: None,
+        ..SimplexConfig::default()
+    }
+}
+
+/// `extend_until` that stalls must account identically whether or not the
+/// engine went through a snapshot/resume round trip first.
+#[test]
+fn stalled_extend_until_accounts_identically_across_resume() {
+    let obj = FlatObjective;
+    let term = Termination {
+        tolerance: None,
+        max_time: None,
+        max_iterations: None,
+    };
+
+    let mut golden = Engine::new(
+        &obj,
+        simplex_2d(),
+        serial_cfg(),
+        term,
+        TimeMode::Parallel,
+        7,
+    );
+    let (est_g, stop_g) = golden.extend_until(0, 0.5);
+    assert_eq!(stop_g, Some(StopReason::Stalled));
+    let res_g = golden.finish(StopReason::Stalled);
+
+    let twin = Engine::new(
+        &obj,
+        simplex_2d(),
+        serial_cfg(),
+        term,
+        TimeMode::Parallel,
+        7,
+    );
+    let payload = twin.snapshot().expect("snapshot");
+    drop(twin);
+    let mut resumed =
+        Engine::resume(&obj, serial_cfg(), &payload, None).expect("resume from bytes");
+    let (est_r, stop_r) = resumed.extend_until(0, 0.5);
+    assert_eq!(stop_r, Some(StopReason::Stalled));
+    let res_r = resumed.finish(StopReason::Stalled);
+
+    assert_eq!(est_g.value.to_bits(), est_r.value.to_bits());
+    assert_eq!(est_g.time.to_bits(), est_r.time.to_bits());
+    assert_eq!(res_g.elapsed.to_bits(), res_r.elapsed.to_bits());
+    assert_eq!(
+        res_g.total_sampling.to_bits(),
+        res_r.total_sampling.to_bits()
+    );
+    assert_eq!(res_g.stop, StopReason::Stalled);
+    assert_eq!(res_r.stop, StopReason::Stalled);
+}
+
+/// A wall-time budget exhausted before a checkpoint must stay exhausted
+/// after resume: the restored clock continues from the persisted elapsed
+/// time instead of granting the budget a second time.
+#[test]
+fn resume_does_not_double_count_wall_time_budget() {
+    let obj = FlatObjective;
+    let term = Termination {
+        tolerance: None,
+        max_time: Some(50.0),
+        max_iterations: None,
+    };
+
+    let mut eng = Engine::new(
+        &obj,
+        simplex_2d(),
+        serial_cfg(),
+        term,
+        TimeMode::Parallel,
+        3,
+    );
+    let (_, stop) = eng.extend_until(0, 0.5);
+    assert_eq!(stop, Some(StopReason::WallTime));
+    let payload = eng.snapshot().expect("snapshot");
+    let res_before = eng.finish(StopReason::WallTime);
+
+    let mut resumed =
+        Engine::resume(&obj, serial_cfg(), &payload, None).expect("resume from bytes");
+    // The budget was already spent: the resumed engine must refuse further
+    // work immediately, not run another 50 units of virtual time.
+    let (_, stop2) = resumed.extend_until(0, 0.5);
+    assert_eq!(stop2, Some(StopReason::WallTime));
+    let res_after = resumed.finish(StopReason::WallTime);
+    assert_eq!(
+        res_before.elapsed.to_bits(),
+        res_after.elapsed.to_bits(),
+        "resume granted the wall-time budget twice"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate-simplex guard
+// ---------------------------------------------------------------------------
+
+/// A constant objective: every comparison ties, so classic Nelder–Mead
+/// collapses the simplex forever. The degenerate guard must stop the spin.
+struct ConstObjective;
+
+impl Objective for ConstObjective {
+    fn dim(&self) -> usize {
+        2
+    }
+    fn value(&self, _x: &[f64]) -> f64 {
+        0.0
+    }
+}
+
+#[test]
+fn collapsing_simplex_stops_as_degenerate() {
+    let obj = Noisy::new(ConstObjective, ConstantNoise(0.0));
+    let mut det = Det::new();
+    det.cfg.backend = BackendChoice::Serial;
+    det.cfg.checkpoint = None;
+    // Tolerance disabled: a constant objective satisfies the spread
+    // criterion trivially, which would mask the geometric collapse.
+    let term = Termination {
+        tolerance: None,
+        max_time: Some(1e6),
+        max_iterations: Some(10_000),
+    };
+    let init = init::random_uniform(2, -3.0, 3.0, 11);
+    let res = det.run(&obj, init, term, TimeMode::Parallel, 11);
+    assert_eq!(res.stop, StopReason::Degenerate);
+    // Each collapse halves the diameter, so machine precision is reached in
+    // well under 200 iterations — not after burning the 10k budget.
+    assert!(
+        res.iterations < 200,
+        "degenerate guard fired late: {} iterations",
+        res.iterations
+    );
+}
+
+#[test]
+fn restart_continues_past_degenerate_stop() {
+    let obj = Noisy::new(ConstObjective, ConstantNoise(0.0));
+    let mut det = Det::new();
+    det.cfg.backend = BackendChoice::Serial;
+    det.cfg.checkpoint = None;
+    let single_term = Termination {
+        tolerance: None,
+        max_time: Some(1e6),
+        max_iterations: Some(10_000),
+    };
+    let init = init::random_uniform(2, -3.0, 3.0, 11);
+    let single = det.run(&obj, init, single_term, TimeMode::Parallel, 11);
+    assert_eq!(single.stop, StopReason::Degenerate);
+
+    // A multistart wrapper treats Degenerate like any other local stop and
+    // keeps drawing fresh simplices until the budget runs out.
+    let restarted = RestartedSimplex::new(SimplexMethod::Det(det), -3.0, 3.0);
+    let term = Termination {
+        tolerance: None,
+        max_time: Some(2_000.0),
+        max_iterations: None,
+    };
+    let res = restarted.run(&obj, term, TimeMode::Parallel, 11);
+    assert!(
+        res.iterations > single.iterations,
+        "no restart happened after the degenerate stop: {} vs {}",
+        res.iterations,
+        single.iterations
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Non-finite sample policies
+// ---------------------------------------------------------------------------
+
+/// Finite on the right half-plane, NaN on the left — models a simulation
+/// that blows up in part of parameter space.
+struct HalfNan;
+
+impl Objective for HalfNan {
+    fn dim(&self) -> usize {
+        2
+    }
+    fn value(&self, x: &[f64]) -> f64 {
+        if x[0] < 0.0 {
+            f64::NAN
+        } else {
+            x.iter().map(|v| v * v).sum()
+        }
+    }
+}
+
+fn half_nan_init() -> Vec<Vec<f64>> {
+    vec![vec![-1.0, 0.5], vec![1.0, 0.5], vec![0.5, 1.0]]
+}
+
+#[test]
+fn quarantine_policy_survives_nonfinite_samples() {
+    let obj = Noisy::new(HalfNan, ConstantNoise(0.5));
+    let mut det = Det::new();
+    det.cfg.backend = BackendChoice::Serial;
+    det.cfg.checkpoint = None;
+    det.cfg.nonfinite = NonFinitePolicy::Quarantine;
+    let term = Termination {
+        tolerance: Some(1e-3),
+        max_time: Some(1e4),
+        max_iterations: Some(2_000),
+    };
+    let reg = MetricsRegistry::new();
+    let res = det.run_with_metrics(
+        &obj,
+        half_nan_init(),
+        term,
+        TimeMode::Parallel,
+        5,
+        Some(&reg),
+    );
+    assert_ne!(res.stop, StopReason::NonFinite, "quarantine must not stop");
+    assert!(res.iterations > 0);
+    assert!(
+        res.notes.contains(&RunNote::NonFiniteSample),
+        "missing NonFiniteSample note: {:?}",
+        res.notes
+    );
+    assert!(reg.counter("eval.nonfinite").get() > 0);
+    let metrics = res.metrics.expect("metrics attached");
+    assert!(metrics.nonfinite > 0);
+    // The poisoned vertex lost every comparison and was replaced: the final
+    // simplex lives in the finite half-plane.
+    assert!(res.best_observed.is_finite());
+}
+
+#[test]
+fn fail_fast_policy_stops_on_nonfinite_samples() {
+    let obj = Noisy::new(HalfNan, ConstantNoise(0.5));
+    let mut det = Det::new();
+    det.cfg.backend = BackendChoice::Serial;
+    det.cfg.checkpoint = None;
+    det.cfg.nonfinite = NonFinitePolicy::FailFast;
+    let term = Termination {
+        tolerance: Some(1e-3),
+        max_time: Some(1e4),
+        max_iterations: Some(2_000),
+    };
+    let res = det.run(&obj, half_nan_init(), term, TimeMode::Parallel, 5);
+    assert_eq!(res.stop, StopReason::NonFinite);
+    assert!(res.notes.contains(&RunNote::NonFiniteSample));
+}
+
+// ---------------------------------------------------------------------------
+// Resume validation
+// ---------------------------------------------------------------------------
+
+/// Resuming against an objective of the wrong dimensionality must be a
+/// typed error, not a panic or a silently corrupted run.
+#[test]
+fn resume_rejects_dimension_mismatch() {
+    let path = tmp_ckpt("dim");
+    let obj2 = Noisy::new(Sphere::new(2), ConstantNoise(1.0));
+    let mut det = Det::new();
+    det.cfg.backend = BackendChoice::Serial;
+    det.cfg.checkpoint = Some(CheckpointConfig {
+        path: path.clone(),
+        every: 1,
+        retain: true,
+    });
+    let term = Termination {
+        tolerance: None,
+        max_time: Some(1e4),
+        max_iterations: Some(5),
+    };
+    let init = init::random_uniform(2, -3.0, 3.0, 9);
+    let res = det.run(&obj2, init, term, TimeMode::Parallel, 9);
+    assert_eq!(res.stop, StopReason::MaxIterations);
+
+    let obj3 = Noisy::new(Sphere::new(3), ConstantNoise(1.0));
+    let err = det
+        .resume(&obj3, &path, None)
+        .expect_err("dimension mismatch must fail");
+    cleanup(&path);
+    assert!(
+        matches!(err, CheckpointError::Mismatch(_)),
+        "wrong error kind: {err}"
+    );
+}
+
+/// `inspect` reports a checkpoint's position without deserializing the run.
+#[test]
+fn inspect_reports_checkpoint_progress() {
+    let path = tmp_ckpt("inspect");
+    let obj = Noisy::new(Sphere::new(2), ConstantNoise(1.0));
+    let mut mn = MaxNoise::with_k(2.0);
+    mn.cfg.backend = BackendChoice::Serial;
+    mn.cfg.checkpoint = Some(CheckpointConfig {
+        path: path.clone(),
+        every: 2,
+        retain: true,
+    });
+    let term = Termination {
+        tolerance: None,
+        max_time: Some(1e4),
+        max_iterations: Some(7),
+    };
+    let init = init::random_uniform(2, -3.0, 3.0, 21);
+    let _ = mn.run(&obj, init, term, TimeMode::Parallel, 21);
+
+    let info = noisy_simplex::checkpoint::inspect(&path).expect("inspect");
+    cleanup(&path);
+    assert!(info.iterations >= 2 && info.iterations <= 7, "{info:?}");
+    assert!(info.elapsed > 0.0);
+}
