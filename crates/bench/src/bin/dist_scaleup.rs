@@ -1,0 +1,225 @@
+//! Distributed scale-up over the process transport (DESIGN.md §12).
+//!
+//! Spawns a pool of real worker *processes* — `hardware_threads + 2` of
+//! them, deliberately oversubscribed to prove process-level fan-out beyond
+//! the core count — and checks the distributed determinism contract three
+//! ways on MN over noisy Rosenbrock (empirical streams, so every extension
+//! ships real per-sample compute across the wire):
+//!
+//! 1. in-process serial execution (`TransportChoice::Inproc`),
+//! 2. the process transport with a clean wire,
+//! 3. the process transport under a survivable chaos plan (a worker killed
+//!    mid-run, an outbound frame dropped, another delayed on the wire).
+//!
+//! All three must be bit-identical, and the chaos run must finish without a
+//! degradation note — losing a worker or a frame is recoverable, so a
+//! degraded run here means the supervision machinery is broken. Any breach
+//! exits 1. Writes `BENCH_dist.json`.
+//!
+//! ```text
+//! cargo run --release --bin dist_scaleup -- [--smoke] [--out <path>]
+//! ```
+
+use mw_framework::{FaultPlan, ProcessBackend, RetryPolicy};
+use noisy_simplex::prelude::*;
+use repro_bench::{apply_smoke_defaults, iteration_cap_or, time_budget_or};
+use std::time::{Duration, Instant};
+use stoch_eval::functions::Rosenbrock;
+use stoch_eval::noise::ConstantNoise;
+use stoch_eval::sampler::Noisy;
+
+struct Case {
+    d: usize,
+    inproc_secs: f64,
+    process_secs: f64,
+    chaos_secs: f64,
+    identical: bool,
+    degraded: bool,
+    iterations: u64,
+    total_sampling: f64,
+}
+
+/// A retry policy that recovers dropped frames quickly: the per-attempt
+/// timeout is what turns wire silence into a re-dispatch.
+fn chaos_retry() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 5,
+        timeout: Some(Duration::from_millis(500)),
+        backoff: Duration::ZERO,
+    }
+}
+
+/// Survivable chaos: worker 0 is killed after two jobs (respawned from the
+/// default budget), worker 1 loses its second outbound frame (recovered by
+/// the attempt timeout), worker 2 gets 3 ms of wire delay per frame.
+fn chaos_plan(workers: usize) -> FaultPlan {
+    FaultPlan::none()
+        .kill(0, 2)
+        .net_drop(1 % workers, 1)
+        .net_delay(2 % workers, 0, 3)
+}
+
+fn run_once(d: usize, workers: usize, faults: Option<FaultPlan>) -> RunResult {
+    let obj = Noisy::empirical(Rosenbrock::new(d), ConstantNoise(5.0), 0.02);
+    let mut mn = MaxNoise::with_k(2.0);
+    match faults {
+        // workers == 0 encodes the in-process serial baseline.
+        None if workers == 0 => {
+            mn.cfg.transport = TransportChoice::Inproc;
+            mn.cfg.backend = BackendChoice::Serial;
+        }
+        None => {
+            mn.cfg.transport = TransportChoice::Process;
+            mn.cfg.backend = BackendChoice::Threaded { workers };
+        }
+        Some(plan) => {
+            mn.cfg.transport = TransportChoice::Process;
+            mn.cfg.backend = BackendChoice::Threaded { workers };
+            mn.cfg.faults = Some(plan);
+            mn.cfg.retry = chaos_retry();
+        }
+    }
+    let term = Termination {
+        tolerance: Some(1e-8),
+        max_time: Some(time_budget_or(2_000.0)),
+        max_iterations: Some(iteration_cap_or(300)),
+    };
+    let init = init::random_uniform(d, -2.0, 2.0, 1_000 + d as u64);
+    mn.run(&obj, init, term, TimeMode::Parallel, 9_000 + d as u64)
+}
+
+fn same_result(a: &RunResult, b: &RunResult) -> bool {
+    a.best_point == b.best_point
+        && a.best_observed.to_bits() == b.best_observed.to_bits()
+        && a.iterations == b.iterations
+        && a.elapsed.to_bits() == b.elapsed.to_bits()
+        && a.total_sampling.to_bits() == b.total_sampling.to_bits()
+        && a.stop == b.stop
+        && a.trace.points().len() == b.trace.points().len()
+}
+
+fn degraded(r: &RunResult) -> bool {
+    r.notes.contains(&RunNote::TransportDegraded) || r.notes.contains(&RunNote::DegradedToSerial)
+}
+
+fn main() {
+    let mut out = std::path::PathBuf::from("BENCH_dist.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => apply_smoke_defaults(),
+            "--out" => match args.next() {
+                Some(p) => out = p.into(),
+                None => {
+                    eprintln!("error: --out requires a path argument");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                eprintln!("usage: dist_scaleup [--smoke] [--out <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let hardware_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let workers = hardware_threads + 2;
+
+    // Prove the machine fields the full oversubscribed pool: spawn it
+    // directly, count live OS processes, then drop it — the engine runs
+    // below spawn their own pools through the same code path.
+    let probe = ProcessBackend::new(workers);
+    let alive = probe.pool().alive_workers();
+    let pids = probe.pool().worker_pids();
+    drop(probe);
+    println!("distributed scale-up: MN on noisy Rosenbrock over the process transport");
+    println!(
+        "hardware threads: {hardware_threads}, worker processes: {workers}, alive: {alive}, pids: {pids:?}"
+    );
+    if alive < workers {
+        eprintln!("error: only {alive}/{workers} worker processes came up");
+        std::process::exit(1);
+    }
+
+    println!("d,inproc_secs,process_secs,chaos_secs,identical,degraded,iterations");
+    let mut cases = Vec::new();
+    for d in [6, 12] {
+        let t0 = Instant::now();
+        let inproc = run_once(d, 0, None);
+        let inproc_secs = t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        let clean = run_once(d, workers, None);
+        let process_secs = t1.elapsed().as_secs_f64();
+
+        let t2 = Instant::now();
+        let chaos = run_once(d, workers, Some(chaos_plan(workers)));
+        let chaos_secs = t2.elapsed().as_secs_f64();
+
+        let case = Case {
+            d,
+            inproc_secs,
+            process_secs,
+            chaos_secs,
+            identical: same_result(&inproc, &clean) && same_result(&inproc, &chaos),
+            degraded: degraded(&clean) || degraded(&chaos),
+            iterations: inproc.iterations,
+            total_sampling: inproc.total_sampling,
+        };
+        println!(
+            "{},{:.3},{:.3},{:.3},{},{},{}",
+            case.d,
+            case.inproc_secs,
+            case.process_secs,
+            case.chaos_secs,
+            case.identical,
+            case.degraded,
+            case.iterations
+        );
+        cases.push(case);
+    }
+
+    let body = render_json(hardware_threads, workers, alive, &cases);
+    if let Err(e) = std::fs::write(&out, &body) {
+        eprintln!("error: cannot write {}: {e}", out.display());
+        std::process::exit(1);
+    }
+    println!("written to {}", out.display());
+
+    if cases.iter().any(|c| !c.identical) {
+        eprintln!("error: inproc and process transports disagreed — determinism contract broken");
+        std::process::exit(1);
+    }
+    if cases.iter().any(|c| c.degraded) {
+        eprintln!("error: a survivable fault plan degraded the run — supervision broken");
+        std::process::exit(1);
+    }
+}
+
+fn render_json(hardware_threads: usize, workers: usize, alive: usize, cases: &[Case]) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"hardware_threads\": {hardware_threads},\n"));
+    s.push_str(&format!("  \"worker_processes\": {workers},\n"));
+    s.push_str(&format!("  \"alive_at_probe\": {alive},\n"));
+    s.push_str("  \"transport\": \"process\",\n");
+    s.push_str("  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"d\": {}, \"inproc_secs\": {:.6}, \"process_secs\": {:.6}, \
+             \"chaos_secs\": {:.6}, \"identical\": {}, \"degraded\": {}, \
+             \"iterations\": {}, \"total_sampling\": {:.3}}}{}\n",
+            c.d,
+            c.inproc_secs,
+            c.process_secs,
+            c.chaos_secs,
+            c.identical,
+            c.degraded,
+            c.iterations,
+            c.total_sampling,
+            if i + 1 < cases.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

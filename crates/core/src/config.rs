@@ -5,6 +5,7 @@ use crate::checkpoint::CheckpointConfig;
 use crate::geometry::Coefficients;
 use mw_framework::backend::{default_workers, ThreadedBackend};
 use mw_framework::pool::{default_respawn_budget, RetryPolicy};
+use mw_framework::transport::process::{default_process_workers, ProcessBackend};
 use mw_framework::FaultPlan;
 use std::sync::Arc;
 use stoch_eval::backend::{SamplingBackend, SerialBackend};
@@ -73,6 +74,56 @@ impl BackendChoice {
         match self {
             BackendChoice::Serial => "serial",
             BackendChoice::Threaded { .. } => "threaded",
+        }
+    }
+}
+
+/// Where a parallel sampling round physically executes (DESIGN.md §12).
+///
+/// `Inproc` (the default) keeps everything in this process — the serial and
+/// threaded backends as they have always been. `Process` routes every
+/// sampling round over real worker *processes* connected by Unix-domain
+/// sockets speaking the versioned frame protocol of `mw::transport`;
+/// results are bit-identical either way (that is the point), only the wire
+/// changes.
+///
+/// The environment variable `NSX_TRANSPORT` (`inproc` | `process`) sets the
+/// default. Streams whose type has no wire identity
+/// (`SampleStream::wire_id() == None`) always execute in-process regardless
+/// of this choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportChoice {
+    /// In-process execution: threads and channels (the default).
+    #[default]
+    Inproc,
+    /// Worker processes over Unix-domain sockets.
+    Process,
+}
+
+impl TransportChoice {
+    /// Read the `NSX_TRANSPORT` selection from the environment (`Inproc`
+    /// when unset or unparseable).
+    pub fn from_env() -> Self {
+        std::env::var("NSX_TRANSPORT")
+            .ok()
+            .and_then(|s| Self::parse(&s))
+            .unwrap_or(TransportChoice::Inproc)
+    }
+
+    /// Parse a selection string: `inproc` or `process`.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "inproc" => Some(TransportChoice::Inproc),
+            "process" => Some(TransportChoice::Process),
+            _ => None,
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TransportChoice::Inproc => "inproc",
+            TransportChoice::Process => "process",
         }
     }
 }
@@ -155,6 +206,13 @@ pub struct SimplexConfig {
     /// Which backend executes each sampling round. Defaults from
     /// `NSX_BACKEND` (serial when unset); results are identical either way.
     pub backend: BackendChoice,
+    /// Where sampling rounds physically execute: in this process (threads
+    /// and channels) or on worker processes over Unix-domain sockets.
+    /// Defaults from `NSX_TRANSPORT` (inproc when unset). `Process` takes
+    /// precedence over [`backend`](Self::backend): the round fans out over
+    /// the process pool (a `Threaded { workers: n > 0 }` choice sizes it).
+    /// Results are bit-identical across transports.
+    pub transport: TransportChoice,
     /// How a threaded backend re-dispatches work lost to worker failure
     /// (DESIGN.md §9). Ignored by the serial backend.
     pub retry: RetryPolicy,
@@ -188,6 +246,7 @@ impl Default for SimplexConfig {
             sampling: SamplingPolicy::default(),
             continuous: true,
             backend: BackendChoice::default(),
+            transport: TransportChoice::from_env(),
             retry: RetryPolicy::default(),
             faults: None,
             respawn_budget: None,
@@ -206,12 +265,32 @@ impl SimplexConfig {
     /// shared pool keeps its own defaults and `NSX_FAULTS`-driven
     /// injection).
     pub fn build_backend<S: SampleStream + 'static>(&self) -> Arc<dyn SamplingBackend<S>> {
-        let BackendChoice::Threaded { workers } = self.backend else {
-            return Arc::new(SerialBackend);
-        };
         let customized = self.faults.is_some()
             || self.respawn_budget.is_some()
             || self.retry != RetryPolicy::default();
+        if self.transport == TransportChoice::Process {
+            // Process transport supersedes the in-process backends: the
+            // round fans out over worker processes. An explicit
+            // `Threaded { workers: n > 0 }` sizes the dedicated pool.
+            let workers = match self.backend {
+                BackendChoice::Threaded { workers } if workers > 0 => Some(workers),
+                _ => None,
+            };
+            if workers.is_none() && !customized {
+                return ProcessBackend::shared();
+            }
+            let n = workers.unwrap_or_else(default_process_workers);
+            let faults = self.faults.clone().unwrap_or_else(FaultPlan::from_env);
+            let budget = self
+                .respawn_budget
+                .unwrap_or_else(|| default_respawn_budget(n));
+            return Arc::new(ProcessBackend::with_options(
+                n, faults, self.retry, budget, None,
+            ));
+        }
+        let BackendChoice::Threaded { workers } = self.backend else {
+            return Arc::new(SerialBackend);
+        };
         if workers == 0 && !customized {
             return ThreadedBackend::shared();
         }
@@ -410,6 +489,38 @@ mod tests {
         assert_eq!(s.name(), "serial");
         let t = BackendChoice::Threaded { workers: 2 }.build::<GaussianStream>();
         assert_eq!(t.name(), "threaded");
+    }
+
+    #[test]
+    fn transport_choice_parses_selections() {
+        assert_eq!(
+            TransportChoice::parse("inproc"),
+            Some(TransportChoice::Inproc)
+        );
+        assert_eq!(
+            TransportChoice::parse("process"),
+            Some(TransportChoice::Process)
+        );
+        assert_eq!(TransportChoice::parse("carrier-pigeon"), None);
+        assert_eq!(TransportChoice::Inproc.label(), "inproc");
+        assert_eq!(TransportChoice::Process.label(), "process");
+    }
+
+    #[test]
+    fn process_transport_supersedes_backend_choice() {
+        use stoch_eval::sampler::GaussianStream;
+        let cfg = SimplexConfig {
+            transport: TransportChoice::Process,
+            backend: BackendChoice::Serial,
+            ..SimplexConfig::default()
+        };
+        assert_eq!(cfg.build_backend::<GaussianStream>().name(), "process");
+        let cfg = SimplexConfig {
+            transport: TransportChoice::Inproc,
+            backend: BackendChoice::Serial,
+            ..SimplexConfig::default()
+        };
+        assert_eq!(cfg.build_backend::<GaussianStream>().name(), "serial");
     }
 
     #[test]

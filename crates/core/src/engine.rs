@@ -776,6 +776,7 @@ fn note_tag(n: RunNote) -> u8 {
         RunNote::DegradedToSerial => 0,
         RunNote::NonFiniteSample => 1,
         RunNote::CheckpointFailed => 2,
+        RunNote::TransportDegraded => 3,
     }
 }
 
@@ -784,6 +785,7 @@ fn note_from_tag(tag: u8) -> Result<RunNote, CodecError> {
         0 => RunNote::DegradedToSerial,
         1 => RunNote::NonFiniteSample,
         2 => RunNote::CheckpointFailed,
+        3 => RunNote::TransportDegraded,
         tag => {
             return Err(CodecError::Tag {
                 what: "RunNote",

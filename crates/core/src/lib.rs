@@ -73,7 +73,7 @@ pub mod prelude {
     pub use crate::checkpoint::{CheckpointConfig, CheckpointError, SnapshotInfo};
     pub use crate::config::{
         AndersonParams, BackendChoice, MnParams, NonFinitePolicy, PcConditions, PcParams,
-        SamplingPolicy, SimplexConfig,
+        SamplingPolicy, SimplexConfig, TransportChoice,
     };
     pub use crate::det::Det;
     pub use crate::geometry::Coefficients;

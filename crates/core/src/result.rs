@@ -26,14 +26,25 @@ pub enum RunNote {
     /// checkpointing is best-effort — but crash recovery would resume from
     /// an older snapshot. Reported once per run.
     CheckpointFailed,
+    /// The process transport (`NSX_TRANSPORT=process`) permanently lost its
+    /// worker processes (respawn budget exhausted, or none could be
+    /// spawned) and the run finished with in-process execution. Results are
+    /// identical to a fault-free distributed run; only process-level
+    /// parallelism was lost. See DESIGN.md §12.
+    TransportDegraded,
 }
 
-/// Collect the [`RunNote`]s a backend reports after a run.
+/// Collect the [`RunNote`]s a backend reports after a run. A degraded
+/// process-transport backend reports [`RunNote::TransportDegraded`] (the
+/// wire was lost); any other degraded backend reports
+/// [`RunNote::DegradedToSerial`].
 pub fn notes_from_backend<S>(backend: &dyn SamplingBackend<S>) -> Vec<RunNote> {
-    if backend.degraded() {
-        vec![RunNote::DegradedToSerial]
-    } else {
+    if !backend.degraded() {
         Vec::new()
+    } else if backend.name() == "process" {
+        vec![RunNote::TransportDegraded]
+    } else {
+        vec![RunNote::DegradedToSerial]
     }
 }
 

@@ -132,7 +132,6 @@ struct Pending<S> {
     backup: S,
     handle: JobHandle<StreamJob<S>>,
     attempt: u32,
-    started: Instant,
 }
 
 impl ThreadedBackend {
@@ -248,10 +247,10 @@ impl ThreadedBackend {
                     stream: p.backup.clone(),
                 },
             );
+            // The fresh handle re-anchors the attempt clock at dispatch.
             pending.push_back(Pending {
                 handle,
                 attempt: next_attempt,
-                started: Instant::now(),
                 ..p
             });
         } else {
@@ -312,7 +311,6 @@ impl<S: SampleStream + 'static> SamplingBackend<S> for ThreadedBackend {
                 backup: job.stream.clone(),
                 handle: ship_extend(&self.pool, job),
                 attempt: 1,
-                started: Instant::now(),
             })
             .collect();
         while !pending.is_empty() {
@@ -328,10 +326,13 @@ impl<S: SampleStream + 'static> SamplingBackend<S> for ThreadedBackend {
                         out[p.idx] = Some(job);
                     }
                     Ok(None) => {
+                        // Attempt age is measured from dispatch (the
+                        // handle's clock), not from when this scan happens
+                        // to reach the job.
                         if self
                             .retry
                             .timeout
-                            .is_some_and(|limit| p.started.elapsed() >= limit)
+                            .is_some_and(|limit| p.handle.elapsed() >= limit)
                         {
                             // The attempt overran its budget: abandon the
                             // handle (a straggling result is ignored) and
@@ -381,7 +382,7 @@ impl<S: SampleStream + 'static> SamplingBackend<S> for ThreadedBackend {
             let mut wait = SUPERVISION_FALLBACK;
             if let Some(limit) = self.retry.timeout {
                 for p in &pending {
-                    wait = wait.min(limit.saturating_sub(p.started.elapsed()));
+                    wait = wait.min(limit.saturating_sub(p.handle.elapsed()));
                 }
             }
             if !wait.is_zero() {
@@ -548,6 +549,31 @@ mod tests {
         let threaded = backend.extend_batch(jobs_at(&obj, 2));
         assert_batches_identical(&serial, &threaded);
         assert!(reg.counter("mw.retry.timeouts").get() >= 1);
+    }
+
+    #[test]
+    fn attempt_deadlines_do_not_fire_on_healthy_runs() {
+        // Contract for `mw.retry.timeouts`: the per-attempt clock starts at
+        // dispatch and a healthy worker answering within budget must never
+        // trip it — regardless of how the master's scan loop is scheduled.
+        let reg = MetricsRegistry::new();
+        let obj = Noisy::new(Rosenbrock::new(2), ConstantNoise(1.0));
+        let backend = ThreadedBackend::with_options(
+            2,
+            FaultPlan::none(),
+            RetryPolicy {
+                max_attempts: 4,
+                timeout: Some(Duration::from_secs(30)),
+                backoff: Duration::ZERO,
+            },
+            default_respawn_budget(2),
+            Some(&reg),
+        );
+        for _ in 0..5 {
+            backend.extend_batch(jobs_at(&obj, 8));
+        }
+        assert_eq!(reg.counter("mw.retry.timeouts").get(), 0);
+        assert_eq!(reg.counter("mw.retry.attempts").get(), 0);
     }
 
     #[test]

@@ -19,10 +19,67 @@
 //! | `delay:<w>:after=<n>:ms=<d>` | same, starting with its `n`-th job |
 //! | `drop:<w>:at=<n>` | worker `w` executes its `n`-th job but its result is discarded (a lost result message) |
 //!
+//! With the multi-process transport (`NSX_TRANSPORT=process`, DESIGN.md
+//! §12) the plan also accepts *network* faults, injected master-side on the
+//! socket link to worker `w` (frame indices count frames sent on that link
+//! after the handshake, 0-based):
+//!
+//! | Directive | Effect |
+//! |---|---|
+//! | `netdelay:<w>:ms=<d>` | every frame to worker `w` is delayed `d` wall-clock ms before the write |
+//! | `netdelay:<w>:after=<n>:ms=<d>` | same, starting with the `n`-th frame |
+//! | `netdrop:<w>:at=<n>` | the `n`-th frame to worker `w` is silently dropped (a lost datagramish write) |
+//! | `partition:<w>:at=<n>:for=<k>` | frames `n .. n+k` to worker `w` are black-holed while replies still flow — a half-open partition |
+//! | `reorder:<w>:at=<n>` | the `n`-th frame to worker `w` is held back and sent *after* the following frame |
+//!
+//! Network faults only lose or delay *messages*, never state: the master's
+//! per-attempt timeout re-dispatches from its stream backups, so every
+//! survivable plan is invisible in the results (bit-identical contract).
+//!
 //! Faults apply only to a worker slot's *first* incarnation: a respawned
 //! worker is healthy, matching the restart-the-worker story.
 
 use std::time::Duration;
+
+/// Network faults injected on the master→worker link of the process
+/// transport (no effect on the in-process thread pool, which has no wire).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetFault {
+    /// Delay outbound frames (see [`Delay`]; `after` counts frames).
+    pub delay: Option<Delay>,
+    /// Silently drop the outbound frame with this 0-based index.
+    pub drop_at: Option<u64>,
+    /// Black-hole the outbound window `[at, at+len)`: a half-open partition
+    /// (outbound lost, inbound replies still delivered).
+    pub partition: Option<(u64, u64)>,
+    /// Hold the outbound frame with this index and send it after its
+    /// successor (a reordered delivery).
+    pub reorder_at: Option<u64>,
+}
+
+impl NetFault {
+    /// True when no network fault is injected.
+    pub fn is_none(&self) -> bool {
+        *self == NetFault::default()
+    }
+
+    /// Whether the outbound frame with index `sent` falls in a black-hole
+    /// window (drop or partition).
+    pub fn swallows(&self, sent: u64) -> bool {
+        if self.drop_at == Some(sent) {
+            return true;
+        }
+        self.partition
+            .is_some_and(|(at, len)| sent >= at && sent < at.saturating_add(len))
+    }
+
+    /// The injected delay before sending frame `sent`, if any.
+    pub fn delay_for(&self, sent: u64) -> Option<Duration> {
+        self.delay
+            .filter(|d| sent >= d.after)
+            .map(|d| Duration::from_millis(d.millis))
+    }
+}
 
 /// A wall-clock delay injected before jobs on one worker.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -43,6 +100,9 @@ pub struct WorkerFault {
     pub delay: Option<Delay>,
     /// Execute the job with this 0-based index but discard its result.
     pub drop_at: Option<u64>,
+    /// Network faults on this worker's transport link (process transport
+    /// only; the in-process pool has no wire to fault).
+    pub net: NetFault,
 }
 
 impl WorkerFault {
@@ -56,6 +116,25 @@ impl WorkerFault {
         self.delay
             .filter(|d| executed >= d.after)
             .map(|d| Duration::from_millis(d.millis))
+    }
+
+    /// Render the *worker-side* faults (kill/delay/drop — not the network
+    /// faults, which the master injects) as `NSX_FAULTS`-grammar directives
+    /// for worker index 0. The process transport passes this to spawned
+    /// worker processes via `NSX_WORKER_FAULTS`, so the same plan grammar
+    /// drives thread and process chaos. Empty string when nothing applies.
+    pub fn to_worker_directives(&self) -> String {
+        let mut parts = Vec::new();
+        if let Some(n) = self.kill_after {
+            parts.push(format!("kill:0:after={n}"));
+        }
+        if let Some(d) = self.delay {
+            parts.push(format!("delay:0:after={}:ms={}", d.after, d.millis));
+        }
+        if let Some(n) = self.drop_at {
+            parts.push(format!("drop:0:at={n}"));
+        }
+        parts.join(",")
     }
 }
 
@@ -98,6 +177,33 @@ impl FaultPlan {
     /// Drop the result of worker `w`'s `at`-th job (0-based).
     pub fn drop_result(mut self, w: usize, at: u64) -> Self {
         self.slot(w).drop_at = Some(at);
+        self
+    }
+
+    /// Delay every outbound frame to worker `w` (from its `after`-th) by
+    /// `millis` ms (process transport).
+    pub fn net_delay(mut self, w: usize, after: u64, millis: u64) -> Self {
+        self.slot(w).net.delay = Some(Delay { after, millis });
+        self
+    }
+
+    /// Drop the `at`-th outbound frame to worker `w` (process transport).
+    pub fn net_drop(mut self, w: usize, at: u64) -> Self {
+        self.slot(w).net.drop_at = Some(at);
+        self
+    }
+
+    /// Black-hole outbound frames `at .. at+len` to worker `w` — a half-open
+    /// partition (process transport).
+    pub fn partition(mut self, w: usize, at: u64, len: u64) -> Self {
+        self.slot(w).net.partition = Some((at, len));
+        self
+    }
+
+    /// Hold the `at`-th outbound frame to worker `w` and deliver it after
+    /// its successor (process transport).
+    pub fn reorder(mut self, w: usize, at: u64) -> Self {
+        self.slot(w).net.reorder_at = Some(at);
         self
     }
 
@@ -158,6 +264,24 @@ impl FaultPlan {
                 "drop" => {
                     let at = kv("at")?.ok_or(format!("drop needs at= in {item:?}"))?;
                     plan = plan.drop_result(w, at);
+                }
+                "netdelay" => {
+                    let ms = kv("ms")?.ok_or(format!("netdelay needs ms= in {item:?}"))?;
+                    let after = kv("after")?.unwrap_or(0);
+                    plan = plan.net_delay(w, after, ms);
+                }
+                "netdrop" => {
+                    let at = kv("at")?.ok_or(format!("netdrop needs at= in {item:?}"))?;
+                    plan = plan.net_drop(w, at);
+                }
+                "partition" => {
+                    let at = kv("at")?.ok_or(format!("partition needs at= in {item:?}"))?;
+                    let len = kv("for")?.ok_or(format!("partition needs for= in {item:?}"))?;
+                    plan = plan.partition(w, at, len);
+                }
+                "reorder" => {
+                    let at = kv("at")?.ok_or(format!("reorder needs at= in {item:?}"))?;
+                    plan = plan.reorder(w, at);
                 }
                 kind => return Err(format!("unknown fault kind {kind:?} in {item:?}")),
             }
@@ -252,6 +376,65 @@ mod tests {
             FaultPlan::from_die_after(&[None, Some(2)]),
             FaultPlan::none().kill(1, 2)
         );
+    }
+
+    #[test]
+    fn parse_network_fault_directives() {
+        let plan = FaultPlan::parse(
+            "netdelay:0:ms=5, netdrop:1:at=2, partition:2:at=3:for=4, reorder:0:at=7",
+        )
+        .unwrap();
+        assert_eq!(
+            plan.fault_for(0, 0).net.delay,
+            Some(Delay {
+                after: 0,
+                millis: 5
+            })
+        );
+        assert_eq!(plan.fault_for(1, 0).net.drop_at, Some(2));
+        assert_eq!(plan.fault_for(2, 0).net.partition, Some((3, 4)));
+        assert_eq!(plan.fault_for(0, 0).net.reorder_at, Some(7));
+        // Respawned incarnations get a healthy link too.
+        assert!(plan.fault_for(1, 1).net.is_none());
+
+        assert!(FaultPlan::parse("netdelay:0:after=1").is_err());
+        assert!(FaultPlan::parse("partition:0:at=1").is_err());
+        assert!(FaultPlan::parse("netdrop:0:ms=1").is_err());
+    }
+
+    #[test]
+    fn net_fault_windows() {
+        let f = NetFault {
+            drop_at: Some(1),
+            partition: Some((4, 2)),
+            ..NetFault::default()
+        };
+        assert!(!f.swallows(0));
+        assert!(f.swallows(1));
+        assert!(!f.swallows(3));
+        assert!(f.swallows(4) && f.swallows(5));
+        assert!(!f.swallows(6));
+        assert!(NetFault::default().is_none());
+    }
+
+    #[test]
+    fn worker_directives_round_trip_through_parse() {
+        let plan = FaultPlan::none().kill(2, 3).delay(2, 1, 20).net_drop(2, 5);
+        let f = plan.fault_for(2, 0);
+        let rendered = f.to_worker_directives();
+        // Network faults are master-side: they must not re-apply in the
+        // worker process.
+        let reparsed = FaultPlan::parse(&rendered).unwrap().fault_for(0, 0);
+        assert_eq!(reparsed.kill_after, Some(3));
+        assert_eq!(
+            reparsed.delay,
+            Some(Delay {
+                after: 1,
+                millis: 20
+            })
+        );
+        assert!(reparsed.net.is_none());
+        assert_eq!(WorkerFault::default().to_worker_directives(), "");
     }
 
     #[test]

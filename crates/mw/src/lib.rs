@@ -22,6 +22,11 @@
 //! * [`objective`] — an adapter that runs any `StochasticObjective`'s
 //!   sampling on MW workers, so the optimizers in `noisy-simplex` can be
 //!   deployed on the pool unchanged.
+//! * [`transport`] — the process-level distribution seam (DESIGN.md §12): a
+//!   versioned, CRC-guarded frame protocol over Unix-domain sockets to real
+//!   worker *processes* ([`transport::ProcessBackend`]), with in-process
+//!   channels as the second [`transport::Transport`] implementation and
+//!   master-side network-fault injection.
 //!
 //! (The §3.4 scale-up experiment lives in the `repro-bench` crate.)
 //!
@@ -40,6 +45,7 @@ pub mod faults;
 pub mod objective;
 pub mod pool;
 pub mod task;
+pub mod transport;
 
 pub use alloc::Allocation;
 pub use backend::ThreadedBackend;
@@ -50,3 +56,4 @@ pub use pool::{
     default_respawn_budget, JobHandle, MwPool, RetryPolicy, ShutdownError, WorkerLost, WorkerStats,
 };
 pub use task::{MwDriver, MwTask, WorkerCtx};
+pub use transport::{ProcessBackend, ProcessPool, Transport, TransportError};

@@ -25,7 +25,7 @@ use obs::{Counter, Gauge, MetricsRegistry};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A unit of work: called with the worker's slot index and a flag telling it
 /// to discard (not send) its result — the fault injector's lost-message case.
@@ -207,21 +207,42 @@ impl RetryPolicy {
 /// [`WorkerLost`], never as a poisoned thread or an unwrap.
 pub struct JobHandle<R> {
     rx: Receiver<R>,
+    /// When the job was submitted — the anchor for attempt deadlines.
+    dispatched: Instant,
 }
 
 impl<R> JobHandle<R> {
+    fn new(rx: Receiver<R>) -> Self {
+        JobHandle {
+            rx,
+            dispatched: Instant::now(),
+        }
+    }
+
+    /// Time since the job was dispatched (submitted to the pool). This is
+    /// the attempt's age, independent of when the caller started waiting.
+    pub fn elapsed(&self) -> Duration {
+        self.dispatched.elapsed()
+    }
+
     /// Block until the worker finishes; reports [`WorkerLost`] if the worker
     /// died mid-job (or the job was dropped by a failed pool).
     pub fn recv(self) -> Result<R, WorkerLost> {
         self.rx.recv().map_err(|_| WorkerLost)
     }
 
-    /// Block for at most `timeout`. `Ok(Some(r))` on completion, `Ok(None)`
-    /// on timeout (the job may still be running — poll again, typically
-    /// after a [`MwPool::supervise`] pass), `Err(WorkerLost)` if the result
-    /// can no longer arrive.
+    /// Block until the job is `timeout` old, measured **from dispatch**, not
+    /// from this call: a handle that sat unobserved for a while gets only
+    /// the remainder of its budget, and a budget already spent returns
+    /// immediately. This is what makes per-attempt retry deadlines honest —
+    /// the clock starts when the job is issued, wherever the master happens
+    /// to be looping. `Ok(Some(r))` on completion, `Ok(None)` on timeout
+    /// (the job may still be running — poll again, typically after a
+    /// [`MwPool::supervise`] pass), `Err(WorkerLost)` if the result can no
+    /// longer arrive.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<Option<R>, WorkerLost> {
-        match self.rx.recv_timeout(timeout) {
+        let remaining = timeout.saturating_sub(self.elapsed());
+        match self.rx.recv_timeout(remaining) {
             Ok(r) => Ok(Some(r)),
             Err(RecvTimeoutError::Timeout) => Ok(None),
             Err(RecvTimeoutError::Disconnected) => Err(WorkerLost),
@@ -643,7 +664,7 @@ impl MwPool {
         let (tx, rx) = bounded(1);
         if self.is_failed() {
             // tx drops here: the handle is born disconnected.
-            return JobHandle { rx };
+            return JobHandle::new(rx);
         }
         let job: Job = Box::new(move |worker, drop_result| {
             let r = f(worker);
@@ -654,7 +675,7 @@ impl MwPool {
         });
         let core = self.lock_core();
         let Some(job_tx) = core.job_tx.as_ref() else {
-            return JobHandle { rx }; // shut down: handle is disconnected
+            return JobHandle::new(rx); // shut down: handle is disconnected
         };
         let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
         if let Some(o) = &self.obs {
@@ -665,7 +686,7 @@ impl MwPool {
             // Unreachable while the pool holds `job_rx`, but stay honest.
             self.queue_depth.fetch_sub(1, Ordering::Relaxed);
         }
-        JobHandle { rx }
+        JobHandle::new(rx)
     }
 
     /// Submit and block for the result (RPC style).
@@ -899,14 +920,42 @@ mod tests {
             7
         });
         assert_eq!(h.recv_timeout(Duration::from_millis(5)), Ok(None));
+        // The deadline is dispatch-anchored, so a poll loop must grow its
+        // budget rather than repeat a spent one.
         let mut got = None;
-        for _ in 0..100 {
-            if let Some(r) = h.recv_timeout(Duration::from_millis(10)).unwrap() {
+        for i in 1..=100u64 {
+            if let Some(r) = h.recv_timeout(Duration::from_millis(10 * i)).unwrap() {
                 got = Some(r);
                 break;
             }
         }
         assert_eq!(got, Some(7));
+    }
+
+    #[test]
+    fn recv_timeout_is_anchored_at_dispatch_not_call() {
+        let pool = MwPool::new(1);
+        let h = pool.submit(|_| {
+            std::thread::sleep(Duration::from_millis(300));
+            7
+        });
+        // Burn most of a 100ms budget before the first call: the call may
+        // only wait for the remainder, not a fresh 100ms.
+        std::thread::sleep(Duration::from_millis(70));
+        let t0 = Instant::now();
+        assert_eq!(h.recv_timeout(Duration::from_millis(100)), Ok(None));
+        assert!(
+            t0.elapsed() < Duration::from_millis(90),
+            "call re-anchored the deadline: waited {:?} of a budget with only ~30ms left",
+            t0.elapsed()
+        );
+        // A budget already spent at call time returns immediately.
+        let t0 = Instant::now();
+        assert_eq!(h.recv_timeout(Duration::from_millis(20)), Ok(None));
+        assert!(t0.elapsed() < Duration::from_millis(20));
+        assert!(h.elapsed() >= Duration::from_millis(70));
+        // A budget generous from dispatch still completes.
+        assert_eq!(h.recv_timeout(Duration::from_secs(10)), Ok(Some(7)));
     }
 
     #[test]

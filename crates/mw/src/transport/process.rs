@@ -1,0 +1,981 @@
+//! Multi-process master–worker execution: a pool of real worker *processes*
+//! connected over Unix-domain sockets, and a [`SamplingBackend`] that ships
+//! stream extensions to them over the wire format of [`super::frame`].
+//!
+//! # Supervision (DESIGN.md §9, over a wire)
+//!
+//! Worker death shows up as socket EOF or a broken pipe; the pool reaps the
+//! child, respawns a fresh incarnation while the respawn budget lasts, and
+//! reports every job that was riding the dead link as lost so the backend
+//! can re-dispatch from its master-side backups — bit-identically, because
+//! the backups carry the RNG state. When the budget is exhausted and no
+//! worker is alive the pool is *failed* and the backend degrades to inline
+//! execution, exactly like the threaded backend, surfacing through
+//! [`SamplingBackend::degraded`] and `mw.backend.degraded`.
+//!
+//! Unlike threads, a wire cannot distinguish a lost frame from a slow
+//! worker, so the process backend always enforces a per-attempt timeout:
+//! [`RetryPolicy::timeout`] when set, [`DEFAULT_ATTEMPT_TIMEOUT`] otherwise.
+//!
+//! # Determinism
+//!
+//! Streams cross the wire via `save_state`/`load_state`, which are
+//! bit-exact; workers run the same `extend` the master would. Submission
+//! order is preserved by slot bookkeeping on the master. Therefore
+//! `NSX_TRANSPORT=process` results are `f64::to_bits`-identical to inproc
+//! and serial runs — the property `dist_scaleup` and the distributed CI
+//! legs assert.
+//!
+//! Streams whose type has no [`SampleStream::wire_id`] cannot be expressed
+//! on the wire; the backend runs those batches in-process (counted in
+//! `mw.transport.inline_jobs`). That is a capability limit, not a fault, so
+//! it does **not** set the degraded flag.
+
+use super::worker::{ensure_linked, WORKER_FAULTS_ENV, WORKER_SOCKET_ENV};
+use super::{wire, FaultedTransport, Frame, FrameKind, SocketTransport, Transport, TransportError};
+use crate::faults::FaultPlan;
+use crate::pool::{default_respawn_budget, RetryPolicy};
+use obs::{Counter, MetricsRegistry};
+use std::collections::HashMap;
+use std::os::unix::net::UnixListener;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+use stoch_eval::backend::{SamplingBackend, StreamJob};
+use stoch_eval::codec::{Reader, Writer};
+use stoch_eval::objective::SampleStream;
+
+/// Per-attempt timeout when [`RetryPolicy::timeout`] is `None`. A dropped
+/// frame produces no disconnect — only silence — so the process transport
+/// cannot run without an attempt deadline.
+pub const DEFAULT_ATTEMPT_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// How long to wait for a spawned worker to connect and say `Hello`.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// How long `Drop` waits for workers to exit after `Shutdown` before
+/// killing them.
+const SHUTDOWN_GRACE: Duration = Duration::from_millis(500);
+
+/// Cap on one blocking wait inside [`ProcessPool::collect`]. The wait
+/// targets a single link, so this bounds how long a frame arriving on a
+/// *different* link can sit in the kernel before the next nonblocking sweep
+/// picks it up.
+const WAIT_SLICE: Duration = Duration::from_millis(5);
+
+/// Uniquifies socket paths across pools within one master process.
+static SOCKET_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Wire/transport metric handles. Names: `mw.transport.frames_sent`,
+/// `frames_received`, `bytes_sent`, `bytes_received`, `corrupt`,
+/// `reconnects`, `stale`, `unsupported`, `inline_jobs`, plus the shared
+/// fault-tolerance series `mw.retry.attempts`, `mw.retry.timeouts`,
+/// `mw.backend.degraded`.
+struct TransportObs {
+    frames_sent: Arc<Counter>,
+    frames_received: Arc<Counter>,
+    bytes_sent: Arc<Counter>,
+    bytes_received: Arc<Counter>,
+    corrupt: Arc<Counter>,
+    reconnects: Arc<Counter>,
+    stale: Arc<Counter>,
+    unsupported: Arc<Counter>,
+    inline_jobs: Arc<Counter>,
+    retry_attempts: Arc<Counter>,
+    retry_timeouts: Arc<Counter>,
+    degraded: Arc<Counter>,
+}
+
+impl TransportObs {
+    fn register(registry: &MetricsRegistry) -> Self {
+        TransportObs {
+            frames_sent: registry.counter("mw.transport.frames_sent"),
+            frames_received: registry.counter("mw.transport.frames_received"),
+            bytes_sent: registry.counter("mw.transport.bytes_sent"),
+            bytes_received: registry.counter("mw.transport.bytes_received"),
+            corrupt: registry.counter("mw.transport.corrupt"),
+            reconnects: registry.counter("mw.transport.reconnects"),
+            stale: registry.counter("mw.transport.stale"),
+            unsupported: registry.counter("mw.transport.unsupported"),
+            inline_jobs: registry.counter("mw.transport.inline_jobs"),
+            retry_attempts: registry.counter("mw.retry.attempts"),
+            retry_timeouts: registry.counter("mw.retry.timeouts"),
+            degraded: registry.counter("mw.backend.degraded"),
+        }
+    }
+}
+
+/// What the pool knows about one job seq it accepted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PollOutcome {
+    /// The worker answered with a result payload (see `wire::decode_result`).
+    Result(Vec<u8>),
+    /// The worker refused the job with a typed error message (unknown wire
+    /// id, undecodable state). The job itself is intact master-side.
+    Refused(String),
+    /// The link carrying the job died before answering. Re-dispatch.
+    Lost,
+}
+
+/// One master⇄worker-process link.
+struct WorkerLink {
+    transport: Option<FaultedTransport<SocketTransport>>,
+    child: Option<Child>,
+    incarnation: u32,
+    /// Seqs dispatched on this link and not yet resolved or forgotten.
+    pending: Vec<u64>,
+}
+
+struct Inner {
+    workers: Vec<WorkerLink>,
+    respawn_budget: u64,
+    next_seq: u64,
+    rr: usize,
+    failed: bool,
+    /// Outcomes drained off the sockets (or synthesized on link death) that
+    /// no caller has claimed yet, keyed by seq.
+    completed: HashMap<u64, PollOutcome>,
+}
+
+/// A supervised pool of worker processes. Jobs are opaque payload byte
+/// vectors (the [`wire`] job schema); results come back keyed by the seq
+/// assigned at submission.
+pub struct ProcessPool {
+    inner: Mutex<Inner>,
+    faults: FaultPlan,
+    obs: Option<Arc<TransportObs>>,
+}
+
+impl ProcessPool {
+    /// Spawn `n_workers` worker processes (re-executions of the current
+    /// binary — see [`super::worker`]). Workers that fail to spawn consume
+    /// respawn budget; a pool that cannot field a single worker is *failed*
+    /// from birth and the backend above it degrades to inline execution
+    /// rather than erroring.
+    pub fn with_options(
+        n_workers: usize,
+        faults: FaultPlan,
+        respawn_budget: u64,
+        registry: Option<&MetricsRegistry>,
+    ) -> Self {
+        ensure_linked();
+        let obs = registry.map(|r| Arc::new(TransportObs::register(r)));
+        let mut inner = Inner {
+            workers: Vec::with_capacity(n_workers),
+            respawn_budget,
+            next_seq: 0,
+            rr: 0,
+            failed: false,
+            completed: HashMap::new(),
+        };
+        for idx in 0..n_workers.max(1) {
+            let mut link = WorkerLink {
+                transport: None,
+                child: None,
+                incarnation: 0,
+                pending: Vec::new(),
+            };
+            match spawn_worker(idx, 0, &faults) {
+                Ok((transport, child)) => {
+                    link.transport = Some(transport);
+                    link.child = Some(child);
+                }
+                Err(_) => {
+                    // Count the failed spawn against the budget like any
+                    // other worker loss; revival is attempted at dispatch.
+                    inner.respawn_budget = inner.respawn_budget.saturating_sub(1);
+                }
+            }
+            inner.workers.push(link);
+        }
+        update_failed(&mut inner);
+        ProcessPool {
+            inner: Mutex::new(inner),
+            faults,
+            obs,
+        }
+    }
+
+    /// Spawn with faults from `NSX_FAULTS` and the default respawn budget.
+    pub fn new(n_workers: usize) -> Self {
+        Self::with_options(
+            n_workers,
+            FaultPlan::from_env(),
+            default_respawn_budget(n_workers),
+            None,
+        )
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Number of worker slots (not all necessarily alive).
+    pub fn n_workers(&self) -> usize {
+        self.lock().workers.len()
+    }
+
+    /// Worker slots with a live link right now.
+    pub fn alive_workers(&self) -> usize {
+        self.lock()
+            .workers
+            .iter()
+            .filter(|w| w.transport.is_some())
+            .count()
+    }
+
+    /// OS pids of the currently live worker processes.
+    pub fn worker_pids(&self) -> Vec<u32> {
+        self.lock()
+            .workers
+            .iter()
+            .filter(|w| w.transport.is_some())
+            .filter_map(|w| w.child.as_ref().map(Child::id))
+            .collect()
+    }
+
+    /// True when no worker is alive and the respawn budget is exhausted.
+    pub fn is_failed(&self) -> bool {
+        self.lock().failed
+    }
+
+    /// Dispatch one job payload to a worker (round-robin over live links,
+    /// reviving dead ones while budget lasts). Returns the seq to collect
+    /// on, or `None` when no worker could take the job — the caller should
+    /// run it inline.
+    pub fn submit(&self, payload: Vec<u8>) -> Option<u64> {
+        let mut inner = self.lock();
+        let n = inner.workers.len();
+        for _ in 0..n {
+            let idx = inner.rr % n;
+            inner.rr = inner.rr.wrapping_add(1);
+            if inner.workers[idx].transport.is_none() {
+                self.revive(&mut inner, idx);
+            }
+            if inner.workers[idx].transport.is_none() {
+                continue;
+            }
+            let seq = inner.next_seq;
+            let frame = Frame::new(FrameKind::Job, seq, payload.clone());
+            let link = &mut inner.workers[idx];
+            let sent = match &mut link.transport {
+                Some(t) => t.send(&frame),
+                None => continue,
+            };
+            match sent {
+                Ok(()) => {
+                    inner.next_seq += 1;
+                    inner.workers[idx].pending.push(seq);
+                    if let Some(o) = &self.obs {
+                        o.frames_sent.inc();
+                        o.bytes_sent.add(frame.encoded_len() as u64);
+                    }
+                    return Some(seq);
+                }
+                Err(_) => {
+                    self.bury(&mut inner, idx);
+                    self.revive(&mut inner, idx);
+                }
+            }
+        }
+        update_failed(&mut inner);
+        None
+    }
+
+    /// Wait up to `max_wait` for outcomes for any of `interested`, draining
+    /// sockets as results arrive. Outcomes for seqs outside `interested`
+    /// (other callers sharing the pool) stay parked in the pool; outcomes
+    /// for seqs nobody tracks any more are counted as stale and dropped by
+    /// the caller.
+    ///
+    /// The wait is event-driven, not polled: after a nonblocking sweep of
+    /// every link with outstanding work, the pool blocks directly on the
+    /// link carrying the oldest in-flight seq (jobs complete roughly in
+    /// dispatch order), so a healthy round trip costs the worker's compute
+    /// time plus syscall overhead — not a timer tick.
+    pub fn collect(&self, interested: &[u64], max_wait: Duration) -> Vec<(u64, PollOutcome)> {
+        let deadline = Instant::now() + max_wait;
+        loop {
+            let mut inner = self.lock();
+            // Nonblocking sweep: pick up everything already buffered.
+            for idx in 0..inner.workers.len() {
+                if !inner.workers[idx].pending.is_empty() {
+                    self.service_link(&mut inner, idx, Duration::ZERO);
+                }
+            }
+            let mut got = Vec::new();
+            for seq in interested {
+                if let Some(outcome) = inner.completed.remove(seq) {
+                    got.push((*seq, outcome));
+                }
+            }
+            let now = Instant::now();
+            if !got.is_empty() || now >= deadline {
+                return got;
+            }
+            let target = inner
+                .workers
+                .iter()
+                .enumerate()
+                .filter(|(_, w)| w.transport.is_some())
+                .filter_map(|(i, w)| w.pending.first().map(|&s| (i, s)))
+                .min_by_key(|&(_, s)| s)
+                .map(|(i, _)| i);
+            match target {
+                Some(idx) => {
+                    // WAIT_SLICE caps the wait so frames landing on other
+                    // links are swept up promptly on the next pass.
+                    let slice = deadline.saturating_duration_since(now).min(WAIT_SLICE);
+                    self.service_link(&mut inner, idx, slice);
+                }
+                None => {
+                    // Nothing in flight on any live link; an outcome can
+                    // only appear through another caller's dispatch.
+                    drop(inner);
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            }
+        }
+    }
+
+    /// Abandon a seq: the caller stopped waiting for it (per-attempt
+    /// timeout). A straggling result arriving later is counted as stale.
+    pub fn forget(&self, seq: u64) {
+        let mut inner = self.lock();
+        inner.completed.remove(&seq);
+        for link in &mut inner.workers {
+            link.pending.retain(|&s| s != seq);
+        }
+    }
+
+    /// Receive from link `idx`: one wait of up to `first_wait`, then drain
+    /// whatever else is already buffered without blocking. A link error
+    /// buries the worker and attempts a revival.
+    fn service_link(&self, inner: &mut Inner, idx: usize, first_wait: Duration) {
+        let mut wait = first_wait;
+        loop {
+            let link = &mut inner.workers[idx];
+            let Some(t) = &mut link.transport else { return };
+            match t.recv_timeout(wait) {
+                Ok(Some(frame)) => {
+                    self.accept_frame(inner, idx, frame);
+                    wait = Duration::ZERO;
+                }
+                Ok(None) => return,
+                Err(e) => {
+                    if matches!(e, TransportError::Corrupt(_)) {
+                        if let Some(o) = &self.obs {
+                            o.corrupt.inc();
+                        }
+                    }
+                    self.bury(inner, idx);
+                    self.revive(inner, idx);
+                    update_failed(inner);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Route one frame received on link `idx` into `completed`.
+    fn accept_frame(&self, inner: &mut Inner, idx: usize, frame: Frame) {
+        if let Some(o) = &self.obs {
+            o.frames_received.inc();
+            o.bytes_received.add(frame.encoded_len() as u64);
+        }
+        let link = &mut inner.workers[idx];
+        let claimed = {
+            let before = link.pending.len();
+            link.pending.retain(|&s| s != frame.seq);
+            link.pending.len() != before
+        };
+        match frame.kind {
+            FrameKind::Result if claimed => {
+                inner
+                    .completed
+                    .insert(frame.seq, PollOutcome::Result(frame.payload));
+            }
+            FrameKind::Error if claimed => {
+                let msg = String::from_utf8_lossy(&frame.payload).into_owned();
+                inner.completed.insert(frame.seq, PollOutcome::Refused(msg));
+            }
+            FrameKind::Hello => {} // late duplicate hello; ignore
+            _ => {
+                // Stale (forgotten seq) or nonsensical kind.
+                if let Some(o) = &self.obs {
+                    o.stale.inc();
+                }
+            }
+        }
+    }
+
+    /// Tear down a dead link: reap the child and surface every pending seq
+    /// as [`PollOutcome::Lost`].
+    fn bury(&self, inner: &mut Inner, idx: usize) {
+        let link = &mut inner.workers[idx];
+        link.transport = None;
+        if let Some(mut child) = link.child.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        let lost = std::mem::take(&mut link.pending);
+        for seq in lost {
+            inner.completed.insert(seq, PollOutcome::Lost);
+        }
+    }
+
+    /// Respawn worker slot `idx` (next incarnation) while budget remains.
+    fn revive(&self, inner: &mut Inner, idx: usize) {
+        if inner.respawn_budget == 0 || inner.workers[idx].transport.is_some() {
+            return;
+        }
+        inner.respawn_budget -= 1;
+        let incarnation = inner.workers[idx].incarnation + 1;
+        if let Ok((transport, child)) = spawn_worker(idx, incarnation, &self.faults) {
+            let link = &mut inner.workers[idx];
+            link.transport = Some(transport);
+            link.child = Some(child);
+            link.incarnation = incarnation;
+            if let Some(o) = &self.obs {
+                o.reconnects.inc();
+            }
+        }
+    }
+}
+
+fn update_failed(inner: &mut Inner) {
+    if inner.respawn_budget == 0 && inner.workers.iter().all(|w| w.transport.is_none()) {
+        inner.failed = true;
+    }
+}
+
+impl Drop for ProcessPool {
+    fn drop(&mut self) {
+        let mut inner = self.lock();
+        for link in &mut inner.workers {
+            if let Some(t) = &mut link.transport {
+                let _ = t.send(&Frame::new(FrameKind::Shutdown, 0, Vec::new()));
+            }
+        }
+        let deadline = Instant::now() + SHUTDOWN_GRACE;
+        for link in &mut inner.workers {
+            let Some(mut child) = link.child.take() else {
+                continue;
+            };
+            loop {
+                match child.try_wait() {
+                    Ok(Some(_)) => break,
+                    Ok(None) if Instant::now() < deadline => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    _ => {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Spawn one worker process and complete the connect + `Hello` handshake.
+fn spawn_worker(
+    idx: usize,
+    incarnation: u32,
+    faults: &FaultPlan,
+) -> std::io::Result<(FaultedTransport<SocketTransport>, Child)> {
+    let fault = faults.fault_for(idx, incarnation);
+    let path = socket_path(idx, incarnation);
+    let _ = std::fs::remove_file(&path);
+    let listener = UnixListener::bind(&path)?;
+    listener.set_nonblocking(true)?;
+
+    let exe = std::env::current_exe()?;
+    let mut cmd = Command::new(exe);
+    cmd.env(WORKER_SOCKET_ENV, &path)
+        // Env hygiene: the worker must not re-enter process transport,
+        // re-apply plan-level chaos, or write checkpoints of its own.
+        .env_remove("NSX_TRANSPORT")
+        .env_remove("NSX_FAULTS")
+        .env_remove("NSX_BACKEND")
+        .env_remove("NSX_CHECKPOINT")
+        .env_remove(WORKER_FAULTS_ENV)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    let directives = fault.to_worker_directives();
+    if !directives.is_empty() {
+        cmd.env(WORKER_FAULTS_ENV, directives);
+    }
+    let mut child = cmd.spawn().inspect_err(|_| {
+        let _ = std::fs::remove_file(&path);
+    })?;
+
+    let mut accept = || -> std::io::Result<std::os::unix::net::UnixStream> {
+        let deadline = Instant::now() + HANDSHAKE_TIMEOUT;
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => return Ok(stream),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if child.try_wait()?.is_some() {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::BrokenPipe,
+                            "worker exited before connecting",
+                        ));
+                    }
+                    if Instant::now() >= deadline {
+                        return Err(std::io::ErrorKind::TimedOut.into());
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    };
+    let stream = match accept() {
+        Ok(s) => s,
+        Err(e) => {
+            let _ = child.kill();
+            let _ = child.wait();
+            let _ = std::fs::remove_file(&path);
+            return Err(e);
+        }
+    };
+    // The rendezvous point is single-use; unlink it now so nothing can
+    // connect to a stale path and no cleanup is owed at shutdown.
+    drop(listener);
+    let _ = std::fs::remove_file(&path);
+
+    let mut transport = SocketTransport::new(stream)?;
+    match transport.recv_timeout(HANDSHAKE_TIMEOUT) {
+        Ok(Some(f)) if f.kind == FrameKind::Hello => {}
+        _ => {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "worker did not say hello",
+            ));
+        }
+    }
+    Ok((FaultedTransport::new(transport, fault.net), child))
+}
+
+fn socket_path(idx: usize, incarnation: u32) -> PathBuf {
+    let unique = SOCKET_COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "nsx-{}-{}-w{}i{}.sock",
+        std::process::id(),
+        unique,
+        idx,
+        incarnation
+    ))
+}
+
+/// Worker-process count for the shared pool: `NSX_WORKERS` verbatim when
+/// set, otherwise hardware parallelism capped at 8 (processes are heavier
+/// than threads; tests sharing the global pool don't need more).
+pub fn default_process_workers() -> usize {
+    if std::env::var("NSX_WORKERS").is_ok() {
+        crate::backend::default_workers()
+    } else {
+        crate::backend::default_workers().min(8)
+    }
+}
+
+static SHARED: OnceLock<Arc<ProcessBackend>> = OnceLock::new();
+
+/// One in-flight extension riding the wire.
+struct PendingJob<S> {
+    idx: usize,
+    slot: usize,
+    dt: f64,
+    backup: S,
+    seq: u64,
+    attempt: u32,
+    dispatched: Instant,
+}
+
+/// A [`SamplingBackend`] that runs batches on [`ProcessPool`] workers over
+/// the frame protocol, surviving worker-process loss and network faults
+/// (see module docs).
+pub struct ProcessBackend {
+    pool: ProcessPool,
+    retry: RetryPolicy,
+    degraded: AtomicBool,
+}
+
+impl ProcessBackend {
+    /// Spawn a dedicated pool of `n_workers` processes, faults from
+    /// `NSX_FAULTS`.
+    pub fn new(n_workers: usize) -> Self {
+        Self::with_options(
+            n_workers,
+            FaultPlan::from_env(),
+            RetryPolicy::default(),
+            default_respawn_budget(n_workers),
+            None,
+        )
+    }
+
+    /// Full-control constructor mirroring `ThreadedBackend::with_options`.
+    pub fn with_options(
+        n_workers: usize,
+        faults: FaultPlan,
+        retry: RetryPolicy,
+        respawn_budget: u64,
+        registry: Option<&MetricsRegistry>,
+    ) -> Self {
+        ProcessBackend {
+            pool: ProcessPool::with_options(n_workers, faults, respawn_budget, registry),
+            retry,
+            degraded: AtomicBool::new(false),
+        }
+    }
+
+    /// The process-wide shared backend, sized by [`default_process_workers`]
+    /// on first use — engines selecting `NSX_TRANSPORT=process` without
+    /// custom options all share these worker processes.
+    pub fn shared() -> Arc<ProcessBackend> {
+        Arc::clone(SHARED.get_or_init(|| Arc::new(ProcessBackend::new(default_process_workers()))))
+    }
+
+    /// The underlying process pool.
+    pub fn pool(&self) -> &ProcessPool {
+        &self.pool
+    }
+
+    /// The backend's retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    fn obs(&self) -> Option<&Arc<TransportObs>> {
+        self.pool.obs.as_ref()
+    }
+
+    fn note_degraded(&self) {
+        if !self.degraded.swap(true, Ordering::SeqCst) {
+            if let Some(o) = self.obs() {
+                o.degraded.inc();
+            }
+        }
+    }
+
+    fn extend_inline<S: SampleStream>(mut jobs: Vec<StreamJob<S>>) -> Vec<StreamJob<S>> {
+        for job in &mut jobs {
+            job.stream.extend(job.dt);
+        }
+        jobs
+    }
+
+    /// Serialize and dispatch one job; `None` (with the degraded flag set)
+    /// when the pool cannot take it.
+    fn dispatch<S: SampleStream>(
+        &self,
+        wire_id: &str,
+        slot: usize,
+        dt: f64,
+        stream: &S,
+    ) -> Option<u64> {
+        let mut w = Writer::new();
+        if stream.save_state(&mut w).is_err() {
+            return None;
+        }
+        let payload = wire::encode_job(wire_id, slot as u64, dt, &w.into_bytes());
+        self.pool.submit(payload)
+    }
+
+    /// Complete `p` inline from its backup.
+    fn finish_inline<S: SampleStream>(p: PendingJob<S>, out: &mut [Option<StreamJob<S>>]) {
+        let mut stream = p.backup;
+        stream.extend(p.dt);
+        out[p.idx] = Some(StreamJob {
+            slot: p.slot,
+            dt: p.dt,
+            stream,
+        });
+    }
+
+    /// Re-dispatch a lost/expired job if attempts and workers remain,
+    /// otherwise finish it inline.
+    fn retry_or_inline<S: SampleStream>(
+        &self,
+        wire_id: &str,
+        p: PendingJob<S>,
+        pending: &mut HashMap<u64, PendingJob<S>>,
+        out: &mut [Option<StreamJob<S>>],
+    ) {
+        let next_attempt = p.attempt + 1;
+        if next_attempt <= self.retry.max_attempts && !self.pool.is_failed() {
+            if let Some(o) = self.obs() {
+                o.retry_attempts.inc();
+            }
+            let backoff = self.retry.backoff_before(next_attempt);
+            if !backoff.is_zero() {
+                std::thread::sleep(backoff);
+            }
+            if let Some(seq) = self.dispatch(wire_id, p.slot, p.dt, &p.backup) {
+                pending.insert(
+                    seq,
+                    PendingJob {
+                        seq,
+                        attempt: next_attempt,
+                        dispatched: Instant::now(),
+                        ..p
+                    },
+                );
+                return;
+            }
+            self.note_degraded();
+        }
+        Self::finish_inline(p, out);
+    }
+}
+
+impl<S: SampleStream + 'static> SamplingBackend<S> for ProcessBackend {
+    fn extend_batch(&self, jobs: Vec<StreamJob<S>>) -> Vec<StreamJob<S>> {
+        // Streams without a wire identity cannot be shipped: execute
+        // in-process. This is a capability limit of the stream type, not a
+        // transport failure — no degradation note.
+        let Some(wire_id) = S::wire_id() else {
+            if let Some(o) = self.obs() {
+                o.inline_jobs.add(jobs.len() as u64);
+            }
+            return Self::extend_inline(jobs);
+        };
+        if self.degraded.load(Ordering::SeqCst) || self.pool.is_failed() {
+            self.note_degraded();
+            return Self::extend_inline(jobs);
+        }
+        let n = jobs.len();
+        let mut out: Vec<Option<StreamJob<S>>> = (0..n).map(|_| None).collect();
+        let mut pending: HashMap<u64, PendingJob<S>> = HashMap::with_capacity(n);
+        for (idx, job) in jobs.into_iter().enumerate() {
+            match self.dispatch(wire_id, job.slot, job.dt, &job.stream) {
+                Some(seq) => {
+                    pending.insert(
+                        seq,
+                        PendingJob {
+                            idx,
+                            slot: job.slot,
+                            dt: job.dt,
+                            backup: job.stream,
+                            seq,
+                            attempt: 1,
+                            dispatched: Instant::now(),
+                        },
+                    );
+                }
+                None => {
+                    self.note_degraded();
+                    let mut stream = job.stream;
+                    stream.extend(job.dt);
+                    out[idx] = Some(StreamJob {
+                        slot: job.slot,
+                        dt: job.dt,
+                        stream,
+                    });
+                }
+            }
+        }
+        let limit = self.retry.timeout.unwrap_or(DEFAULT_ATTEMPT_TIMEOUT);
+        while !pending.is_empty() {
+            let interested: Vec<u64> = pending.keys().copied().collect();
+            for (seq, outcome) in self.pool.collect(&interested, Duration::from_millis(20)) {
+                let Some(p) = pending.remove(&seq) else {
+                    continue;
+                };
+                match outcome {
+                    PollOutcome::Result(payload) => {
+                        match decode_stream::<S>(&payload, p.slot) {
+                            Some(stream) => {
+                                out[p.idx] = Some(StreamJob {
+                                    slot: p.slot,
+                                    dt: p.dt,
+                                    stream,
+                                });
+                            }
+                            // An undecodable or misrouted result is treated
+                            // as a lost attempt, never a guessed sample.
+                            None => self.retry_or_inline(wire_id, p, &mut pending, &mut out),
+                        }
+                    }
+                    PollOutcome::Refused(_) => {
+                        // The worker's registry refused the job; running it
+                        // on this pool will never work. Finish inline.
+                        if let Some(o) = self.obs() {
+                            o.unsupported.inc();
+                        }
+                        Self::finish_inline(p, &mut out);
+                    }
+                    PollOutcome::Lost => self.retry_or_inline(wire_id, p, &mut pending, &mut out),
+                }
+            }
+            // Per-attempt deadlines: abandon expired seqs and re-dispatch.
+            let expired: Vec<u64> = pending
+                .values()
+                .filter(|p| p.dispatched.elapsed() >= limit)
+                .map(|p| p.seq)
+                .collect();
+            for seq in expired {
+                let Some(p) = pending.remove(&seq) else {
+                    continue;
+                };
+                if let Some(o) = self.obs() {
+                    o.retry_timeouts.inc();
+                }
+                self.pool.forget(seq);
+                self.retry_or_inline(wire_id, p, &mut pending, &mut out);
+            }
+        }
+        out.into_iter()
+            .map(|o| {
+                o.unwrap_or_else(|| {
+                    // Unreachable: every branch above fills its slot.
+                    panic!("process backend dropped a batch slot")
+                })
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "process"
+    }
+
+    fn degraded(&self) -> bool {
+        self.degraded.load(Ordering::SeqCst) || self.pool.is_failed()
+    }
+}
+
+/// Decode a result payload back into a stream, checking the slot echo.
+fn decode_stream<S: SampleStream>(payload: &[u8], slot: usize) -> Option<S> {
+    let res = wire::decode_result(payload).ok()?;
+    if res.slot != slot as u64 {
+        return None;
+    }
+    let mut r = Reader::new(&res.state);
+    let stream = S::load_state(&mut r).ok()?;
+    r.finish().ok()?;
+    Some(stream)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stoch_eval::backend::SerialBackend;
+    use stoch_eval::functions::Rosenbrock;
+    use stoch_eval::noise::ConstantNoise;
+    use stoch_eval::objective::StochasticObjective;
+    use stoch_eval::sampler::Noisy;
+
+    type Stream = <Noisy<Rosenbrock, ConstantNoise> as StochasticObjective>::Stream;
+
+    fn jobs_at(obj: &Noisy<Rosenbrock, ConstantNoise>, n: usize) -> Vec<StreamJob<Stream>> {
+        (0..n)
+            .map(|i| StreamJob {
+                slot: i,
+                dt: 1.0 + i as f64,
+                stream: obj.open(&[i as f64, 0.5], 100 + i as u64),
+            })
+            .collect()
+    }
+
+    fn assert_batches_identical(a: &[StreamJob<Stream>], b: &[StreamJob<Stream>]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.slot, y.slot);
+            assert_eq!(x.dt, y.dt);
+            let (ea, eb) = (x.stream.estimate(), y.stream.estimate());
+            assert_eq!(ea.value.to_bits(), eb.value.to_bits());
+            assert_eq!(ea.std_err.to_bits(), eb.std_err.to_bits());
+            assert_eq!(ea.time.to_bits(), eb.time.to_bits());
+        }
+    }
+
+    #[test]
+    fn process_backend_matches_serial_bit_for_bit() {
+        let obj = Noisy::new(Rosenbrock::new(2), ConstantNoise(5.0));
+        let serial = SerialBackend.extend_batch(jobs_at(&obj, 6));
+        let backend = ProcessBackend::with_options(
+            2,
+            FaultPlan::none(),
+            RetryPolicy::default(),
+            default_respawn_budget(2),
+            None,
+        );
+        let procd = backend.extend_batch(jobs_at(&obj, 6));
+        assert_batches_identical(&serial, &procd);
+        assert!(!SamplingBackend::<Stream>::degraded(&backend));
+    }
+
+    #[test]
+    fn worker_process_death_is_survived_bit_for_bit() {
+        let reg = MetricsRegistry::new();
+        let obj = Noisy::new(Rosenbrock::new(2), ConstantNoise(3.0));
+        let serial = SerialBackend.extend_batch(jobs_at(&obj, 10));
+        let backend = ProcessBackend::with_options(
+            2,
+            FaultPlan::none().kill(0, 1),
+            RetryPolicy::default(),
+            default_respawn_budget(2),
+            Some(&reg),
+        );
+        let procd = backend.extend_batch(jobs_at(&obj, 10));
+        assert_batches_identical(&serial, &procd);
+        assert!(!SamplingBackend::<Stream>::degraded(&backend));
+        assert!(reg.counter("mw.transport.reconnects").get() >= 1);
+    }
+
+    #[test]
+    fn dropped_frames_are_retried_bit_for_bit() {
+        let reg = MetricsRegistry::new();
+        let obj = Noisy::new(Rosenbrock::new(2), ConstantNoise(2.0));
+        let serial = SerialBackend.extend_batch(jobs_at(&obj, 6));
+        // Outbound job frame 1 to worker 0 vanishes; the per-attempt
+        // timeout recovers it from the master-side backup.
+        let backend = ProcessBackend::with_options(
+            2,
+            FaultPlan::none().net_drop(0, 1),
+            RetryPolicy {
+                timeout: Some(Duration::from_millis(300)),
+                ..RetryPolicy::default()
+            },
+            default_respawn_budget(2),
+            Some(&reg),
+        );
+        let procd = backend.extend_batch(jobs_at(&obj, 6));
+        assert_batches_identical(&serial, &procd);
+        assert!(reg.counter("mw.retry.timeouts").get() >= 1);
+        assert!(!SamplingBackend::<Stream>::degraded(&backend));
+    }
+
+    #[test]
+    fn no_spawnable_workers_degrades_to_inline() {
+        let obj = Noisy::new(Rosenbrock::new(2), ConstantNoise(1.0));
+        let serial = SerialBackend.extend_batch(jobs_at(&obj, 4));
+        // Kill the only worker before any job with no respawn budget: the
+        // pool fails and the batch must complete inline, identically.
+        let backend = ProcessBackend::with_options(
+            1,
+            FaultPlan::none().kill(0, 0),
+            RetryPolicy::default(),
+            0,
+            None,
+        );
+        let procd = backend.extend_batch(jobs_at(&obj, 4));
+        assert_batches_identical(&serial, &procd);
+        assert!(SamplingBackend::<Stream>::degraded(&backend));
+    }
+
+    #[test]
+    fn shared_backend_is_one_pool() {
+        let a = ProcessBackend::shared();
+        let b = ProcessBackend::shared();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(a.pool().n_workers() >= 1);
+    }
+}

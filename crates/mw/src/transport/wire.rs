@@ -1,0 +1,221 @@
+//! Payload schemas for job dispatch and result frames, plus the worker-side
+//! registry that maps wire identifiers back to concrete stream types
+//! (DESIGN.md §12).
+//!
+//! A job crosses the wire as `(wire_id, slot, dt, save_state bytes)`; the
+//! worker reconstructs the stream with the registered `load_state`, runs the
+//! exact same `extend` the master would have run, and returns
+//! `(slot, dt, save_state bytes)`. Because `save_state`/`load_state` are
+//! bit-exact (they carry the RNG words and the cached Marsaglia spare), the
+//! returned state is bit-identical to an in-process extension — the
+//! determinism contract survives the process boundary by construction.
+//!
+//! The registry is a closed set: worker processes can only run stream types
+//! compiled into this crate's dependency closure. A stream type without a
+//! `wire_id` (e.g. the water-simulation stream, whose objective cannot be
+//! serialized) never reaches a worker — the backend runs it inline instead.
+
+use stoch_eval::codec::{CodecError, Reader, Writer};
+use stoch_eval::objective::SampleStream;
+use stoch_eval::sampler::{EmpiricalStream, GaussianStream, NoisyStream};
+
+/// A worker-side job execution failure, reported back to the master in an
+/// [`Error`](super::FrameKind::Error) frame. Always a typed refusal: the
+/// master re-runs the job inline from its backup, so an unsupported or
+/// damaged job costs a round-trip, never correctness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The job named a wire id this worker's registry does not know.
+    UnknownWireId(String),
+    /// The job or state payload failed to decode.
+    Codec(CodecError),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::UnknownWireId(id) => write!(f, "unknown stream wire id {id:?}"),
+            WireError::Codec(e) => write!(f, "wire payload decode failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<CodecError> for WireError {
+    fn from(e: CodecError) -> Self {
+        WireError::Codec(e)
+    }
+}
+
+/// A decoded job payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireJob {
+    /// Stream-type identifier (see `SampleStream::wire_id`).
+    pub wire_id: String,
+    /// Caller-side slot index, echoed back unchanged.
+    pub slot: u64,
+    /// Virtual duration to extend by.
+    pub dt: f64,
+    /// `save_state` bytes of the stream to extend.
+    pub state: Vec<u8>,
+}
+
+/// A decoded result payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireResult {
+    /// Slot echoed from the job.
+    pub slot: u64,
+    /// Duration echoed from the job.
+    pub dt: f64,
+    /// `save_state` bytes of the extended stream.
+    pub state: Vec<u8>,
+}
+
+/// Encode a job payload.
+pub fn encode_job(wire_id: &str, slot: u64, dt: f64, state: &[u8]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_bytes(wire_id.as_bytes());
+    w.put_u64(slot);
+    w.put_f64(dt);
+    w.put_bytes(state);
+    w.into_bytes()
+}
+
+/// Decode a job payload.
+pub fn decode_job(payload: &[u8]) -> Result<WireJob, CodecError> {
+    let mut r = Reader::new(payload);
+    let id_bytes = r.take_bytes()?;
+    let wire_id = std::str::from_utf8(id_bytes)
+        .map_err(|_| CodecError::Invalid { what: "wire id" })?
+        .to_string();
+    let job = WireJob {
+        wire_id,
+        slot: r.take_u64()?,
+        dt: r.take_f64()?,
+        state: r.take_bytes()?.to_vec(),
+    };
+    r.finish()?;
+    Ok(job)
+}
+
+/// Encode a result payload.
+pub fn encode_result(slot: u64, dt: f64, state: &[u8]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u64(slot);
+    w.put_f64(dt);
+    w.put_bytes(state);
+    w.into_bytes()
+}
+
+/// Decode a result payload.
+pub fn decode_result(payload: &[u8]) -> Result<WireResult, CodecError> {
+    let mut r = Reader::new(payload);
+    let res = WireResult {
+        slot: r.take_u64()?,
+        dt: r.take_f64()?,
+        state: r.take_bytes()?.to_vec(),
+    };
+    r.finish()?;
+    Ok(res)
+}
+
+/// Load a stream of type `S` from `state`, extend it by `dt`, and return its
+/// re-serialized state — the generic kernel behind every registry entry.
+fn extend_as<S: SampleStream>(dt: f64, state: &[u8]) -> Result<Vec<u8>, WireError> {
+    let mut r = Reader::new(state);
+    let mut stream = S::load_state(&mut r)?;
+    r.finish()?;
+    stream.extend(dt);
+    let mut w = Writer::new();
+    stream.save_state(&mut w)?;
+    Ok(w.into_bytes())
+}
+
+/// Execute one job payload against the registry: decode, dispatch on the
+/// wire id, and return the encoded result payload.
+pub fn execute_job(payload: &[u8]) -> Result<Vec<u8>, WireError> {
+    let job = decode_job(payload)?;
+    let state = match job.wire_id.as_str() {
+        "gaussian.v1" => extend_as::<GaussianStream>(job.dt, &job.state)?,
+        "empirical.v1" => extend_as::<EmpiricalStream>(job.dt, &job.state)?,
+        "noisy.v1" => extend_as::<NoisyStream>(job.dt, &job.state)?,
+        _ => return Err(WireError::UnknownWireId(job.wire_id)),
+    };
+    Ok(encode_result(job.slot, job.dt, &state))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state_of<S: SampleStream>(s: &S) -> Vec<u8> {
+        let mut w = Writer::new();
+        s.save_state(&mut w).unwrap();
+        w.into_bytes()
+    }
+
+    #[test]
+    fn job_and_result_payloads_round_trip() {
+        let job_bytes = encode_job("gaussian.v1", 3, 2.5, b"sss");
+        let job = decode_job(&job_bytes).unwrap();
+        assert_eq!(job.wire_id, "gaussian.v1");
+        assert_eq!(job.slot, 3);
+        assert_eq!(job.dt, 2.5);
+        assert_eq!(job.state, b"sss");
+
+        let res_bytes = encode_result(3, 2.5, b"ttt");
+        let res = decode_result(&res_bytes).unwrap();
+        assert_eq!(res.slot, 3);
+        assert_eq!(res.state, b"ttt");
+    }
+
+    #[test]
+    fn truncated_payloads_are_typed_errors() {
+        let bytes = encode_job("noisy.v1", 0, 1.0, b"state");
+        for cut in 0..bytes.len() {
+            assert!(decode_job(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        let bytes = encode_result(0, 1.0, b"state");
+        for cut in 0..bytes.len() {
+            assert!(decode_result(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn registry_executes_bit_identically_to_inline() {
+        let mut local = GaussianStream::new(4.0, 3.0, 77);
+        local.extend(1.5); // season the RNG (leaves a cached spare)
+        let shipped = state_of(&local);
+        let dt = 2.25;
+
+        let payload = encode_job("gaussian.v1", 9, dt, &shipped);
+        let result = decode_result(&execute_job(&payload).unwrap()).unwrap();
+        assert_eq!(result.slot, 9);
+
+        local.extend(dt); // the inline continuation
+        assert_eq!(
+            result.state,
+            state_of(&local),
+            "wire execution must be bit-identical to inline"
+        );
+    }
+
+    #[test]
+    fn unknown_wire_id_is_refused() {
+        let payload = encode_job("martian.v9", 0, 1.0, b"");
+        assert!(matches!(
+            execute_job(&payload),
+            Err(WireError::UnknownWireId(_))
+        ));
+    }
+
+    #[test]
+    fn damaged_state_is_refused_not_guessed() {
+        let s = GaussianStream::new(1.0, 1.0, 1);
+        let mut state = state_of(&s);
+        state.truncate(state.len() - 3);
+        let payload = encode_job("gaussian.v1", 0, 1.0, &state);
+        assert!(matches!(execute_job(&payload), Err(WireError::Codec(_))));
+    }
+}

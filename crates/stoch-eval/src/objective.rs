@@ -94,6 +94,24 @@ pub trait SampleStream: Send + Clone {
         })
     }
 
+    /// Stable identifier naming this stream type on the wire, or `None` when
+    /// the type is not wire-transferable.
+    ///
+    /// A multi-process sampling backend cannot ship closures; it ships
+    /// [`save_state`](Self::save_state) bytes tagged with this identifier,
+    /// and the worker process reconstructs the stream from a fixed registry
+    /// keyed by it (DESIGN.md §12). The identifier is part of the wire
+    /// format: bump it (e.g. `"gaussian.v2"`) whenever the `save_state`
+    /// layout changes incompatibly. Streams that return `None` (the default)
+    /// simply execute in-process — distribution degrades per stream type,
+    /// never per run.
+    fn wire_id() -> Option<&'static str>
+    where
+        Self: Sized,
+    {
+        None
+    }
+
     /// Number of non-finite (NaN/±Inf) raw samples the stream has quarantined
     /// at ingestion. Streams that quarantine report their estimate as `+inf`
     /// with zero standard error once this is non-zero, so a poisoned point

@@ -221,6 +221,10 @@ impl SampleStream for GaussianStream {
         })
     }
 
+    fn wire_id() -> Option<&'static str> {
+        Some("gaussian.v1")
+    }
+
     fn nonfinite_samples(&self) -> u64 {
         self.nonfinite
     }
@@ -411,6 +415,10 @@ impl SampleStream for EmpiricalStream {
         })
     }
 
+    fn wire_id() -> Option<&'static str> {
+        Some("empirical.v1")
+    }
+
     fn nonfinite_samples(&self) -> u64 {
         self.nonfinite
     }
@@ -499,6 +507,10 @@ impl SampleStream for NoisyStream {
                 tag,
             }),
         }
+    }
+
+    fn wire_id() -> Option<&'static str> {
+        Some("noisy.v1")
     }
 
     fn nonfinite_samples(&self) -> u64 {
