@@ -16,11 +16,13 @@
 //!   acceptance rule is a simplified best-point comparison, documented here
 //!   rather than claiming fidelity to the original.
 
-use crate::checkpoint::CheckpointError;
-use crate::classic::{resume_classic, run_classic, MAX_WAIT_ROUNDS};
+use crate::checkpoint::{self, CheckpointError};
+use crate::classic::MAX_WAIT_ROUNDS;
 use crate::config::{AndersonParams, SimplexConfig};
 use crate::engine::Engine;
+use crate::metrics::EngineMetrics;
 use crate::result::RunResult;
+use crate::session::{Driver, RunSession};
 use crate::termination::{StopReason, Termination};
 use crate::trace::{StepKind, Trace, TracePoint};
 use obs::MetricsRegistry;
@@ -52,7 +54,12 @@ impl AndersonNm {
         params.k1 * 2f64.powf(-(l as f64) * (1.0 + params.k2))
     }
 
-    fn wait<F: StochasticObjective>(
+    /// The Eq. 2.4 wait loop (shared with [`crate::session::RunSession`]):
+    /// extend every vertex until the noisiest one is below the level-scaled
+    /// ceiling. Trials then receive one sampling round before comparison,
+    /// exactly as in MN (Algorithm 2): both criteria gate only the vertex
+    /// noise, which keeps the Table 3.2 comparison fair.
+    pub(crate) fn wait<F: StochasticObjective>(
         params: AndersonParams,
         eng: &mut Engine<F>,
     ) -> Option<StopReason> {
@@ -116,21 +123,19 @@ impl AndersonNm {
         seed: u64,
         registry: Option<&MetricsRegistry>,
     ) -> RunResult {
-        let params = self.params;
-        run_classic(
+        let mut session = RunSession::new(
             objective,
             init,
             self.cfg.clone(),
             term,
             mode,
             seed,
-            registry,
-            move |eng| Self::wait(params, eng),
-            // Trials receive one sampling round before comparison, exactly
-            // as in MN (Algorithm 2): both criteria gate only the vertex
-            // noise, which keeps the Table 3.2 comparison fair.
-            move |eng, id| eng.extend_round(&[id]),
-        )
+            Driver::Anderson(self.params),
+        );
+        if let Some(reg) = registry {
+            session.attach_metrics(EngineMetrics::register(reg));
+        }
+        session.run_to_completion()
     }
 
     /// Resume a checkpointed Anderson-criterion run (see
@@ -156,16 +161,18 @@ impl AndersonNm {
         term_override: Option<Termination>,
         registry: Option<&MetricsRegistry>,
     ) -> Result<RunResult, CheckpointError> {
-        let params = self.params;
-        resume_classic(
+        let (payload, _from) = checkpoint::load_with_fallback(path)?;
+        let mut session = RunSession::resume(
             objective,
             self.cfg.clone(),
-            path,
+            &payload,
             term_override,
-            registry,
-            move |eng| Self::wait(params, eng),
-            move |eng, id| eng.extend_round(&[id]),
-        )
+            Driver::Anderson(self.params),
+        )?;
+        if let Some(reg) = registry {
+            session.attach_metrics(EngineMetrics::register(reg));
+        }
+        Ok(session.run_to_completion())
     }
 }
 

@@ -187,6 +187,25 @@ impl CheckpointConfig {
     pub fn fallback_path(&self) -> PathBuf {
         retention_path(&self.path)
     }
+
+    /// Derive a per-run checkpoint config writing to `<path>.run<run_id>`
+    /// (same cadence and retention; the retention copy lands at
+    /// `<path>.run<run_id>.1`).
+    ///
+    /// Concurrent runs pointed at one checkpoint path would otherwise
+    /// clobber each other's primary *and* retention files — the `.1` copy
+    /// could even pair a run-A primary with a run-B fallback. A scheduler
+    /// admits every run with a unique id and rewrites its checkpoint config
+    /// through this, so each run's snapshot/retention pair stays private.
+    pub fn for_run(&self, run_id: u64) -> Self {
+        let mut os = self.path.as_os_str().to_os_string();
+        os.push(format!(".run{run_id}"));
+        CheckpointConfig {
+            path: PathBuf::from(os),
+            every: self.every,
+            retain: self.retain,
+        }
+    }
 }
 
 /// The retention path `<path>.1` for a checkpoint at `path`.
@@ -345,6 +364,31 @@ mod tests {
         w.put_f64(42.5); // elapsed
         w.put_bytes(b"state");
         w.into_bytes()
+    }
+
+    #[test]
+    fn per_run_paths_do_not_clobber() {
+        let base = CheckpointConfig::new(tmp_path("perrun"));
+        let (a, b) = (base.for_run(1), base.for_run(2));
+        assert_ne!(a.path, b.path);
+        assert_ne!(a.fallback_path(), b.fallback_path());
+        assert_ne!(a.fallback_path(), b.path);
+        assert!(a.path.to_string_lossy().ends_with(".run1"));
+        assert!(a.fallback_path().to_string_lossy().ends_with(".run1.1"));
+        // Two runs checkpointing concurrently under one base path keep
+        // private primary + retention pairs.
+        for (cfg, tag) in [(&a, 1u8), (&b, 2u8)] {
+            save(&cfg.path, cfg.retain, &[tag; 8]).unwrap();
+            save(&cfg.path, cfg.retain, &[tag + 10; 8]).unwrap();
+        }
+        assert_eq!(load(&a.path).unwrap(), vec![11u8; 8]);
+        assert_eq!(load(&a.fallback_path()).unwrap(), vec![1u8; 8]);
+        assert_eq!(load(&b.path).unwrap(), vec![12u8; 8]);
+        assert_eq!(load(&b.fallback_path()).unwrap(), vec![2u8; 8]);
+        for p in [&a, &b] {
+            let _ = std::fs::remove_file(&p.path);
+            let _ = std::fs::remove_file(p.fallback_path());
+        }
     }
 
     #[test]

@@ -1,153 +1,86 @@
 //! The classic Nelder–Mead iteration body (Algorithm 1), parameterized by a
-//! *gate* (sampling performed before each decision) and a *trial
-//! preparation* policy (sampling performed on prospective points before they
-//! are compared).
+//! *trial preparation* policy (sampling performed on prospective points
+//! before they are compared).
 //!
 //! DET, MN, and the Anderson-criterion variant share this body exactly — the
 //! paper's Algorithms 1 and 2 differ only in the MN wait loop (line 4) — so
 //! we implement it once. The PC family has different comparison structure
-//! and lives in [`crate::pc`].
+//! and lives in [`crate::pc`]. The loop driving this body (checkpoint →
+//! stop check → gate → iteration) is [`crate::session::RunSession`].
 
-use crate::checkpoint::{self, CheckpointError};
-use crate::config::SimplexConfig;
 use crate::engine::{Engine, SlotId};
 use crate::geometry::{contract, expand, reflect};
-use crate::metrics::EngineMetrics;
-use crate::result::RunResult;
-use crate::termination::{StopReason, Termination};
+use crate::termination::StopReason;
 use crate::trace::StepKind;
-use obs::MetricsRegistry;
-use std::path::Path;
-use stoch_eval::clock::TimeMode;
 use stoch_eval::objective::StochasticObjective;
 
 /// Safety cap on gate/resample rounds within a single decision.
 pub(crate) const MAX_WAIT_ROUNDS: u32 = 10_000;
 
-/// Run the classic iteration body until termination.
+/// One classic Nelder–Mead iteration: reflect, then expand / accept /
+/// contract / collapse. `prepare` samples a freshly-opened trial slot before
+/// it is compared. Returns `Some(stop)` when the sampling budget ran out
+/// mid-iteration, `None` after a completed (recorded) step.
 ///
-/// * `gate` runs before each iteration's comparisons; it may sample and may
-///   demand a stop (budget exhausted mid-wait).
-/// * `prepare` samples a freshly-opened trial slot before it is compared.
-/// * `registry`, when given, attaches run accounting to the engine.
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn run_classic<F, G, P>(
-    objective: &F,
-    init: Vec<Vec<f64>>,
-    cfg: SimplexConfig,
-    term: Termination,
-    mode: TimeMode,
-    seed: u64,
-    registry: Option<&MetricsRegistry>,
-    gate: G,
-    prepare: P,
-) -> RunResult
+/// The pre-iteration work — due checkpoints, termination checks, and the
+/// algorithm's gate (MN/Anderson wait loops) — belongs to the caller; see
+/// [`RunSession::step`](crate::session::RunSession::step).
+pub(crate) fn classic_iteration<F, P>(eng: &mut Engine<F>, mut prepare: P) -> Option<StopReason>
 where
     F: StochasticObjective,
-    G: FnMut(&mut Engine<F>) -> Option<StopReason>,
-    P: FnMut(&mut Engine<F>, SlotId),
-{
-    let mut eng = Engine::new(objective, init, cfg, term, mode, seed);
-    if let Some(reg) = registry {
-        eng.attach_metrics(EngineMetrics::register(reg));
-    }
-    classic_loop(eng, gate, prepare)
-}
-
-/// Resume a classic-body run from a checkpoint file (with retention
-/// fallback), then continue it to termination. `term_override` replaces the
-/// persisted termination criteria when given.
-pub(crate) fn resume_classic<F, G, P>(
-    objective: &F,
-    cfg: SimplexConfig,
-    path: &Path,
-    term_override: Option<Termination>,
-    registry: Option<&MetricsRegistry>,
-    gate: G,
-    prepare: P,
-) -> Result<RunResult, CheckpointError>
-where
-    F: StochasticObjective,
-    G: FnMut(&mut Engine<F>) -> Option<StopReason>,
-    P: FnMut(&mut Engine<F>, SlotId),
-{
-    let (payload, _from) = checkpoint::load_with_fallback(path)?;
-    let mut eng = Engine::resume(objective, cfg, &payload, term_override)?;
-    if let Some(reg) = registry {
-        eng.attach_metrics(EngineMetrics::register(reg));
-    }
-    Ok(classic_loop(eng, gate, prepare))
-}
-
-/// The classic iteration loop over an already-built engine (fresh or
-/// resumed). Checkpoints, when configured, are written at the loop top —
-/// between iterations, where no streams are in flight.
-pub(crate) fn classic_loop<F, G, P>(mut eng: Engine<F>, mut gate: G, mut prepare: P) -> RunResult
-where
-    F: StochasticObjective,
-    G: FnMut(&mut Engine<F>) -> Option<StopReason>,
     P: FnMut(&mut Engine<F>, SlotId),
 {
     let coeff = eng.config().coefficients;
-    loop {
-        eng.checkpoint_if_due();
-        if let Some(r) = eng.should_stop() {
-            return eng.finish(r);
-        }
-        if let Some(r) = gate(&mut eng) {
-            return eng.finish(r);
-        }
+    let ord = eng.ordering();
+    let cent = eng.centroid_excluding(ord.max);
 
-        let ord = eng.ordering();
-        let cent = eng.centroid_excluding(ord.max);
+    // Reflection (Algorithm 1 line 3).
+    let refl_x = reflect(&cent, eng.point(ord.max), coeff.alpha);
+    let refl = eng.open_trial(refl_x);
+    prepare(eng, refl);
+    if let Some(r) = eng.budget_stop() {
+        return Some(r);
+    }
 
-        // Reflection (Algorithm 1 line 3).
-        let refl_x = reflect(&cent, eng.point(ord.max), coeff.alpha);
-        let refl = eng.open_trial(refl_x);
-        prepare(&mut eng, refl);
-        if let Some(r) = eng.budget_stop() {
-            return eng.finish(r);
-        }
-
-        let g_ref = eng.estimate(refl).value;
-        if g_ref < eng.estimate(ord.min).value {
-            // Expansion branch (lines 4–10).
-            let exp_x = expand(&cent, eng.point(refl), coeff.gamma);
-            let exp = eng.open_trial(exp_x);
-            prepare(&mut eng, exp);
-            if eng.estimate(exp).value < eng.estimate(refl).value {
-                eng.replace_vertex(ord.max, exp);
-                eng.level_mut().on_expand();
-                eng.drop_trials();
-                eng.record(StepKind::Expand);
-            } else {
-                eng.replace_vertex(ord.max, refl);
-                eng.drop_trials();
-                eng.record(StepKind::Reflect);
-            }
-        } else if g_ref < eng.estimate(ord.max).value {
-            // Plain reflection (lines 12–13; note the paper compares against
-            // g(max), not the canonical g(smax)).
+    let g_ref = eng.estimate(refl).value;
+    if g_ref < eng.estimate(ord.min).value {
+        // Expansion branch (lines 4–10).
+        let exp_x = expand(&cent, eng.point(refl), coeff.gamma);
+        let exp = eng.open_trial(exp_x);
+        prepare(eng, exp);
+        if eng.estimate(exp).value < eng.estimate(refl).value {
+            eng.replace_vertex(ord.max, exp);
+            eng.level_mut().on_expand();
+            eng.drop_trials();
+            eng.record(StepKind::Expand);
+        } else {
             eng.replace_vertex(ord.max, refl);
             eng.drop_trials();
             eng.record(StepKind::Reflect);
+        }
+    } else if g_ref < eng.estimate(ord.max).value {
+        // Plain reflection (lines 12–13; note the paper compares against
+        // g(max), not the canonical g(smax)).
+        eng.replace_vertex(ord.max, refl);
+        eng.drop_trials();
+        eng.record(StepKind::Reflect);
+    } else {
+        // Contraction branch (lines 15–23).
+        let con_x = contract(&cent, eng.point(ord.max), coeff.beta);
+        let con = eng.open_trial(con_x);
+        prepare(eng, con);
+        if eng.estimate(con).value < eng.estimate(ord.max).value {
+            eng.replace_vertex(ord.max, con);
+            eng.level_mut().on_contract();
+            eng.drop_trials();
+            eng.record(StepKind::Contract);
         } else {
-            // Contraction branch (lines 15–23).
-            let con_x = contract(&cent, eng.point(ord.max), coeff.beta);
-            let con = eng.open_trial(con_x);
-            prepare(&mut eng, con);
-            if eng.estimate(con).value < eng.estimate(ord.max).value {
-                eng.replace_vertex(ord.max, con);
-                eng.level_mut().on_contract();
-                eng.drop_trials();
-                eng.record(StepKind::Contract);
-            } else {
-                eng.drop_trials();
-                eng.collapse(ord.min);
-                eng.record(StepKind::Collapse);
-            }
+            eng.drop_trials();
+            eng.collapse(ord.min);
+            eng.record(StepKind::Collapse);
         }
     }
+    None
 }
 
 /// Internal variance of the vertex values: `mean_i (g_i − ḡ)²` — the

@@ -9,7 +9,48 @@ use mw_framework::transport::process::{default_process_workers, ProcessBackend};
 use mw_framework::FaultPlan;
 use std::sync::Arc;
 use stoch_eval::backend::{SamplingBackend, SerialBackend};
-use stoch_eval::objective::SampleStream;
+use stoch_eval::objective::{SampleStream, StochasticObjective};
+
+/// A configuration rejected at validation time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The objective's streams dispatch their sampling onto the same worker
+    /// pool the configured backend fans batches over. Batch jobs would then
+    /// submit to their own pool from inside workers and deadlock once every
+    /// worker is occupied; the combination is refused instead. Use a serial
+    /// backend with a pool-dispatching objective, or drive the pool through
+    /// the batch backend alone.
+    NestedDispatch,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NestedDispatch => write!(
+                f,
+                "objective and sampling backend dispatch on the same worker pool \
+                 (nested dispatch would deadlock); keep the engine on a serial \
+                 backend when the objective ships its own sampling to a pool"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Reject the deadlocking combination of a batch backend and an objective
+/// dispatching on one shared worker pool (see
+/// [`SimplexConfig::validate_dispatch`]). Either side without a pool — or
+/// two distinct pools — passes.
+pub fn check_nested_dispatch<F: StochasticObjective>(
+    backend: &dyn SamplingBackend<F::Stream>,
+    objective: &F,
+) -> Result<(), ConfigError> {
+    match (backend.pool_token(), objective.pool_token()) {
+        (Some(b), Some(o)) if b == o => Err(ConfigError::NestedDispatch),
+        _ => Ok(()),
+    }
+}
 
 /// Which [`SamplingBackend`] executes each sampling round (DESIGN.md §8).
 ///
@@ -257,6 +298,36 @@ impl Default for SimplexConfig {
 }
 
 impl SimplexConfig {
+    /// Whether this configuration demands a dedicated (non-shared) worker
+    /// pool: an explicit fault plan, a respawn-budget override, or a
+    /// non-default retry policy. Customized runs get their own pool so their
+    /// chaos and retry behaviour cannot leak into — or starve — other runs
+    /// sharing the process-wide pool; a multi-run scheduler uses the same
+    /// predicate to keep such runs off the shared batch gate.
+    pub fn customized(&self) -> bool {
+        self.faults.is_some()
+            || self.respawn_budget.is_some()
+            || self.retry != RetryPolicy::default()
+    }
+
+    /// Validate that driving `objective` with the backend this configuration
+    /// builds cannot deadlock on a shared worker pool.
+    ///
+    /// The failure mode (previously only a documented footgun, DESIGN.md §8):
+    /// an objective whose streams dispatch their own `extend` onto a pool —
+    /// e.g. `mw-framework`'s `MwObjective` — driven through a batch backend
+    /// over the *same* pool submits jobs from inside worker jobs; once every
+    /// worker is occupied by a batch job, nobody can make progress. Both
+    /// sides now expose an opaque pool token, so the collision is detected
+    /// here, at configuration-validation time, and reported as
+    /// [`ConfigError::NestedDispatch`] instead of wedging at runtime.
+    pub fn validate_dispatch<F: StochasticObjective>(
+        &self,
+        objective: &F,
+    ) -> Result<(), ConfigError> {
+        check_nested_dispatch(self.build_backend::<F::Stream>().as_ref(), objective)
+    }
+
     /// Instantiate the sampling backend for this configuration.
     ///
     /// Like [`BackendChoice::build`], but honours the config's
@@ -265,9 +336,7 @@ impl SimplexConfig {
     /// shared pool keeps its own defaults and `NSX_FAULTS`-driven
     /// injection).
     pub fn build_backend<S: SampleStream + 'static>(&self) -> Arc<dyn SamplingBackend<S>> {
-        let customized = self.faults.is_some()
-            || self.respawn_budget.is_some()
-            || self.retry != RetryPolicy::default();
+        let customized = self.customized();
         if self.transport == TransportChoice::Process {
             // Process transport supersedes the in-process backends: the
             // round fans out over worker processes. An explicit

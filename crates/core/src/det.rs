@@ -7,10 +7,11 @@
 //! straw baseline: it converges, but often to a point far from the true
 //! minimum because noise corrupts the vertex ordering.
 
-use crate::checkpoint::CheckpointError;
-use crate::classic::{resume_classic, run_classic};
+use crate::checkpoint::{self, CheckpointError};
 use crate::config::SimplexConfig;
+use crate::metrics::EngineMetrics;
 use crate::result::RunResult;
+use crate::session::{Driver, RunSession};
 use crate::termination::Termination;
 use obs::MetricsRegistry;
 use std::path::Path;
@@ -67,17 +68,19 @@ impl Det {
         seed: u64,
         registry: Option<&MetricsRegistry>,
     ) -> RunResult {
-        run_classic(
+        let mut session = RunSession::new(
             objective,
             init,
             self.cfg.clone(),
             term,
             mode,
             seed,
-            registry,
-            |_eng| None,
-            |eng, id| eng.extend_round(&[id]),
-        )
+            Driver::Det,
+        );
+        if let Some(reg) = registry {
+            session.attach_metrics(EngineMetrics::register(reg));
+        }
+        session.run_to_completion()
     }
 
     /// Resume a checkpointed DET run (see
@@ -99,15 +102,18 @@ impl Det {
         term_override: Option<Termination>,
         registry: Option<&MetricsRegistry>,
     ) -> Result<RunResult, CheckpointError> {
-        resume_classic(
+        let (payload, _from) = checkpoint::load_with_fallback(path)?;
+        let mut session = RunSession::resume(
             objective,
             self.cfg.clone(),
-            path,
+            &payload,
             term_override,
-            registry,
-            |_eng| None,
-            |eng, id| eng.extend_round(&[id]),
-        )
+            Driver::Det,
+        )?;
+        if let Some(reg) = registry {
+            session.attach_metrics(EngineMetrics::register(reg));
+        }
+        Ok(session.run_to_completion())
     }
 }
 

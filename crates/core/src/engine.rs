@@ -83,6 +83,29 @@ impl<'a, F: StochasticObjective> Engine<'a, F> {
         mode: TimeMode,
         seed: u64,
     ) -> Self {
+        let backend = cfg.build_backend();
+        Self::new_with_backend(objective, init, cfg, term, mode, seed, backend)
+    }
+
+    /// Like [`Engine::new`], but dispatching rounds on an injected backend
+    /// instead of the one `cfg` would build. This is the seam a multi-run
+    /// scheduler uses to multiplex many engines over one shared (or
+    /// batch-gated) backend.
+    ///
+    /// # Panics
+    /// If `backend` and `objective` dispatch on the same worker pool (see
+    /// [`SimplexConfig::validate_dispatch`](crate::config::SimplexConfig::validate_dispatch)
+    /// for the fallible form of the check): that configuration deadlocks once
+    /// every worker is occupied by a batch job, so it is refused up front.
+    pub fn new_with_backend(
+        objective: &'a F,
+        init: Vec<Vec<f64>>,
+        cfg: SimplexConfig,
+        term: Termination,
+        mode: TimeMode,
+        seed: u64,
+        backend: Arc<dyn SamplingBackend<F::Stream>>,
+    ) -> Self {
         let d = objective.dim();
         assert_eq!(
             init.len(),
@@ -93,6 +116,8 @@ impl<'a, F: StochasticObjective> Engine<'a, F> {
         assert!(init.iter().all(|v| v.len() == d));
         cfg.coefficients.validate().expect("invalid coefficients");
         cfg.sampling.validate().expect("invalid sampling policy");
+        crate::config::check_nested_dispatch(backend.as_ref(), objective)
+            .expect("invalid dispatch configuration");
 
         let mut seeds = SeedSequence::new(seed);
         let mut slots = Vec::with_capacity(d + 3);
@@ -100,7 +125,6 @@ impl<'a, F: StochasticObjective> Engine<'a, F> {
             let stream = Some(objective.open(&x, seeds.next_seed()));
             slots.push(Slot { x, stream });
         }
-        let backend = cfg.build_backend();
         let mut eng = Engine {
             objective,
             cfg,
@@ -591,6 +615,28 @@ impl<'a, F: StochasticObjective> Engine<'a, F> {
         payload: &[u8],
         term_override: Option<Termination>,
     ) -> Result<Self, CheckpointError> {
+        let backend = cfg.build_backend();
+        Self::resume_with_backend(objective, cfg, payload, term_override, backend)
+    }
+
+    /// Like [`Engine::resume`], but dispatching rounds on an injected
+    /// backend. The snapshot carries no backend state (streams are restored
+    /// master-side), so a suspended run can resume on a *different* backend
+    /// — serial to threaded, solo to shared fleet — and the determinism
+    /// contract keeps the remainder bit-identical.
+    ///
+    /// # Panics
+    /// As [`Engine::new_with_backend`]: refuses a backend sharing the
+    /// objective's own worker pool.
+    pub fn resume_with_backend(
+        objective: &'a F,
+        cfg: SimplexConfig,
+        payload: &[u8],
+        term_override: Option<Termination>,
+        backend: Arc<dyn SamplingBackend<F::Stream>>,
+    ) -> Result<Self, CheckpointError> {
+        crate::config::check_nested_dispatch(backend.as_ref(), objective)
+            .expect("invalid dispatch configuration");
         cfg.coefficients
             .validate()
             .map_err(CheckpointError::Mismatch)?;
@@ -686,7 +732,6 @@ impl<'a, F: StochasticObjective> Engine<'a, F> {
         };
         r.finish()?;
 
-        let backend = cfg.build_backend();
         Ok(Engine {
             objective,
             cfg,

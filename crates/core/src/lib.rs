@@ -62,6 +62,7 @@ pub mod pcmn;
 pub mod pso;
 pub mod restart;
 pub mod result;
+pub mod session;
 pub mod termination;
 pub mod trace;
 
@@ -72,8 +73,8 @@ pub mod prelude {
     pub use crate::baselines::{RandomSearch, SimulatedAnnealing, Spsa};
     pub use crate::checkpoint::{CheckpointConfig, CheckpointError, SnapshotInfo};
     pub use crate::config::{
-        AndersonParams, BackendChoice, MnParams, NonFinitePolicy, PcConditions, PcParams,
-        SamplingPolicy, SimplexConfig, TransportChoice,
+        check_nested_dispatch, AndersonParams, BackendChoice, ConfigError, MnParams,
+        NonFinitePolicy, PcConditions, PcParams, SamplingPolicy, SimplexConfig, TransportChoice,
     };
     pub use crate::det::Det;
     pub use crate::geometry::Coefficients;
@@ -85,6 +86,7 @@ pub mod prelude {
     pub use crate::pso::{Pso, PsoSimplex};
     pub use crate::restart::RestartedSimplex;
     pub use crate::result::{Measures, RunMetrics, RunNote, RunResult};
+    pub use crate::session::{Driver, RunSession, SessionStatus};
     pub use crate::termination::{StopReason, Termination};
     pub use crate::trace::{StepKind, Trace, TracePoint};
     pub use mw_framework::{FaultPlan, RetryPolicy};

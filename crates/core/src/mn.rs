@@ -18,13 +18,13 @@
 //! comparison, mirroring the MW deployment where the d+3 workers sample
 //! concurrently.
 
-use crate::checkpoint::CheckpointError;
-use crate::classic::{
-    internal_variance, max_noise_variance, resume_classic, run_classic, MAX_WAIT_ROUNDS,
-};
+use crate::checkpoint::{self, CheckpointError};
+use crate::classic::{internal_variance, max_noise_variance, MAX_WAIT_ROUNDS};
 use crate::config::{MnParams, SimplexConfig};
 use crate::engine::Engine;
+use crate::metrics::EngineMetrics;
 use crate::result::RunResult;
+use crate::session::{Driver, RunSession};
 use crate::termination::{StopReason, Termination};
 use obs::MetricsRegistry;
 use std::path::Path;
@@ -110,18 +110,19 @@ impl MaxNoise {
         seed: u64,
         registry: Option<&MetricsRegistry>,
     ) -> RunResult {
-        let k = self.params.k;
-        run_classic(
+        let mut session = RunSession::new(
             objective,
             init,
             self.cfg.clone(),
             term,
             mode,
             seed,
-            registry,
-            move |eng| mn_wait(k, eng),
-            move |eng, id| eng.extend_round(&[id]),
-        )
+            Driver::Mn(self.params),
+        );
+        if let Some(reg) = registry {
+            session.attach_metrics(EngineMetrics::register(reg));
+        }
+        session.run_to_completion()
     }
 
     /// Resume a checkpointed MN run (see
@@ -147,16 +148,18 @@ impl MaxNoise {
         term_override: Option<Termination>,
         registry: Option<&MetricsRegistry>,
     ) -> Result<RunResult, CheckpointError> {
-        let k = self.params.k;
-        resume_classic(
+        let (payload, _from) = checkpoint::load_with_fallback(path)?;
+        let mut session = RunSession::resume(
             objective,
             self.cfg.clone(),
-            path,
+            &payload,
             term_override,
-            registry,
-            move |eng| mn_wait(k, eng),
-            move |eng, id| eng.extend_round(&[id]),
-        )
+            Driver::Mn(self.params),
+        )?;
+        if let Some(reg) = registry {
+            session.attach_metrics(EngineMetrics::register(reg));
+        }
+        Ok(session.run_to_completion())
     }
 }
 

@@ -16,6 +16,7 @@ use crate::engine::Engine;
 use crate::geometry::{contract, expand, reflect};
 use crate::metrics::EngineMetrics;
 use crate::result::RunResult;
+use crate::session::{Driver, RunSession};
 use crate::termination::{StopReason, Termination};
 use crate::trace::StepKind;
 use obs::MetricsRegistry;
@@ -244,11 +245,19 @@ impl PointComparison {
         seed: u64,
         registry: Option<&MetricsRegistry>,
     ) -> RunResult {
-        let mut eng = Engine::new(objective, init, self.cfg.clone(), term, mode, seed);
+        let mut session = RunSession::new(
+            objective,
+            init,
+            self.cfg.clone(),
+            term,
+            mode,
+            seed,
+            Driver::Pc(self.params),
+        );
         if let Some(reg) = registry {
-            eng.attach_metrics(EngineMetrics::register(reg));
+            session.attach_metrics(EngineMetrics::register(reg));
         }
-        pc_loop(eng, self.params)
+        session.run_to_completion()
     }
 
     /// Resume a checkpointed PC run (see
@@ -271,26 +280,17 @@ impl PointComparison {
         registry: Option<&MetricsRegistry>,
     ) -> Result<RunResult, CheckpointError> {
         let (payload, _from) = checkpoint::load_with_fallback(path)?;
-        let mut eng = Engine::resume(objective, self.cfg.clone(), &payload, term_override)?;
+        let mut session = RunSession::resume(
+            objective,
+            self.cfg.clone(),
+            &payload,
+            term_override,
+            Driver::Pc(self.params),
+        )?;
         if let Some(reg) = registry {
-            eng.attach_metrics(EngineMetrics::register(reg));
+            session.attach_metrics(EngineMetrics::register(reg));
         }
-        Ok(pc_loop(eng, self.params))
-    }
-}
-
-/// The PC iteration loop over an already-built engine (fresh or resumed).
-/// Checkpoints, when configured, are written at the loop top — between
-/// iterations, where no streams are in flight.
-pub(crate) fn pc_loop<F: StochasticObjective>(mut eng: Engine<F>, params: PcParams) -> RunResult {
-    loop {
-        eng.checkpoint_if_due();
-        if let Some(r) = eng.should_stop() {
-            return eng.finish(r);
-        }
-        if let Some(r) = pc_iteration(&mut eng, params) {
-            return eng.finish(r);
-        }
+        Ok(session.run_to_completion())
     }
 }
 

@@ -9,11 +9,9 @@
 
 use crate::checkpoint::{self, CheckpointError};
 use crate::config::{MnParams, PcParams, SimplexConfig};
-use crate::engine::Engine;
 use crate::metrics::EngineMetrics;
-use crate::mn::mn_wait;
-use crate::pc::pc_iteration;
 use crate::result::RunResult;
+use crate::session::{Driver, RunSession};
 use crate::termination::Termination;
 use obs::MetricsRegistry;
 use std::path::Path;
@@ -62,11 +60,19 @@ impl PcMn {
         seed: u64,
         registry: Option<&MetricsRegistry>,
     ) -> RunResult {
-        let mut eng = Engine::new(objective, init, self.cfg.clone(), term, mode, seed);
+        let mut session = RunSession::new(
+            objective,
+            init,
+            self.cfg.clone(),
+            term,
+            mode,
+            seed,
+            Driver::PcMn(self.mn, self.pc),
+        );
         if let Some(reg) = registry {
-            eng.attach_metrics(EngineMetrics::register(reg));
+            session.attach_metrics(EngineMetrics::register(reg));
         }
-        pcmn_loop(eng, self.mn, self.pc)
+        session.run_to_completion()
     }
 
     /// Resume a checkpointed PC+MN run (see
@@ -89,27 +95,17 @@ impl PcMn {
         registry: Option<&MetricsRegistry>,
     ) -> Result<RunResult, CheckpointError> {
         let (payload, _from) = checkpoint::load_with_fallback(path)?;
-        let mut eng = Engine::resume(objective, self.cfg.clone(), &payload, term_override)?;
+        let mut session = RunSession::resume(
+            objective,
+            self.cfg.clone(),
+            &payload,
+            term_override,
+            Driver::PcMn(self.mn, self.pc),
+        )?;
         if let Some(reg) = registry {
-            eng.attach_metrics(EngineMetrics::register(reg));
+            session.attach_metrics(EngineMetrics::register(reg));
         }
-        Ok(pcmn_loop(eng, self.mn, self.pc))
-    }
-}
-
-/// The PC+MN iteration loop over an already-built engine (fresh or resumed).
-fn pcmn_loop<F: StochasticObjective>(mut eng: Engine<F>, mn: MnParams, pc: PcParams) -> RunResult {
-    loop {
-        eng.checkpoint_if_due();
-        if let Some(r) = eng.should_stop() {
-            return eng.finish(r);
-        }
-        if let Some(r) = mn_wait(mn.k, &mut eng) {
-            return eng.finish(r);
-        }
-        if let Some(r) = pc_iteration(&mut eng, pc) {
-            return eng.finish(r);
-        }
+        Ok(session.run_to_completion())
     }
 }
 

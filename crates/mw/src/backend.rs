@@ -404,6 +404,10 @@ impl<S: SampleStream + 'static> SamplingBackend<S> for ThreadedBackend {
     fn degraded(&self) -> bool {
         self.degraded.load(Ordering::SeqCst) || self.pool.is_failed()
     }
+
+    fn pool_token(&self) -> Option<usize> {
+        Some(Arc::as_ptr(&self.pool) as usize)
+    }
 }
 
 #[cfg(test)]

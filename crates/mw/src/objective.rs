@@ -119,6 +119,10 @@ where
     fn true_value(&self, x: &[f64]) -> Option<f64> {
         self.inner.true_value(x)
     }
+
+    fn pool_token(&self) -> Option<usize> {
+        Some(Arc::as_ptr(&self.pool) as usize)
+    }
 }
 
 #[cfg(test)]

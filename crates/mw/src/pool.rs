@@ -23,7 +23,7 @@ use crate::faults::{FaultPlan, WorkerFault};
 use crossbeam_channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use obs::{Counter, Gauge, MetricsRegistry};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -317,7 +317,10 @@ pub struct MwPool {
     failed: AtomicBool,
     faults: FaultPlan,
     notifier: Arc<CompletionNotifier>,
-    obs: Option<Arc<PoolObs>>,
+    /// Set at construction when a registry is passed, or later via
+    /// [`MwPool::attach_registry`] (the shared-pool case); write-once so the
+    /// mirrored handles stay stable for the pool's lifetime.
+    obs: OnceLock<Arc<PoolObs>>,
 }
 
 /// RAII liveness beacon held by each worker thread. Dropping it — whether by
@@ -478,7 +481,10 @@ impl MwPool {
         let queue_depth = Arc::new(AtomicU64::new(0));
         let workers_lost = Arc::new(AtomicU64::new(0));
         let notifier = Arc::new(CompletionNotifier::new());
-        let obs = registry.map(|reg| Arc::new(PoolObs::register(reg, n_workers)));
+        let obs: OnceLock<Arc<PoolObs>> = OnceLock::new();
+        if let Some(reg) = registry {
+            let _ = obs.set(Arc::new(PoolObs::register(reg, n_workers)));
+        }
         let slots = (0..n_workers)
             .map(|w| {
                 let alive = Arc::new(AtomicBool::new(true));
@@ -492,7 +498,7 @@ impl MwPool {
                     Arc::clone(&alive),
                     Arc::clone(&workers_lost),
                     Arc::clone(&notifier),
-                    obs.clone(),
+                    obs.get().cloned(),
                 );
                 Slot {
                     handle: Some(handle),
@@ -533,6 +539,23 @@ impl MwPool {
     /// Number of worker slots (the pool's nominal width).
     pub fn n_workers(&self) -> usize {
         self.n_workers
+    }
+
+    /// Mirror this pool's accounting into `registry` after construction.
+    ///
+    /// The process-wide shared pool is built lazily by the first run, before
+    /// any service-level registry exists, so its construction-time hook is
+    /// always `None`; this late attachment is how a multi-run service gets a
+    /// pool-wide `mw.pool.queue_depth_hwm` that accounts for jobs queued by
+    /// *all* runs sharing the pool. First attachment wins (the mirrored
+    /// handles are pool-lifetime); later calls return `false` and change
+    /// nothing. Workers already running keep their per-worker mirroring off
+    /// (their hooks were captured at spawn); submissions, respawns, and the
+    /// queue-depth high-water mark are mirrored from this point on.
+    pub fn attach_registry(&self, registry: &MetricsRegistry) -> bool {
+        self.obs
+            .set(Arc::new(PoolObs::register(registry, self.n_workers)))
+            .is_ok()
     }
 
     /// Workers currently alive (slots whose thread is running).
@@ -601,7 +624,7 @@ impl MwPool {
                 Arc::clone(&alive),
                 Arc::clone(&self.workers_lost),
                 Arc::clone(&self.notifier),
-                self.obs.clone(),
+                self.obs.get().cloned(),
             );
             core.slots[w] = Slot {
                 handle: Some(handle),
@@ -609,7 +632,7 @@ impl MwPool {
                 incarnation,
             };
             self.respawns.fetch_add(1, Ordering::Relaxed);
-            if let Some(o) = &self.obs {
+            if let Some(o) = self.obs.get() {
                 o.respawns.inc();
             }
             live += 1;
@@ -677,8 +700,11 @@ impl MwPool {
         let Some(job_tx) = core.job_tx.as_ref() else {
             return JobHandle::new(rx); // shut down: handle is disconnected
         };
+        // `queue_depth` is pool-global, so on a shared pool this high-water
+        // mark accounts for jobs queued by every run submitting to it, not
+        // just the caller's.
         let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
-        if let Some(o) = &self.obs {
+        if let Some(o) = self.obs.get() {
             o.jobs_submitted.inc();
             o.queue_depth_hwm.record(depth);
         }
@@ -993,6 +1019,29 @@ mod tests {
         assert_eq!(per_worker, 24);
         assert!(reg.gauge("mw.pool.queue_depth_hwm").max() >= 1);
         assert_eq!(pool.shutdown(), Ok(3));
+    }
+
+    #[test]
+    fn late_attached_registry_accounts_for_all_submitters() {
+        let pool = Arc::new(MwPool::new(2));
+        let reg = obs::MetricsRegistry::new();
+        assert!(pool.attach_registry(&reg));
+        assert!(!pool.attach_registry(&reg), "second attach is a no-op");
+        // Two concurrent submitters share the one pool; the mirrored
+        // counters and the queue-depth high-water mark must cover both.
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let pool = Arc::clone(&pool);
+                s.spawn(move || {
+                    let handles: Vec<_> = (0..50).map(|i| pool.submit(move |_| i)).collect();
+                    for h in handles {
+                        h.recv().unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.counter("mw.pool.jobs_submitted").get(), 100);
+        assert!(reg.gauge("mw.pool.queue_depth_hwm").max() >= 1);
     }
 
     #[test]

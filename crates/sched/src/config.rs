@@ -1,0 +1,90 @@
+//! Scheduler configuration and the `NSX_SCHED` environment grammar.
+
+/// Tunables for the [`Scheduler`](crate::Scheduler)'s tick loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedConfig {
+    /// Maximum number of runs resident (actively stepping) per tick. Ready
+    /// runs beyond the width wait their turn; resident runs are preempted
+    /// to checkpoint bytes at the end of a tick whenever more than `width`
+    /// runs are ready.
+    pub width: usize,
+    /// Simplex rounds each selected run advances per tick (its time slice).
+    pub quantum: u64,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        SchedConfig {
+            width: 4,
+            quantum: 8,
+        }
+    }
+}
+
+impl SchedConfig {
+    /// Parse the `NSX_SCHED` grammar: colon-separated `key=value` pairs,
+    /// `width=N` and `quantum=R`, each optional, in any order — e.g.
+    /// `width=8`, `quantum=1:width=2`. Returns `None` on an unknown key or
+    /// unparsable value (mirroring `NSX_CHECKPOINT`'s strictness).
+    pub fn parse(spec: &str) -> Option<Self> {
+        let mut cfg = SchedConfig::default();
+        for part in spec.split(':').filter(|p| !p.is_empty()) {
+            let (key, value) = part.split_once('=')?;
+            match key {
+                "width" => cfg.width = value.parse::<usize>().ok().filter(|&w| w > 0)?,
+                "quantum" => cfg.quantum = value.parse::<u64>().ok().filter(|&q| q > 0)?,
+                _ => return None,
+            }
+        }
+        Some(cfg)
+    }
+
+    /// Read `NSX_SCHED` from the environment; defaults when unset or
+    /// malformed.
+    pub fn from_env() -> Self {
+        std::env::var("NSX_SCHED")
+            .ok()
+            .and_then(|s| Self::parse(&s))
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_full_and_partial_specs() {
+        assert_eq!(
+            SchedConfig::parse("width=8:quantum=2"),
+            Some(SchedConfig {
+                width: 8,
+                quantum: 2
+            })
+        );
+        let d = SchedConfig::default();
+        assert_eq!(
+            SchedConfig::parse("width=2"),
+            Some(SchedConfig {
+                width: 2,
+                quantum: d.quantum
+            })
+        );
+        assert_eq!(
+            SchedConfig::parse("quantum=1"),
+            Some(SchedConfig {
+                width: d.width,
+                quantum: 1
+            })
+        );
+        assert_eq!(SchedConfig::parse(""), Some(d));
+    }
+
+    #[test]
+    fn parse_rejects_unknown_keys_and_zeroes() {
+        assert_eq!(SchedConfig::parse("widht=8"), None);
+        assert_eq!(SchedConfig::parse("width=0"), None);
+        assert_eq!(SchedConfig::parse("quantum=x"), None);
+        assert_eq!(SchedConfig::parse("width"), None);
+    }
+}

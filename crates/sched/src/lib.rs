@@ -1,0 +1,365 @@
+//! `nsx-sched` — a multi-run scheduling service for the stochastic-simplex
+//! engine.
+//!
+//! Historically a run *owned* its sampling pool: `Det::run` (and friends)
+//! drove a closed loop that monopolized whatever backend the config built.
+//! This crate inverts that ownership for multi-tenant workloads:
+//!
+//! * [`Scheduler`] admits runs ([`RunSpec`]: objective, driver, priority,
+//!   fair-share weight) and time-slices them in ticks of
+//!   [`SchedConfig::quantum`] simplex rounds over at most
+//!   [`SchedConfig::width`] resident runs, picking by minimum weighted
+//!   virtual runtime.
+//! * [`FleetBackend`] is the shared sampling service: each tick it merges
+//!   the concurrent runs' sampling rounds into single batches on one inner
+//!   [`SamplingBackend`](stoch_eval::backend::SamplingBackend) — one
+//!   dispatch per rendezvous instead of one per run.
+//! * Preemption uses the checkpoint codec: a suspended run becomes bytes in
+//!   memory (or a per-run file via
+//!   [`CheckpointConfig::for_run`](noisy_simplex::checkpoint::CheckpointConfig::for_run))
+//!   and later resumes bit-identically, on the fleet or on any other
+//!   backend.
+//!
+//! The load-bearing invariant, asserted by this crate's tests and CI's
+//! `service_scaleup` exhibit: **a run's result is bit-identical whether it
+//! ran alone, time-sliced against 999 neighbours, or was preempted and
+//! resumed mid-flight.**
+//!
+//! Configuration comes from [`SchedConfig`] or the `NSX_SCHED` environment
+//! variable (`width=N:quantum=R`).
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod fleet;
+pub mod scheduler;
+
+pub use config::SchedConfig;
+pub use fleet::{FleetBackend, FleetTicket};
+pub use scheduler::{RunSpec, Scheduler};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noisy_simplex::config::{BackendChoice, ConfigError, SimplexConfig};
+    use noisy_simplex::result::RunResult;
+    use noisy_simplex::session::{Driver, RunSession};
+    use noisy_simplex::termination::Termination;
+    use std::sync::Arc;
+    use stoch_eval::backend::SerialBackend;
+    use stoch_eval::clock::TimeMode;
+    use stoch_eval::functions::Rosenbrock;
+    use stoch_eval::noise::ConstantNoise;
+    use stoch_eval::sampler::Noisy;
+
+    fn serial_cfg() -> SimplexConfig {
+        SimplexConfig {
+            backend: BackendChoice::Serial,
+            ..SimplexConfig::default()
+        }
+    }
+
+    fn term(iters: u64) -> Termination {
+        Termination {
+            tolerance: None,
+            max_time: None,
+            max_iterations: Some(iters),
+        }
+    }
+
+    fn init(seed: u64) -> Vec<Vec<f64>> {
+        noisy_simplex::init::random_uniform(2, -4.0, 4.0, seed)
+    }
+
+    fn assert_bit_identical(solo: &RunResult, svc: &RunResult, what: &str) {
+        assert_eq!(solo.best_point, svc.best_point, "{what}: best_point");
+        assert_eq!(
+            solo.best_observed.to_bits(),
+            svc.best_observed.to_bits(),
+            "{what}: best_observed"
+        );
+        assert_eq!(solo.iterations, svc.iterations, "{what}: iterations");
+        assert_eq!(
+            solo.elapsed.to_bits(),
+            svc.elapsed.to_bits(),
+            "{what}: elapsed"
+        );
+        assert_eq!(
+            solo.total_sampling.to_bits(),
+            svc.total_sampling.to_bits(),
+            "{what}: total_sampling"
+        );
+        assert_eq!(solo.stop, svc.stop, "{what}: stop reason");
+        assert_eq!(
+            solo.trace.points().len(),
+            svc.trace.points().len(),
+            "{what}: trace length"
+        );
+    }
+
+    #[test]
+    fn interleaved_runs_match_solo_bitwise_with_preemption() {
+        let obj = Noisy::new(Rosenbrock::new(2), ConstantNoise(10.0));
+        let drivers = [
+            Driver::Det,
+            Driver::Mn(Default::default()),
+            Driver::Pc(Default::default()),
+            Driver::PcMn(Default::default(), Default::default()),
+        ];
+
+        // Solo baselines, one closed loop each on a serial backend.
+        let solos: Vec<RunResult> = drivers
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| {
+                RunSession::new(
+                    &obj,
+                    init(100 + i as u64),
+                    serial_cfg(),
+                    term(30),
+                    TimeMode::Parallel,
+                    i as u64,
+                    d,
+                )
+                .run_to_completion()
+            })
+            .collect();
+
+        // Width 2 over 4 ready runs forces preemption every tick.
+        let mut sched = Scheduler::new(
+            SchedConfig {
+                width: 2,
+                quantum: 3,
+            },
+            Arc::new(SerialBackend),
+        );
+        for (i, &d) in drivers.iter().enumerate() {
+            sched
+                .admit(
+                    RunSpec::new(
+                        &obj,
+                        init(100 + i as u64),
+                        serial_cfg(),
+                        term(30),
+                        TimeMode::Parallel,
+                        i as u64,
+                        d,
+                    )
+                    .priority((i as i32) - 1)
+                    .weight(1.0 + i as f64),
+                )
+                .unwrap();
+        }
+        sched.run();
+
+        let svc = sched.service_registry();
+        assert!(
+            svc.counter("sched.preemptions").get() > 0,
+            "width 2 over 4 runs must preempt"
+        );
+        assert_eq!(svc.counter("sched.runs_completed").get(), 4);
+
+        for (i, solo) in solos.iter().enumerate() {
+            let run_reg = sched.run_registry(i as u64).unwrap();
+            assert!(run_reg.counter("sched.run.rounds").get() > 0);
+            let got = sched.result(i as u64).unwrap();
+            assert_bit_identical(solo, got, &format!("driver {i}"));
+        }
+    }
+
+    #[test]
+    fn uncontended_runs_stay_resident() {
+        let obj = Noisy::new(Rosenbrock::new(2), ConstantNoise(1.0));
+        let mut sched = Scheduler::new(
+            SchedConfig {
+                width: 4,
+                quantum: 2,
+            },
+            Arc::new(SerialBackend),
+        );
+        for s in 0..3u64 {
+            sched
+                .admit(RunSpec::new(
+                    &obj,
+                    init(s),
+                    serial_cfg(),
+                    term(10),
+                    TimeMode::Parallel,
+                    s,
+                    Driver::Det,
+                ))
+                .unwrap();
+        }
+        sched.run();
+        assert_eq!(
+            sched.service_registry().counter("sched.preemptions").get(),
+            0,
+            "no contention, no preemption"
+        );
+        assert_eq!(
+            sched
+                .service_registry()
+                .counter("sched.runs_completed")
+                .get(),
+            3
+        );
+    }
+
+    #[test]
+    fn customized_runs_get_dedicated_backends_and_still_match_solo() {
+        use mw_framework::{FaultPlan, RetryPolicy};
+        let obj = Noisy::new(Rosenbrock::new(2), ConstantNoise(5.0));
+        // A chaos config: worker faults + retry tweaks. The scheduler must
+        // isolate it on its own backend, not the shared fleet.
+        let chaos_cfg = SimplexConfig {
+            backend: BackendChoice::Threaded { workers: 2 },
+            faults: Some(FaultPlan::none().kill(0, 7)),
+            retry: RetryPolicy {
+                max_attempts: 3,
+                ..RetryPolicy::default()
+            },
+            ..SimplexConfig::default()
+        };
+        assert!(chaos_cfg.customized());
+
+        let solo = RunSession::new(
+            &obj,
+            init(7),
+            chaos_cfg.clone(),
+            term(15),
+            TimeMode::Parallel,
+            7,
+            Driver::Det,
+        )
+        .run_to_completion();
+
+        let mut sched = Scheduler::new(
+            SchedConfig {
+                width: 1,
+                quantum: 2,
+            },
+            Arc::new(SerialBackend),
+        );
+        let chaos_id = sched
+            .admit(RunSpec::new(
+                &obj,
+                init(7),
+                chaos_cfg,
+                term(15),
+                TimeMode::Parallel,
+                7,
+                Driver::Det,
+            ))
+            .unwrap();
+        let calm_id = sched
+            .admit(RunSpec::new(
+                &obj,
+                init(8),
+                serial_cfg(),
+                term(15),
+                TimeMode::Parallel,
+                8,
+                Driver::Det,
+            ))
+            .unwrap();
+        sched.run();
+
+        let calm_solo = RunSession::new(
+            &obj,
+            init(8),
+            serial_cfg(),
+            term(15),
+            TimeMode::Parallel,
+            8,
+            Driver::Det,
+        )
+        .run_to_completion();
+        assert_bit_identical(&solo, sched.result(chaos_id).unwrap(), "chaos run");
+        assert_bit_identical(&calm_solo, sched.result(calm_id).unwrap(), "calm run");
+    }
+
+    #[test]
+    fn nested_dispatch_is_refused_at_admission() {
+        use mw_framework::{MwObjective, MwPool, ThreadedBackend};
+        let pool = Arc::new(MwPool::new(2));
+        let inner = Noisy::new(Rosenbrock::new(2), ConstantNoise(1.0));
+        let obj = MwObjective::new(inner, Arc::clone(&pool));
+        // The fleet dispatches on the same pool the objective ships to:
+        // admitting this run must fail with the typed error, not deadlock.
+        let mut sched: Scheduler<MwObjective<Noisy<Rosenbrock, ConstantNoise>>> = Scheduler::new(
+            SchedConfig::default(),
+            Arc::new(ThreadedBackend::over(Arc::clone(&pool))),
+        );
+        let err = sched
+            .admit(RunSpec::new(
+                &obj,
+                init(1),
+                serial_cfg(),
+                term(5),
+                TimeMode::Parallel,
+                1,
+                Driver::Det,
+            ))
+            .unwrap_err();
+        assert_eq!(err, ConfigError::NestedDispatch);
+        let _ = pool.shutdown();
+    }
+
+    #[test]
+    fn weights_skew_round_shares() {
+        let obj = Noisy::new(Rosenbrock::new(2), ConstantNoise(10.0));
+        let mut sched = Scheduler::new(
+            SchedConfig {
+                width: 1,
+                quantum: 1,
+            },
+            Arc::new(SerialBackend),
+        );
+        let heavy = sched
+            .admit(
+                RunSpec::new(
+                    &obj,
+                    init(1),
+                    serial_cfg(),
+                    term(60),
+                    TimeMode::Parallel,
+                    1,
+                    Driver::Det,
+                )
+                .weight(4.0),
+            )
+            .unwrap();
+        let light = sched
+            .admit(RunSpec::new(
+                &obj,
+                init(2),
+                serial_cfg(),
+                term(60),
+                TimeMode::Parallel,
+                2,
+                Driver::Det,
+            ))
+            .unwrap();
+        // Tick enough for both to be mid-flight, then compare shares.
+        for _ in 0..40 {
+            if !sched.tick() {
+                break;
+            }
+        }
+        let h = sched
+            .run_registry(heavy)
+            .unwrap()
+            .counter("sched.run.rounds")
+            .get();
+        let l = sched
+            .run_registry(light)
+            .unwrap()
+            .counter("sched.run.rounds")
+            .get();
+        assert!(
+            h > l,
+            "weight-4 run got {h} rounds vs weight-1's {l}; fair-share should favor it"
+        );
+        sched.run();
+    }
+}

@@ -59,6 +59,16 @@ pub trait SamplingBackend<S>: Send + Sync {
     fn degraded(&self) -> bool {
         false
     }
+
+    /// Opaque identity of the worker pool this backend dispatches on, if
+    /// any. Inline backends return `None`. Two backends (or a backend and an
+    /// objective — see
+    /// [`StochasticObjective::pool_token`]) sharing a pool return the same
+    /// token, which lets configuration validation detect the
+    /// nested-dispatch-on-own-pool deadlock before any job is submitted.
+    fn pool_token(&self) -> Option<usize> {
+        None
+    }
 }
 
 /// The default backend: extends every stream inline on the calling thread.
