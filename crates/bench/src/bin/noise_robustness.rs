@@ -1,0 +1,295 @@
+//! Hostile-noise exhibit (DESIGN.md §14): samples-to-solution ratios for the
+//! PC gate across noise distributions, Welford vs median-of-means.
+//!
+//! For each distribution in {gaussian, student_t(3), student_t(3)+5%
+//! contamination, contaminated, drifting} and each estimator in {welford,
+//! mom}, PC runs to tolerance on the noisy 2-d sphere over `replicates()`
+//! seeds. Samples-to-solution is the virtual time at which the run's best
+//! vertex *first* reaches true error ≤ the solve threshold — a run that
+//! terminates without ever getting there scores ∞ (speed at a wrong answer
+//! is not a solution). The reported statistic is the median, normalised by
+//! the same estimator's Gaussian baseline. Under contamination the Welford
+//! variance is corrupted in both directions — clean prefixes breed false
+//! confidence (fast, wrong decisions), spikes breed huge error bars — while
+//! the median-of-means scale stays calibrated to the clean core.
+//!
+//! Gates (exit non-zero on failure):
+//!
+//! 1. The robust estimator's combined-hostile ratio stays within 2x of its
+//!    Gaussian baseline.
+//! 2. Plain Welford degrades measurably more than the robust estimator on
+//!    the combined-hostile distribution.
+//! 3. Serial and threaded runs are f64-bit-identical under hostile noise.
+//! 4. A checkpoint-preempted run equals the solo run bit for bit.
+//!
+//! Writes `BENCH_noise.json`.
+//!
+//! ```text
+//! cargo run --release --bin noise_robustness -- [--smoke] [--out <path>]
+//! ```
+
+use noisy_simplex::prelude::*;
+use repro_bench::{apply_smoke_defaults, replicates};
+use stoch_eval::functions::Sphere;
+use stoch_eval::noise::ConstantNoise;
+use stoch_eval::sampler::Noisy;
+use stoch_eval::stats::EstimatorChoice;
+use stoch_eval::{DriftSpec, NoiseDistribution};
+
+/// The robust estimator the exhibit measures. Sixteen blocks, not the
+/// engine's eight-block default: with 5% contamination the expected spikes
+/// per block reach one around n ≈ blocks/ε, after which every block mean is
+/// corrupted and the median-of-means scale saturates to the contaminated
+/// variance. Sixteen blocks keep the decision-relevant sample counts below
+/// that saturation point while still yielding a finite standard error by
+/// n = blocks + 2.
+const ROBUST: EstimatorChoice = EstimatorChoice::MedianOfMeans { blocks: 16 };
+
+fn scenarios() -> Vec<(&'static str, NoiseDistribution)> {
+    vec![
+        ("gaussian", NoiseDistribution::gaussian()),
+        ("student_t3", NoiseDistribution::student_t(3.0)),
+        (
+            "t3_contaminated",
+            NoiseDistribution::student_t(3.0).with_contamination(0.05, 20.0),
+        ),
+        (
+            "contaminated",
+            NoiseDistribution::gaussian().with_contamination(0.05, 20.0),
+        ),
+        (
+            "drifting",
+            NoiseDistribution::drifting(DriftSpec::default_spec()),
+        ),
+    ]
+}
+
+/// Fixed-budget termination with no tolerance stop: every run samples the
+/// same budget and the statistic is read off the trace (the time the best
+/// vertex first reaches the solve threshold). Stopping on an *observed*
+/// spread would confound the measurement — a miscalibrated estimator can
+/// fire the spread criterion early at a wrong point, which looked "fast".
+/// The smoke/full switch scales `replicates()` only.
+fn term() -> Termination {
+    Termination {
+        tolerance: None,
+        max_time: Some(100_000.0),
+        max_iterations: Some(2_000),
+    }
+}
+
+fn pc_with(backend: BackendChoice, ckpt: Option<CheckpointConfig>) -> PointComparison {
+    let mut pc = PointComparison::new();
+    pc.cfg.backend = backend;
+    pc.cfg.checkpoint = ckpt;
+    pc
+}
+
+/// One PC run; returns its total virtual sampling (samples-to-solution).
+fn run_one(dist: NoiseDistribution, est: EstimatorChoice, seed: u64) -> RunResult {
+    let obj = Noisy::new(Sphere::new(2), ConstantNoise(0.5))
+        .with_distribution(dist)
+        .with_estimator(est);
+    let init = init::random_uniform(2, -3.0, 3.0, 500 + seed);
+    pc_with(BackendChoice::Serial, None).run(&obj, init, term(), TimeMode::Parallel, seed)
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+/// True error below which the 2-d sphere counts as solved.
+const SOLVE_TOL: f64 = 1e-1;
+
+/// Virtual time at which the run first *solved* the problem (best vertex's
+/// true error ≤ [`SOLVE_TOL`]), or ∞ if it never did. This is the
+/// samples-to-solution statistic: a run that stops early at a wrong answer
+/// is a failure, not a fast success.
+fn solved_at(run: &RunResult) -> f64 {
+    run.trace
+        .points()
+        .iter()
+        .find(|p| p.best_true.is_some_and(|v| v <= SOLVE_TOL))
+        .map_or(f64::INFINITY, |p| p.time)
+}
+
+/// A JSON number, with non-finite values (an unsolved cell) as `null`.
+fn jnum(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.4}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn same_result(a: &RunResult, b: &RunResult) -> bool {
+    a.best_point == b.best_point
+        && a.best_observed.to_bits() == b.best_observed.to_bits()
+        && a.iterations == b.iterations
+        && a.elapsed.to_bits() == b.elapsed.to_bits()
+        && a.total_sampling.to_bits() == b.total_sampling.to_bits()
+        && a.stop == b.stop
+        && a.notes == b.notes
+}
+
+/// Gate 3: serial vs threaded bit-identity under the combined-hostile
+/// distribution, both estimators.
+fn backend_invariant(dist: NoiseDistribution) -> bool {
+    [EstimatorChoice::Welford, ROBUST].into_iter().all(|est| {
+        let obj = Noisy::new(Sphere::new(2), ConstantNoise(2.0))
+            .with_distribution(dist)
+            .with_estimator(est);
+        let init = init::random_uniform(2, -3.0, 3.0, 42);
+        let a = pc_with(BackendChoice::Serial, None).run(
+            &obj,
+            init.clone(),
+            term(),
+            TimeMode::Parallel,
+            7,
+        );
+        let b = pc_with(BackendChoice::Threaded { workers: 3 }, None).run(
+            &obj,
+            init,
+            term(),
+            TimeMode::Parallel,
+            7,
+        );
+        same_result(&a, &b)
+    })
+}
+
+/// Gate 4: checkpoint-preempted vs solo bit-identity under the
+/// combined-hostile distribution with the robust estimator.
+fn resume_invariant(dist: NoiseDistribution) -> bool {
+    let obj = Noisy::new(Sphere::new(2), ConstantNoise(2.0))
+        .with_distribution(dist)
+        .with_estimator(ROBUST);
+    let init = init::random_uniform(2, -3.0, 3.0, 43);
+    let solo =
+        pc_with(BackendChoice::Serial, None).run(&obj, init.clone(), term(), TimeMode::Parallel, 8);
+    if solo.iterations <= 3 {
+        return true; // nothing to preempt
+    }
+    let path = std::env::temp_dir().join(format!("nsx_bench_noise_{}.bin", std::process::id()));
+    let ckpt = CheckpointConfig {
+        path: path.clone(),
+        every: 1,
+        retain: true,
+    };
+    let m = pc_with(BackendChoice::Serial, Some(ckpt));
+    let trunc = Termination {
+        max_iterations: Some(3),
+        ..term()
+    };
+    m.run(&obj, init, trunc, TimeMode::Parallel, 8);
+    let resumed = m.resume(&obj, &path, Some(term()));
+    for suffix in ["", ".1", ".tmp"] {
+        let mut p = path.as_os_str().to_os_string();
+        p.push(suffix);
+        let _ = std::fs::remove_file(std::path::PathBuf::from(p));
+    }
+    match resumed {
+        Ok(r) => same_result(&solo, &r),
+        Err(e) => {
+            eprintln!("resume failed: {e}");
+            false
+        }
+    }
+}
+
+fn main() {
+    let mut out = std::path::PathBuf::from("BENCH_noise.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => apply_smoke_defaults(),
+            "--out" => match args.next() {
+                Some(p) => out = p.into(),
+                None => {
+                    eprintln!("error: --out requires a path argument");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                eprintln!("usage: noise_robustness [--smoke] [--out <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let n = replicates();
+    println!("# Hostile-noise robustness: PC on noisy 2-d sphere, {n} seeds per cell");
+    println!(
+        "# {:<16} {:>14} {:>14} {:>9} {:>9}",
+        "distribution", "welford", "mom", "w-ratio", "m-ratio"
+    );
+
+    let estimators = [("welford", EstimatorChoice::Welford), ("mom", ROBUST)];
+    // medians[scenario][estimator]
+    let mut medians: Vec<[f64; 2]> = Vec::new();
+    let mut rows = String::new();
+    for (sname, dist) in scenarios() {
+        let mut cell = [0.0f64; 2];
+        for (e, (ename, est)) in estimators.iter().enumerate() {
+            let runs: Vec<RunResult> = (0..n as u64).map(|s| run_one(dist, *est, s)).collect();
+            let times: Vec<f64> = runs.iter().map(solved_at).collect();
+            let unsolved = times.iter().filter(|t| !t.is_finite()).count();
+            if unsolved > 0 {
+                println!("  # {unsolved}/{n} {sname}/{ename} runs never solved (cost = inf)");
+            }
+            cell[e] = median(times);
+        }
+        medians.push(cell);
+        let base = medians[0];
+        let (rw, rm) = (cell[0] / base[0], cell[1] / base[1]);
+        println!(
+            "  {sname:<16} {:>14.1} {:>14.1} {rw:>9.3} {rm:>9.3}",
+            cell[0], cell[1]
+        );
+        rows.push_str(&format!(
+            "    {{\"distribution\": \"{sname}\", \"welford\": {}, \"mom\": {}, \
+             \"welford_ratio\": {}, \"mom_ratio\": {}}},\n",
+            jnum(cell[0]),
+            jnum(cell[1]),
+            jnum(rw),
+            jnum(rm)
+        ));
+    }
+
+    // The combined-hostile row (student_t3 + contamination) drives the gates.
+    let combined = medians[2];
+    let base = medians[0];
+    let welford_ratio = combined[0] / base[0];
+    let mom_ratio = combined[1] / base[1];
+    let robust_within_2x = mom_ratio.is_finite() && mom_ratio <= 2.0;
+    let welford_degrades = welford_ratio > mom_ratio;
+    println!("combined-hostile: welford ratio {welford_ratio:.3}, mom ratio {mom_ratio:.3}");
+
+    let hostile = NoiseDistribution::student_t(3.0).with_contamination(0.05, 20.0);
+    let backend_ok = backend_invariant(hostile);
+    let resume_ok = resume_invariant(hostile);
+    println!("backend-invariant: {backend_ok}, resume-invariant: {resume_ok}");
+
+    let ok = robust_within_2x && welford_degrades && backend_ok && resume_ok;
+    let json = format!(
+        "{{\n  \"cells\": [\n{}  ],\n  \"welford_ratio\": {},\n  \
+         \"mom_ratio\": {},\n  \"robust_within_2x\": {robust_within_2x},\n  \
+         \"welford_degrades\": {welford_degrades},\n  \"backend_invariant\": {backend_ok},\n  \
+         \"resume_invariant\": {resume_ok}\n}}\n",
+        rows.trim_end_matches('\n').trim_end_matches(',').to_owned() + "\n",
+        jnum(welford_ratio),
+        jnum(mom_ratio)
+    );
+    if let Err(e) = std::fs::write(&out, json) {
+        eprintln!("error: cannot write {}: {e}", out.display());
+        std::process::exit(1);
+    }
+    println!("written to {}", out.display());
+
+    if !ok {
+        eprintln!("error: a hostile-noise gate failed");
+        std::process::exit(1);
+    }
+}

@@ -35,7 +35,7 @@ const MAGIC: [u8; 4] = *b"NSXC";
 
 /// Current checkpoint format version. Bump on any payload layout change —
 /// the loader refuses other versions rather than misinterpreting bytes.
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Frame header size in bytes (magic + version + payload length + CRC).
 const HEADER_LEN: usize = 20;

@@ -10,6 +10,7 @@ use mw_framework::FaultPlan;
 use std::sync::Arc;
 use stoch_eval::backend::{SamplingBackend, SerialBackend};
 use stoch_eval::objective::{SampleStream, StochasticObjective};
+use stoch_eval::stats::{EstimatorChoice, TailReport};
 
 /// A configuration rejected at validation time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -230,6 +231,129 @@ pub enum NonFinitePolicy {
     FailFast,
 }
 
+/// What the engine does when a stream's online tail diagnostic crosses the
+/// breakdown thresholds (DESIGN.md §14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BreakdownAction {
+    /// No tail monitoring at all.
+    Off,
+    /// Record [`RunNote::NoiseSuspect`](crate::result::RunNote) and bump the
+    /// `eval.tail.*` counters, but keep the configured estimator (default).
+    #[default]
+    Note,
+    /// Additionally switch every stream's reporting estimator to the robust
+    /// fallback for the rest of the run — graceful degradation in the same
+    /// spirit as `DegradedToSerial` / `TransportDegraded`.
+    SwitchRobust,
+}
+
+/// Breakdown-aware gating policy: when a stream's tail diagnostic
+/// ([`SampleStream::tail_report`]) reports excess kurtosis or an outlier
+/// fraction past these thresholds, the noise is no longer plausibly the
+/// Gaussian the Welford gates were calibrated for.
+///
+/// Detection is deterministic: the diagnostic is a pure function of sample
+/// values, so every backend and every resumed run flags the same round.
+/// Defaults from the `NSX_BREAKDOWN` environment variable
+/// (`off` | `note` | `auto`, each optionally with
+/// `:kurt=<g2>:outliers=<frac>:min=<n>`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakdownPolicy {
+    /// What crossing a threshold triggers.
+    pub action: BreakdownAction,
+    /// Samples a stream must have before its diagnostic is consulted
+    /// (kurtosis estimates are wild below ~dozens of samples).
+    pub min_samples: u64,
+    /// Excess-kurtosis threshold (Gaussian noise has `g2 = 0`; Student-t
+    /// with `ν = 5` already exceeds 4 in expectation... a diverging
+    /// estimate is the signature of `ν ≤ 4`).
+    pub kurtosis: f64,
+    /// Outlier-fraction threshold (samples beyond six running standard
+    /// deviations; Gaussian rate is ~2e-9).
+    pub outlier_frac: f64,
+}
+
+impl Default for BreakdownPolicy {
+    fn default() -> Self {
+        BreakdownPolicy {
+            action: BreakdownAction::Note,
+            min_samples: 64,
+            kurtosis: 4.0,
+            outlier_frac: 0.01,
+        }
+    }
+}
+
+impl BreakdownPolicy {
+    /// Whether a stream's tail report crosses the thresholds.
+    pub fn crossed(&self, report: &TailReport) -> bool {
+        if self.action == BreakdownAction::Off || report.n < self.min_samples {
+            return false;
+        }
+        // NaN kurtosis (not yet estimable / zero variance) never fires.
+        report.excess_kurtosis > self.kurtosis || report.outlier_frac > self.outlier_frac
+    }
+
+    /// Parse the `NSX_BREAKDOWN` grammar:
+    /// `off` | `note` | `auto` `[:kurt=<g2>][:outliers=<frac>][:min=<n>]`.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut parts = spec.split(':');
+        let action = match parts.next().unwrap_or("").trim() {
+            "off" => BreakdownAction::Off,
+            "" | "note" => BreakdownAction::Note,
+            "auto" | "switch" => BreakdownAction::SwitchRobust,
+            other => return Err(format!("unknown breakdown action '{other}'")),
+        };
+        let mut p = BreakdownPolicy {
+            action,
+            ..BreakdownPolicy::default()
+        };
+        for part in parts {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("expected key=value, got '{part}'"))?;
+            match key.trim() {
+                "kurt" => {
+                    p.kurtosis = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("invalid kurt '{value}'"))?;
+                }
+                "outliers" => {
+                    let f: f64 = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("invalid outliers '{value}'"))?;
+                    if !(0.0..=1.0).contains(&f) {
+                        return Err(format!("outliers must be in [0, 1], got {f}"));
+                    }
+                    p.outlier_frac = f;
+                }
+                "min" => {
+                    p.min_samples = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("invalid min '{value}'"))?;
+                }
+                other => return Err(format!("unknown breakdown key '{other}'")),
+            }
+        }
+        Ok(p)
+    }
+
+    /// Read `NSX_BREAKDOWN`, defaulting to [`BreakdownAction::Note`] with
+    /// the default thresholds. Panics on an invalid spec.
+    pub fn from_env() -> Self {
+        match std::env::var("NSX_BREAKDOWN") {
+            Ok(spec) => match Self::parse(&spec) {
+                Ok(p) => p,
+                Err(e) => panic!("invalid NSX_BREAKDOWN='{spec}': {e}"),
+            },
+            Err(_) => BreakdownPolicy::default(),
+        }
+    }
+}
+
 /// Configuration shared by every simplex-family algorithm.
 #[derive(Debug, Clone)]
 pub struct SimplexConfig {
@@ -278,6 +402,15 @@ pub struct SimplexConfig {
     pub checkpoint: Option<CheckpointConfig>,
     /// What to do when a stream ingests a non-finite sample.
     pub nonfinite: NonFinitePolicy,
+    /// Which estimator the run's streams report through (DESIGN.md §14).
+    /// Defaults from `NSX_ESTIMATOR` (Welford when unset). A non-Welford
+    /// choice is applied to every stream the engine opens via
+    /// `SampleStream::set_estimator`; Welford leaves streams exactly as the
+    /// objective opened them (the bit-identical legacy path).
+    pub estimator: EstimatorChoice,
+    /// Breakdown-aware gating: tail monitoring thresholds and what crossing
+    /// them does. Defaults from `NSX_BREAKDOWN` (note-only when unset).
+    pub breakdown: BreakdownPolicy,
 }
 
 impl Default for SimplexConfig {
@@ -293,6 +426,8 @@ impl Default for SimplexConfig {
             respawn_budget: None,
             checkpoint: CheckpointConfig::from_env(),
             nonfinite: NonFinitePolicy::default(),
+            estimator: EstimatorChoice::from_env(),
+            breakdown: BreakdownPolicy::from_env(),
         }
     }
 }
@@ -590,6 +725,52 @@ mod tests {
             ..SimplexConfig::default()
         };
         assert_eq!(cfg.build_backend::<GaussianStream>().name(), "serial");
+    }
+
+    #[test]
+    fn breakdown_policy_parses_and_detects() {
+        let p = BreakdownPolicy::parse("auto:kurt=6:outliers=0.02:min=32").unwrap();
+        assert_eq!(p.action, BreakdownAction::SwitchRobust);
+        assert_eq!(p.kurtosis, 6.0);
+        assert_eq!(p.outlier_frac, 0.02);
+        assert_eq!(p.min_samples, 32);
+        assert_eq!(
+            BreakdownPolicy::parse("off").unwrap().action,
+            BreakdownAction::Off
+        );
+        assert!(BreakdownPolicy::parse("panic").is_err());
+        assert!(BreakdownPolicy::parse("auto:outliers=3").is_err());
+
+        let gaussian = TailReport {
+            n: 1000,
+            excess_kurtosis: 0.1,
+            outlier_frac: 0.0,
+        };
+        let heavy = TailReport {
+            n: 1000,
+            excess_kurtosis: 25.0,
+            outlier_frac: 0.04,
+        };
+        let young = TailReport {
+            n: 10,
+            excess_kurtosis: 50.0,
+            outlier_frac: 0.5,
+        };
+        let nan = TailReport {
+            n: 1000,
+            excess_kurtosis: f64::NAN,
+            outlier_frac: 0.0,
+        };
+        let p = BreakdownPolicy::default();
+        assert!(!p.crossed(&gaussian));
+        assert!(p.crossed(&heavy));
+        assert!(!p.crossed(&young), "below min_samples must never fire");
+        assert!(!p.crossed(&nan), "NaN kurtosis must never fire");
+        let off = BreakdownPolicy {
+            action: BreakdownAction::Off,
+            ..p
+        };
+        assert!(!off.crossed(&heavy));
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! maximum of the individual extensions in parallel time.
 
 use crate::checkpoint::{self, CheckpointError};
-use crate::config::{NonFinitePolicy, SamplingPolicy, SimplexConfig};
+use crate::config::{BreakdownAction, NonFinitePolicy, SamplingPolicy, SimplexConfig};
 use crate::geometry::{self, centroid_excluding, diameter, ContractionLevel, Ordering};
 use crate::metrics::EngineMetrics;
 use crate::result::{RunMetrics, RunNote, RunResult};
@@ -24,6 +24,7 @@ use stoch_eval::clock::{TimeMode, VirtualClock};
 use stoch_eval::codec::{CodecError, Reader, Writer};
 use stoch_eval::objective::{Estimate, SampleStream, StochasticObjective};
 use stoch_eval::rng::SeedSequence;
+use stoch_eval::stats::EstimatorChoice;
 
 /// Identifier of a slot (vertex or trial) inside the engine.
 pub type SlotId = usize;
@@ -65,6 +66,11 @@ pub struct Engine<'a, F: StochasticObjective> {
     /// Set under [`NonFinitePolicy::FailFast`] once a non-finite sample is
     /// seen; surfaces as [`StopReason::NonFinite`] at the next budget check.
     poisoned: bool,
+    /// Set once the breakdown policy ([`BreakdownAction::SwitchRobust`]) has
+    /// switched the run's streams to the robust estimator. Persisted in
+    /// snapshots so streams opened after a resume get the same estimator a
+    /// solo run would give them.
+    forced_robust: bool,
     /// Metrics summary carried over a resume, replayed into the registry
     /// handles by [`Engine::attach_metrics`].
     restored_metrics: Option<RunMetrics>,
@@ -143,11 +149,50 @@ impl<'a, F: StochasticObjective> Engine<'a, F> {
             notes: Vec::new(),
             nonfinite_seen: 0,
             poisoned: false,
+            forced_robust: false,
             restored_metrics: None,
         };
+        for i in 0..eng.n_vertices {
+            eng.configure_slot_stream(i);
+        }
         let ids: Vec<SlotId> = (0..eng.n_vertices).collect();
         eng.extend_round(&ids);
         eng
+    }
+
+    /// The estimator newly-opened streams should report through, when the
+    /// engine wants something other than the stream's own default: the
+    /// configured [`SimplexConfig::estimator`] when it is non-Welford, or —
+    /// once the breakdown policy has tripped — the robust fallback.
+    fn stream_estimator(&self) -> Option<EstimatorChoice> {
+        if self.forced_robust {
+            Some(self.robust_choice())
+        } else if self.cfg.estimator != EstimatorChoice::Welford {
+            Some(self.cfg.estimator)
+        } else {
+            None
+        }
+    }
+
+    /// The robust estimator the breakdown policy degrades to: the configured
+    /// estimator when it is already robust, otherwise the crate default
+    /// (median-of-means).
+    fn robust_choice(&self) -> EstimatorChoice {
+        if self.cfg.estimator == EstimatorChoice::Welford {
+            EstimatorChoice::ROBUST_DEFAULT
+        } else {
+            self.cfg.estimator
+        }
+    }
+
+    /// Apply the engine's estimator preference to a freshly-opened slot
+    /// stream (a no-op for streams without per-sample statistics).
+    fn configure_slot_stream(&mut self, id: SlotId) {
+        if let Some(choice) = self.stream_estimator() {
+            if let Some(s) = self.slots[id].stream.as_mut() {
+                s.set_estimator(choice);
+            }
+        }
     }
 
     /// Attach run-accounting handles. All subsequent engine activity (and
@@ -246,7 +291,9 @@ impl<'a, F: StochasticObjective> Engine<'a, F> {
         let seed = self.seeds.next_seed();
         let stream = Some(self.objective.open(&x, seed));
         self.slots.push(Slot { x, stream });
-        self.slots.len() - 1
+        let id = self.slots.len() - 1;
+        self.configure_slot_stream(id);
+        id
     }
 
     /// All currently-open trial slot ids.
@@ -331,6 +378,46 @@ impl<'a, F: StochasticObjective> Engine<'a, F> {
                 self.poisoned = true;
             }
         }
+        self.check_breakdown(&slots_in_round);
+    }
+
+    /// Breakdown-aware gating (DESIGN.md §14): after a round, scan the
+    /// extended slots' tail diagnostics against the configured
+    /// [`BreakdownPolicy`](crate::config::BreakdownPolicy). A crossing
+    /// records [`RunNote::NoiseSuspect`] and, under
+    /// [`BreakdownAction::SwitchRobust`], switches every live stream to the
+    /// robust estimator (once per run). The diagnostic depends only on
+    /// stream state, so the check — like everything downstream of it — is
+    /// bit-identical across backends.
+    fn check_breakdown(&mut self, slots_in_round: &[SlotId]) {
+        if self.cfg.breakdown.action == BreakdownAction::Off {
+            return;
+        }
+        let crossed = slots_in_round.iter().any(|&slot| {
+            self.slots[slot]
+                .stream()
+                .tail_report()
+                .is_some_and(|t| self.cfg.breakdown.crossed(&t))
+        });
+        if !crossed {
+            return;
+        }
+        self.note(RunNote::NoiseSuspect);
+        if let Some(m) = &self.metrics {
+            m.tail_flag_rounds.inc();
+        }
+        if self.cfg.breakdown.action == BreakdownAction::SwitchRobust && !self.forced_robust {
+            self.forced_robust = true;
+            if let Some(m) = &self.metrics {
+                m.tail_switches.inc();
+            }
+            let choice = self.robust_choice();
+            for slot in &mut self.slots {
+                if let Some(s) = slot.stream.as_mut() {
+                    s.set_estimator(choice);
+                }
+            }
+        }
     }
 
     /// Extend sampling for one concurrent round (see [`Engine::plan_round`]
@@ -407,6 +494,7 @@ impl<'a, F: StochasticObjective> Engine<'a, F> {
             let seed = self.seeds.next_seed();
             let x = self.slots[i].x.clone();
             self.slots[i].stream = Some(self.objective.open(&x, seed));
+            self.configure_slot_stream(i);
             fresh.push(i);
         }
         self.extend_round(&fresh);
@@ -555,6 +643,7 @@ impl<'a, F: StochasticObjective> Engine<'a, F> {
         w.put_i64(self.level.0);
         w.put_u64(self.nonfinite_seen);
         w.put_bool(self.poisoned);
+        w.put_bool(self.forced_robust);
         w.put_opt_f64(self.term.tolerance);
         w.put_opt_f64(self.term.max_time);
         w.put_opt_u64(self.term.max_iterations);
@@ -660,6 +749,7 @@ impl<'a, F: StochasticObjective> Engine<'a, F> {
         let level = ContractionLevel(r.take_i64()?);
         let nonfinite_seen = r.take_u64()?;
         let poisoned = r.take_bool()?;
+        let forced_robust = r.take_bool()?;
         let term = Termination {
             tolerance: r.take_opt_f64()?,
             max_time: r.take_opt_f64()?,
@@ -752,6 +842,7 @@ impl<'a, F: StochasticObjective> Engine<'a, F> {
             notes,
             nonfinite_seen,
             poisoned,
+            forced_robust,
             restored_metrics,
         })
     }
@@ -822,6 +913,7 @@ fn note_tag(n: RunNote) -> u8 {
         RunNote::NonFiniteSample => 1,
         RunNote::CheckpointFailed => 2,
         RunNote::TransportDegraded => 3,
+        RunNote::NoiseSuspect => 4,
     }
 }
 
@@ -831,6 +923,7 @@ fn note_from_tag(tag: u8) -> Result<RunNote, CodecError> {
         1 => RunNote::NonFiniteSample,
         2 => RunNote::CheckpointFailed,
         3 => RunNote::TransportDegraded,
+        4 => RunNote::NoiseSuspect,
         tag => {
             return Err(CodecError::Tag {
                 what: "RunNote",
@@ -860,6 +953,8 @@ fn write_metrics(w: &mut Writer, m: &RunMetrics) {
     w.put_u64(m.mn_extension_rounds);
     w.put_f64(m.mn_equalize_time);
     w.put_u64(m.nonfinite);
+    w.put_u64(m.tail_flag_rounds);
+    w.put_u64(m.tail_switches);
 }
 
 fn read_metrics(r: &mut Reader<'_>) -> Result<RunMetrics, CodecError> {
@@ -885,6 +980,8 @@ fn read_metrics(r: &mut Reader<'_>) -> Result<RunMetrics, CodecError> {
     m.mn_extension_rounds = r.take_u64()?;
     m.mn_equalize_time = r.take_f64()?;
     m.nonfinite = r.take_u64()?;
+    m.tail_flag_rounds = r.take_u64()?;
+    m.tail_switches = r.take_u64()?;
     Ok(m)
 }
 
@@ -962,7 +1059,9 @@ mod tests {
 
     #[test]
     fn extend_until_hits_target() {
-        let obj = Noisy::new(Sphere::new(2), ConstantNoise(10.0));
+        // Pinned Gaussian: the `time >= sigma0^2 / target^2` bound assumes
+        // the Gaussian oracle stream, not an NSX_NOISE chaos distribution.
+        let obj = Noisy::gaussian(Sphere::new(2), ConstantNoise(10.0));
         let init = vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 1.0]];
         let mut eng = Engine::new(
             &obj,

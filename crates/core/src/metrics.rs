@@ -19,6 +19,9 @@
 //!   per-site it reads "virtual time during which this site was undecided".
 //! * `mn.gate.{checks,failures}`, `mn.extension_rounds`,
 //!   `mn.equalize_time` — the MN wait loop (Algorithm 2 / Eq. 2.3).
+//! * `eval.tail.{flag_rounds,switches}` — breakdown-aware gating: rounds
+//!   whose tail diagnostic crossed the thresholds, and estimator
+//!   auto-switches (DESIGN.md §14).
 
 use crate::result::RunMetrics;
 use crate::trace::StepKind;
@@ -63,6 +66,11 @@ pub struct EngineMetrics {
     pub mn_equalize_time: Arc<TimeAccumulator>,
     /// Non-finite samples quarantined at stream ingestion.
     pub nonfinite: Arc<Counter>,
+    /// Rounds in which a stream's tail diagnostic crossed the breakdown
+    /// thresholds (DESIGN.md §14).
+    pub tail_flag_rounds: Arc<Counter>,
+    /// Estimator auto-switches performed by the breakdown policy.
+    pub tail_switches: Arc<Counter>,
     /// Checkpoint files written. Registry-only: deliberately excluded from
     /// [`RunMetrics`] so a resumed run's summary stays bit-identical to an
     /// uninterrupted golden run (which writes no checkpoints).
@@ -95,6 +103,8 @@ impl EngineMetrics {
             mn_extension_rounds: registry.counter("mn.extension_rounds"),
             mn_equalize_time: registry.time("mn.equalize_time"),
             nonfinite: registry.counter("eval.nonfinite"),
+            tail_flag_rounds: registry.counter("eval.tail.flag_rounds"),
+            tail_switches: registry.counter("eval.tail.switches"),
             ckpt_writes: registry.counter("ckpt.writes"),
         }
     }
@@ -128,6 +138,8 @@ impl EngineMetrics {
         self.mn_extension_rounds.add(prior.mn_extension_rounds);
         self.mn_equalize_time.add(prior.mn_equalize_time);
         self.nonfinite.add(prior.nonfinite);
+        self.tail_flag_rounds.add(prior.tail_flag_rounds);
+        self.tail_switches.add(prior.tail_switches);
     }
 
     /// Record an accepted move.
@@ -168,6 +180,8 @@ impl EngineMetrics {
             mn_extension_rounds: self.mn_extension_rounds.get(),
             mn_equalize_time: self.mn_equalize_time.get(),
             nonfinite: self.nonfinite.get(),
+            tail_flag_rounds: self.tail_flag_rounds.get(),
+            tail_switches: self.tail_switches.get(),
         }
     }
 }

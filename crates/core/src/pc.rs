@@ -331,7 +331,9 @@ mod tests {
     fn pc_beats_or_ties_mn_under_noise() {
         // The Fig 3.5b effect, averaged over a few replicates.
         let rosen = Rosenbrock::new(3);
-        let obj = Noisy::new(rosen, ConstantNoise(100.0));
+        // Pinned Gaussian: the Fig 3.5b margin is calibrated for Gaussian
+        // noise and need not hold under an NSX_NOISE chaos run.
+        let obj = Noisy::gaussian(rosen, ConstantNoise(100.0));
         let mut log_ratio_sum = 0.0;
         for s in 0..5 {
             let init = random_uniform(3, -6.0, 3.0, 2000 + s);

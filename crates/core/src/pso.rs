@@ -298,7 +298,9 @@ mod tests {
     #[test]
     fn pso_descends_on_noisy_sphere() {
         let sphere = Sphere::new(4);
-        let obj = Noisy::new(sphere, ConstantNoise(1.0));
+        // Pinned Gaussian: the descent threshold is calibrated for Gaussian
+        // noise and need not hold under an NSX_NOISE chaos run.
+        let obj = Noisy::gaussian(sphere, ConstantNoise(1.0));
         let res = Pso::in_box(-5.0, 5.0).run(&obj, budget(3e3), TimeMode::Parallel, 1);
         assert!(
             sphere.value(&res.best_point) < 1.0,

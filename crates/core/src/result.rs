@@ -32,6 +32,13 @@ pub enum RunNote {
     /// identical to a fault-free distributed run; only process-level
     /// parallelism was lost. See DESIGN.md §12.
     TransportDegraded,
+    /// At least one stream's online tail diagnostic crossed the configured
+    /// [`BreakdownPolicy`](crate::config::BreakdownPolicy) thresholds: the
+    /// sampling noise is not plausibly the Gaussian the Welford gates were
+    /// calibrated for (heavy tails or contamination detected). Under
+    /// `BreakdownAction::SwitchRobust` the run's streams were switched to
+    /// the robust estimator from that round on. See DESIGN.md §14.
+    NoiseSuspect,
 }
 
 /// Collect the [`RunNote`]s a backend reports after a run. A degraded
@@ -113,6 +120,12 @@ pub struct RunMetrics {
     pub mn_equalize_time: f64,
     /// Non-finite samples quarantined at stream ingestion (`eval.nonfinite`).
     pub nonfinite: u64,
+    /// Rounds in which at least one stream's tail diagnostic crossed the
+    /// breakdown thresholds (`eval.tail.flag_rounds`).
+    pub tail_flag_rounds: u64,
+    /// Estimator auto-switches performed by the breakdown policy
+    /// (`eval.tail.switches`; 0 or 1 per run).
+    pub tail_switches: u64,
 }
 
 impl RunMetrics {

@@ -17,7 +17,7 @@
 
 use stoch_eval::codec::{CodecError, Reader, Writer};
 use stoch_eval::objective::SampleStream;
-use stoch_eval::sampler::{EmpiricalStream, GaussianStream, NoisyStream};
+use stoch_eval::sampler::{EmpiricalStream, GaussianStream, HostileStream, NoisyStream};
 
 /// A worker-side job execution failure, reported back to the master in an
 /// [`Error`](super::FrameKind::Error) frame. Always a typed refusal: the
@@ -140,6 +140,7 @@ pub fn execute_job(payload: &[u8]) -> Result<Vec<u8>, WireError> {
         "gaussian.v1" => extend_as::<GaussianStream>(job.dt, &job.state)?,
         "empirical.v1" => extend_as::<EmpiricalStream>(job.dt, &job.state)?,
         "noisy.v1" => extend_as::<NoisyStream>(job.dt, &job.state)?,
+        "hostile.v1" => extend_as::<HostileStream>(job.dt, &job.state)?,
         _ => return Err(WireError::UnknownWireId(job.wire_id)),
     };
     Ok(encode_result(job.slot, job.dt, &state))

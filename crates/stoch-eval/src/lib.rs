@@ -50,7 +50,10 @@ pub use clock::{TimeMode, VirtualClock};
 pub use codec::{crc32, CodecError, Reader, Writer};
 pub use functions::{BoxWilsonQuadratic, McKinnon, Powell, Rastrigin, Rosenbrock, Sphere};
 pub use functions_ext::{Ackley, Griewank, IllConditionedQuadratic, Levy, Zakharov};
-pub use noise::{ConstantNoise, NoiseModel, RelativeNoise, ZeroNoise};
+pub use noise::{
+    ConstantNoise, DriftSpec, NoiseDistribution, NoiseModel, RelativeNoise, ZeroNoise,
+};
 pub use objective::{Estimate, Objective, SampleStream, StochasticObjective};
-pub use sampler::{EmpiricalStream, GaussianStream, Noisy, NormalSource};
-pub use stats::{Histogram, Summary, Welford};
+pub use rng::PerSampleRng;
+pub use sampler::{EmpiricalStream, GaussianStream, HostileStream, Noisy, NormalSource};
+pub use stats::{BlockMeans, EstimatorChoice, Histogram, Moments, Summary, TailReport, Welford};

@@ -112,6 +112,21 @@ pub trait SampleStream: Send + Clone {
         None
     }
 
+    /// Online tail diagnostic for breakdown-aware gating (DESIGN.md §14):
+    /// the excess kurtosis and outlier fraction of the raw unit samples.
+    /// Streams with no per-sample view (the oracle Gaussian accumulator)
+    /// return `None` (the default) — no diagnostic, no false alarms.
+    fn tail_report(&self) -> Option<crate::stats::TailReport> {
+        None
+    }
+
+    /// Switch which estimator the stream *reports* through
+    /// [`estimate`](Self::estimate). Default: ignored. Hostile-aware streams
+    /// keep all sufficient statistics (Welford moments and block means) in
+    /// parallel, so switching mid-run is loss-free and bit-deterministic —
+    /// this is the mechanism behind breakdown auto-degradation.
+    fn set_estimator(&mut self, _choice: crate::stats::EstimatorChoice) {}
+
     /// Number of non-finite (NaN/±Inf) raw samples the stream has quarantined
     /// at ingestion. Streams that quarantine report their estimate as `+inf`
     /// with zero standard error once this is non-zero, so a poisoned point

@@ -38,6 +38,90 @@ pub fn rng_from_seed(seed: u64) -> StdRng {
     StdRng::seed_from_u64(seed)
 }
 
+/// A counter-based generator for *per-sample* noise draws.
+///
+/// Location/time-dependent noise (the hostile distributions in
+/// [`crate::noise::NoiseDistribution`]) must produce draws that are a pure
+/// function of `(stream seed, sample index)` — never of how `extend` calls
+/// were batched or which backend worker executed them. A stateful RNG walked
+/// across samples would couple the variate sequence to batching; this
+/// generator instead derives an independent SplitMix64 stream for every unit
+/// sample, so sample `i` sees identical bits whether it was drawn in one
+/// `extend(n)` call, `n` calls of `extend(1)`, or on a retry after a worker
+/// died (DESIGN.md §14).
+///
+/// Within one sample the generator is an ordinary sequential SplitMix64, so
+/// rejection loops (polar methods) may consume a variable number of words
+/// without affecting any other sample.
+#[derive(Debug, Clone)]
+pub struct PerSampleRng {
+    base: u64,
+    ctr: u64,
+}
+
+impl PerSampleRng {
+    /// The generator for unit sample `index` of the stream seeded by `seed`.
+    #[inline]
+    pub fn new(seed: u64, index: u64) -> Self {
+        PerSampleRng {
+            base: child_seed(seed, index),
+            ctr: 0,
+        }
+    }
+
+    /// Next raw 64-bit word (SplitMix64 sequence rooted at the sample base).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let z = splitmix64(
+            self.base
+                .wrapping_add(self.ctr.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        );
+        self.ctr += 1;
+        z
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw in `[-1, 1)`.
+    #[inline]
+    pub fn symmetric(&mut self) -> f64 {
+        self.uniform() * 2.0 - 1.0
+    }
+
+    /// Standard normal variate (Marsaglia polar; the spare is discarded so
+    /// every sample's draw count stays self-contained).
+    #[inline]
+    pub fn normal(&mut self) -> f64 {
+        loop {
+            let u = self.symmetric();
+            let v = self.symmetric();
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                return u * (-2.0 * s.ln() / s).sqrt();
+            }
+        }
+    }
+
+    /// Student-t variate with `nu` degrees of freedom (Bailey's polar
+    /// method): for an accepted point `(u, v)` with `w = u² + v² ∈ (0, 1)`,
+    /// `u · sqrt(ν (w^(−2/ν) − 1) / w)` is exactly t-distributed.
+    #[inline]
+    pub fn student_t(&mut self, nu: f64) -> f64 {
+        loop {
+            let u = self.symmetric();
+            let v = self.symmetric();
+            let w = u * u + v * v;
+            if w > 0.0 && w < 1.0 {
+                return u * (nu * (w.powf(-2.0 / nu) - 1.0) / w).sqrt();
+            }
+        }
+    }
+}
+
 /// A small utility that hands out a sequence of independent child RNGs.
 #[derive(Debug, Clone)]
 pub struct SeedSequence {
@@ -107,6 +191,44 @@ mod tests {
         for _ in 0..16 {
             assert_eq!(a.next_seed(), b.next_seed());
         }
+    }
+
+    #[test]
+    fn per_sample_rng_is_pure_in_seed_and_index() {
+        let mut a = PerSampleRng::new(42, 7);
+        let mut b = PerSampleRng::new(42, 7);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        // Distinct indices give decorrelated words.
+        let mut c = PerSampleRng::new(42, 8);
+        assert_ne!(PerSampleRng::new(42, 7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn per_sample_normal_and_t_moments() {
+        let n = 100_000u64;
+        let (mut sum, mut sum2) = (0.0, 0.0);
+        for i in 0..n {
+            let z = PerSampleRng::new(1234, i).normal();
+            sum += z;
+            sum2 += z * z;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+        // Student-t with nu = 10 has variance nu/(nu-2) = 1.25.
+        let (mut sum, mut sum2) = (0.0, 0.0);
+        for i in 0..n {
+            let t = PerSampleRng::new(99, i).student_t(10.0);
+            sum += t;
+            sum2 += t * t;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.03, "t mean {mean}");
+        assert!((var - 1.25).abs() < 0.08, "t var {var}");
     }
 
     #[test]

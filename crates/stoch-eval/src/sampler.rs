@@ -13,9 +13,10 @@
 //! way a true running average is.
 
 use crate::codec::{CodecError, Reader, Writer};
-use crate::noise::NoiseModel;
+use crate::noise::{NoiseDistribution, NoiseModel};
 use crate::objective::{Estimate, Objective, SampleStream, StochasticObjective};
 use crate::rng::rng_from_seed;
+use crate::stats::{BlockMeans, EstimatorChoice, Moments, TailReport};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -424,6 +425,242 @@ impl SampleStream for EmpiricalStream {
     }
 }
 
+/// An empirical stream for *hostile* noise: any [`NoiseDistribution`]
+/// (heavy tails, contamination, drift) with any [`EstimatorChoice`].
+///
+/// Unlike [`EmpiricalStream`], every unit sample's noise is a pure function
+/// of `(seed, sample index)` via [`crate::rng::PerSampleRng`], so draws are
+/// independent of how `extend` calls were batched, retried, or distributed
+/// (the satellite RNG-derivation fix — DESIGN.md §14). The stream keeps
+/// *all* sufficient statistics in parallel — full Welford moments to order
+/// four (which also power the tail diagnostic) and round-robin block means —
+/// so the reporting estimator can be switched mid-run without losing
+/// history, which is what breakdown auto-degradation relies on.
+#[derive(Debug, Clone)]
+pub struct HostileStream {
+    f: f64,
+    sigma0: f64,
+    dt_sample: f64,
+    seed: u64,
+    /// Unit samples drawn so far — the per-sample RNG index.
+    drawn: u64,
+    dist: NoiseDistribution,
+    est: EstimatorChoice,
+    moments: Moments,
+    blocks: BlockMeans,
+    outliers: u64,
+    nonfinite: u64,
+}
+
+/// Samples needed before the running outlier test switches on — below
+/// this the running standard deviation is too noisy to call anything an
+/// outlier.
+const OUTLIER_MIN_N: u64 = 16;
+
+impl HostileStream {
+    /// Start a hostile stream at a point whose noise-free value is `f`.
+    /// `dt_sample` is the virtual duration of one unit sample; the block
+    /// count is fixed at open time from `est` (see
+    /// [`EstimatorChoice::block_count`]).
+    pub fn new(
+        f: f64,
+        sigma0: f64,
+        dt_sample: f64,
+        seed: u64,
+        dist: NoiseDistribution,
+        est: EstimatorChoice,
+    ) -> Self {
+        assert!(dt_sample > 0.0);
+        HostileStream {
+            f,
+            sigma0,
+            dt_sample,
+            seed,
+            drawn: 0,
+            dist,
+            est,
+            moments: Moments::new(),
+            blocks: BlockMeans::new(est.block_count()),
+            outliers: 0,
+            nonfinite: 0,
+        }
+    }
+
+    /// The distribution this stream draws from.
+    pub fn distribution(&self) -> NoiseDistribution {
+        self.dist
+    }
+
+    /// The estimator currently reported through `estimate`.
+    pub fn estimator(&self) -> EstimatorChoice {
+        self.est
+    }
+
+    fn ingest(&mut self, x: f64) {
+        if !x.is_finite() {
+            // Quarantine at ingestion, exactly like EmpiricalStream: one NaN
+            // through the accumulators would corrupt them forever.
+            self.nonfinite += 1;
+            return;
+        }
+        // Outlier test against the *pre-update* running estimate: a spike
+        // must not first inflate the σ it is measured against.
+        if self.moments.count() >= OUTLIER_MIN_N {
+            let sd = self.moments.variance().sqrt();
+            if sd.is_finite() && sd > 0.0 && (x - self.moments.mean()).abs() > 6.0 * sd {
+                self.outliers += 1;
+            }
+        }
+        self.moments.push(x);
+        self.blocks.push(x);
+    }
+}
+
+impl SampleStream for HostileStream {
+    fn extend(&mut self, dt: f64) {
+        assert!(dt > 0.0);
+        let batches = (dt / self.dt_sample).ceil().max(1.0) as u64;
+        let unit_sd = self.sigma0 / self.dt_sample.sqrt();
+        for _ in 0..batches {
+            let idx = self.drawn;
+            self.drawn += 1;
+            let x = if self.sigma0 > 0.0 {
+                // Stream-local virtual time of this sample's end, for drift.
+                let t = (idx + 1) as f64 * self.dt_sample;
+                self.dist.observe(self.seed, idx, t, self.f, unit_sd)
+            } else {
+                // Zero noise stays exactly deterministic: drift bias scales
+                // with the unit σ, so it vanishes too.
+                self.f
+            };
+            self.ingest(x);
+        }
+    }
+
+    fn estimate(&self) -> Estimate {
+        if self.nonfinite > 0 {
+            // Quarantined point: worst value, zero uncertainty — loses every
+            // ordering comparison outright (see EmpiricalStream::estimate).
+            return Estimate {
+                value: f64::INFINITY,
+                std_err: 0.0,
+                time: (self.moments.count() + self.nonfinite) as f64 * self.dt_sample,
+            };
+        }
+        let n = self.moments.count();
+        let time = n as f64 * self.dt_sample;
+        if n == 0 {
+            return Estimate {
+                value: self.f,
+                std_err: f64::INFINITY,
+                time: 0.0,
+            };
+        }
+        if self.sigma0 == 0.0 {
+            return Estimate {
+                value: self.moments.mean(),
+                std_err: 0.0,
+                time,
+            };
+        }
+        match self.est {
+            EstimatorChoice::Welford => Estimate {
+                value: self.moments.mean(),
+                std_err: if n < 2 {
+                    f64::INFINITY
+                } else {
+                    (self.moments.variance() / n as f64).sqrt()
+                },
+                time,
+            },
+            robust => {
+                let pair = match robust {
+                    EstimatorChoice::TrimmedMean { .. } => {
+                        self.blocks.trimmed_mean(robust.trim_fraction())
+                    }
+                    _ => self.blocks.median_of_means(),
+                };
+                let (value, std_err) = pair.unwrap_or((self.f, f64::INFINITY));
+                // Below ~one sample per block the block means are single
+                // draws and their dispersion is meaningless: stay maximally
+                // uncertain rather than reporting a sharp error bar.
+                let enough = n >= self.blocks.blocks() as u64 + 2;
+                Estimate {
+                    value,
+                    std_err: if enough { std_err } else { f64::INFINITY },
+                    time,
+                }
+            }
+        }
+    }
+
+    fn save_state(&self, w: &mut Writer) -> Result<(), CodecError> {
+        w.put_f64(self.f);
+        w.put_f64(self.sigma0);
+        w.put_f64(self.dt_sample);
+        w.put_u64(self.seed);
+        w.put_u64(self.drawn);
+        self.dist.save(w);
+        self.est.save(w);
+        self.moments.save(w);
+        self.blocks.save(w);
+        w.put_u64(self.outliers);
+        w.put_u64(self.nonfinite);
+        Ok(())
+    }
+
+    fn load_state(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let f = r.take_f64()?;
+        let sigma0 = r.take_f64()?;
+        let dt_sample = r.take_f64()?;
+        if dt_sample.is_nan() || dt_sample <= 0.0 {
+            return Err(CodecError::Invalid {
+                what: "HostileStream dt_sample",
+            });
+        }
+        Ok(HostileStream {
+            f,
+            sigma0,
+            dt_sample,
+            seed: r.take_u64()?,
+            drawn: r.take_u64()?,
+            dist: NoiseDistribution::load(r)?,
+            est: EstimatorChoice::load(r)?,
+            moments: Moments::load(r)?,
+            blocks: BlockMeans::load(r)?,
+            outliers: r.take_u64()?,
+            nonfinite: r.take_u64()?,
+        })
+    }
+
+    fn wire_id() -> Option<&'static str> {
+        Some("hostile.v1")
+    }
+
+    fn nonfinite_samples(&self) -> u64 {
+        self.nonfinite
+    }
+
+    fn tail_report(&self) -> Option<TailReport> {
+        let n = self.moments.count();
+        if n == 0 {
+            return None;
+        }
+        Some(TailReport {
+            n,
+            excess_kurtosis: self.moments.excess_kurtosis(),
+            outlier_frac: self.outliers as f64 / n as f64,
+        })
+    }
+
+    fn set_estimator(&mut self, choice: EstimatorChoice) {
+        // Only the *reporting* changes; the block layout was fixed at open,
+        // so the sufficient statistics are untouched and the switch is
+        // loss-free and bit-deterministic at any point in the run.
+        self.est = choice;
+    }
+}
+
 /// Wrap a deterministic [`Objective`] with a [`NoiseModel`] to obtain a
 /// [`StochasticObjective`] whose streams follow Eq. 1.1–1.2.
 #[derive(Debug, Clone)]
@@ -432,28 +669,77 @@ pub struct Noisy<O, N> {
     noise: N,
     empirical: bool,
     dt_sample: f64,
+    dist: NoiseDistribution,
+    estimator: EstimatorChoice,
 }
 
 impl<O: Objective, N: NoiseModel> Noisy<O, N> {
     /// Oracle-error mode (default; matches the paper's experiments).
+    ///
+    /// Honours the `NSX_NOISE` / `NSX_ESTIMATOR` environment: a hostile
+    /// distribution or non-Welford estimator switches the opened streams to
+    /// [`HostileStream`]. With both at their defaults this is bit-identical
+    /// to the historical behaviour. Use [`gaussian`](Self::gaussian) to pin
+    /// the paper's exact model regardless of environment.
     pub fn new(objective: O, noise: N) -> Self {
         Noisy {
             objective,
             noise,
             empirical: false,
             dt_sample: 1.0,
+            dist: NoiseDistribution::from_env(),
+            estimator: EstimatorChoice::from_env(),
         }
     }
 
     /// Empirical-error mode: streams estimate their own standard error from
-    /// batches of duration `dt_sample`.
+    /// batches of duration `dt_sample`. Honours `NSX_NOISE` /
+    /// `NSX_ESTIMATOR` like [`new`](Self::new).
     pub fn empirical(objective: O, noise: N, dt_sample: f64) -> Self {
         Noisy {
             objective,
             noise,
             empirical: true,
             dt_sample,
+            dist: NoiseDistribution::from_env(),
+            estimator: EstimatorChoice::from_env(),
         }
+    }
+
+    /// The paper's exact model — oracle Gaussian streams with Welford
+    /// reporting — *ignoring* any `NSX_NOISE`/`NSX_ESTIMATOR` environment.
+    /// For tests and exhibits that assert Gaussian-specific values.
+    pub fn gaussian(objective: O, noise: N) -> Self {
+        Noisy {
+            objective,
+            noise,
+            empirical: false,
+            dt_sample: 1.0,
+            dist: NoiseDistribution::gaussian(),
+            estimator: EstimatorChoice::Welford,
+        }
+    }
+
+    /// Override the noise distribution (builder style).
+    pub fn with_distribution(mut self, dist: NoiseDistribution) -> Self {
+        self.dist = dist;
+        self
+    }
+
+    /// Override the reporting estimator (builder style).
+    pub fn with_estimator(mut self, estimator: EstimatorChoice) -> Self {
+        self.estimator = estimator;
+        self
+    }
+
+    /// The distribution streams will draw from.
+    pub fn distribution(&self) -> NoiseDistribution {
+        self.dist
+    }
+
+    /// The estimator streams will report through.
+    pub fn estimator(&self) -> EstimatorChoice {
+        self.estimator
     }
 
     /// Access the wrapped deterministic objective.
@@ -462,13 +748,16 @@ impl<O: Objective, N: NoiseModel> Noisy<O, N> {
     }
 }
 
-/// Stream type produced by [`Noisy`]: oracle Gaussian or empirical.
+/// Stream type produced by [`Noisy`]: oracle Gaussian, empirical, or
+/// hostile (non-Gaussian distribution and/or robust estimator).
 #[derive(Debug, Clone)]
 pub enum NoisyStream {
     /// Oracle-error Gaussian stream.
     Oracle(GaussianStream),
     /// Batch-based empirical stream.
     Empirical(EmpiricalStream),
+    /// Hostile-noise stream (any distribution, any estimator).
+    Hostile(HostileStream),
 }
 
 impl SampleStream for NoisyStream {
@@ -476,12 +765,14 @@ impl SampleStream for NoisyStream {
         match self {
             NoisyStream::Oracle(s) => s.extend(dt),
             NoisyStream::Empirical(s) => s.extend(dt),
+            NoisyStream::Hostile(s) => s.extend(dt),
         }
     }
     fn estimate(&self) -> Estimate {
         match self {
             NoisyStream::Oracle(s) => s.estimate(),
             NoisyStream::Empirical(s) => s.estimate(),
+            NoisyStream::Hostile(s) => s.estimate(),
         }
     }
 
@@ -495,6 +786,10 @@ impl SampleStream for NoisyStream {
                 w.put_u8(1);
                 s.save_state(w)
             }
+            NoisyStream::Hostile(s) => {
+                w.put_u8(2);
+                s.save_state(w)
+            }
         }
     }
 
@@ -502,6 +797,7 @@ impl SampleStream for NoisyStream {
         match r.take_u8()? {
             0 => Ok(NoisyStream::Oracle(GaussianStream::load_state(r)?)),
             1 => Ok(NoisyStream::Empirical(EmpiricalStream::load_state(r)?)),
+            2 => Ok(NoisyStream::Hostile(HostileStream::load_state(r)?)),
             tag => Err(CodecError::Tag {
                 what: "NoisyStream variant",
                 tag,
@@ -509,6 +805,10 @@ impl SampleStream for NoisyStream {
         }
     }
 
+    // Still "noisy.v1": adding the Hostile tag is a compatible extension —
+    // every byte layout that decoded before still decodes to the same
+    // stream, and a newer master never sends tag 2 to an older worker
+    // (master and workers are the same binary).
     fn wire_id() -> Option<&'static str> {
         Some("noisy.v1")
     }
@@ -517,6 +817,20 @@ impl SampleStream for NoisyStream {
         match self {
             NoisyStream::Oracle(s) => s.nonfinite_samples(),
             NoisyStream::Empirical(s) => s.nonfinite_samples(),
+            NoisyStream::Hostile(s) => s.nonfinite_samples(),
+        }
+    }
+
+    fn tail_report(&self) -> Option<TailReport> {
+        match self {
+            NoisyStream::Hostile(s) => s.tail_report(),
+            _ => None,
+        }
+    }
+
+    fn set_estimator(&mut self, choice: EstimatorChoice) {
+        if let NoisyStream::Hostile(s) = self {
+            s.set_estimator(choice);
         }
     }
 }
@@ -531,7 +845,19 @@ impl<O: Objective, N: NoiseModel> StochasticObjective for Noisy<O, N> {
     fn open(&self, x: &[f64], seed: u64) -> NoisyStream {
         let f = self.objective.value(x);
         let sigma0 = self.noise.sigma0(x, f);
-        if self.empirical {
+        if !self.dist.is_gaussian() || self.estimator != EstimatorChoice::Welford {
+            // Any hostile layer (or a robust reporting estimator) needs the
+            // per-sample stream; the Gaussian+Welford default keeps the
+            // legacy streams bit-identical to every release before the seam.
+            NoisyStream::Hostile(HostileStream::new(
+                f,
+                sigma0,
+                self.dt_sample,
+                seed,
+                self.dist,
+                self.estimator,
+            ))
+        } else if self.empirical {
             NoisyStream::Empirical(EmpiricalStream::new(f, sigma0, self.dt_sample, seed))
         } else {
             NoisyStream::Oracle(GaussianStream::new(f, sigma0, seed))
@@ -770,6 +1096,154 @@ mod tests {
             EmpiricalStream::load_state(&mut r),
             Err(CodecError::Invalid { .. })
         ));
+    }
+
+    #[test]
+    fn hostile_gaussian_tracks_empirical_statistics() {
+        let dist = NoiseDistribution::gaussian();
+        let mut s = HostileStream::new(0.0, 10.0, 1.0, 21, dist, EstimatorChoice::Welford);
+        s.extend(10_000.0);
+        let e = s.estimate();
+        let oracle = 10.0 / 10_000.0_f64.sqrt();
+        assert!(
+            (e.std_err - oracle).abs() / oracle < 0.2,
+            "hostile gaussian std_err {} vs oracle {}",
+            e.std_err,
+            oracle
+        );
+        assert!(e.value.abs() < 5.0 * oracle);
+        let rep = s.tail_report().expect("has samples");
+        assert!(rep.excess_kurtosis.abs() < 0.5, "{rep:?}");
+        assert!(rep.outlier_frac < 0.001, "{rep:?}");
+    }
+
+    #[test]
+    fn hostile_draws_do_not_depend_on_batching() {
+        let dist = NoiseDistribution::student_t(3.0).with_contamination(0.05, 20.0);
+        let mut one = HostileStream::new(1.0, 5.0, 1.0, 22, dist, EstimatorChoice::Welford);
+        let mut many = one.clone();
+        one.extend(64.0);
+        for _ in 0..64 {
+            many.extend(1.0);
+        }
+        let (a, b) = (one.estimate(), many.estimate());
+        assert_eq!(a.value.to_bits(), b.value.to_bits());
+        assert_eq!(a.std_err.to_bits(), b.std_err.to_bits());
+        assert_eq!(a.time.to_bits(), b.time.to_bits());
+    }
+
+    #[test]
+    fn hostile_zero_noise_is_exact_even_with_drift() {
+        let dist = NoiseDistribution::parse("drift:sigma=0.9:bias=2.0:period=8").unwrap();
+        let obj = Noisy::gaussian(Const(4.5), ZeroNoise).with_distribution(dist);
+        let mut st = obj.open(&[0.0], 0);
+        st.extend(5.0);
+        let e = st.estimate();
+        assert_eq!(e.value, 4.5);
+        assert_eq!(e.std_err, 0.0);
+    }
+
+    #[test]
+    fn hostile_estimator_switch_is_loss_free() {
+        let dist = NoiseDistribution::student_t(3.0);
+        let mut s = HostileStream::new(0.0, 5.0, 1.0, 23, dist, EstimatorChoice::Welford);
+        s.extend(200.0);
+        let welford = s.estimate();
+        s.set_estimator(EstimatorChoice::MedianOfMeans { blocks: 8 });
+        let robust = s.estimate();
+        assert_ne!(welford.std_err.to_bits(), robust.std_err.to_bits());
+        // Switching back restores the exact Welford report: nothing was lost.
+        s.set_estimator(EstimatorChoice::Welford);
+        let back = s.estimate();
+        assert_eq!(welford.value.to_bits(), back.value.to_bits());
+        assert_eq!(welford.std_err.to_bits(), back.std_err.to_bits());
+    }
+
+    #[test]
+    fn hostile_robust_estimate_needs_enough_samples() {
+        let dist = NoiseDistribution::gaussian();
+        let mut s = HostileStream::new(
+            0.0,
+            1.0,
+            1.0,
+            24,
+            dist,
+            EstimatorChoice::MedianOfMeans { blocks: 8 },
+        );
+        s.extend(4.0); // fewer than blocks + 2 samples
+        assert!(s.estimate().std_err.is_infinite());
+        s.extend(60.0);
+        assert!(s.estimate().std_err.is_finite());
+    }
+
+    #[test]
+    fn hostile_stream_quarantines_nonfinite() {
+        let dist = NoiseDistribution::student_t(3.0);
+        let mut s = HostileStream::new(f64::NAN, 1.0, 1.0, 25, dist, EstimatorChoice::Welford);
+        s.extend(3.0);
+        assert_eq!(s.nonfinite_samples(), 3);
+        let e = s.estimate();
+        assert_eq!(e.value, f64::INFINITY);
+        assert_eq!(e.std_err, 0.0);
+        assert_eq!(e.time, 3.0);
+    }
+
+    #[test]
+    fn hostile_stream_state_round_trip() {
+        for spec in [
+            "student_t:nu=3",
+            "contaminated:eps=0.05:k=20",
+            "drift:sigma=0.5:bias=0.5:period=16",
+            "student_t:nu=3:eps=0.05:k=20",
+        ] {
+            let dist = NoiseDistribution::parse(spec).unwrap();
+            let mut s = HostileStream::new(
+                2.0,
+                3.0,
+                0.5,
+                26,
+                dist,
+                EstimatorChoice::MedianOfMeans { blocks: 4 },
+            );
+            s.extend(7.0);
+            assert_replay_identical(s);
+        }
+    }
+
+    #[test]
+    fn noisy_env_defaults_preserve_legacy_streams() {
+        // With no hostile layer configured the wrapper must open the exact
+        // legacy stream types (the bit-identical default contract) — unless
+        // the environment opts in, in which case Hostile is correct.
+        let hostile_env = std::env::var("NSX_NOISE").is_ok_and(|s| {
+            !NoiseDistribution::parse(&s)
+                .map(|d| d.is_gaussian())
+                .unwrap_or(true)
+        }) || std::env::var("NSX_ESTIMATOR")
+            .is_ok_and(|s| EstimatorChoice::parse(&s) != Ok(EstimatorChoice::Welford));
+        let obj = Noisy::new(Const(1.0), ConstantNoise(1.0));
+        match obj.open(&[0.0], 0) {
+            NoisyStream::Oracle(_) => assert!(!hostile_env),
+            NoisyStream::Hostile(_) => assert!(hostile_env),
+            NoisyStream::Empirical(_) => panic!("oracle mode opened an empirical stream"),
+        }
+        // Pinned constructor ignores the environment entirely.
+        let pinned = Noisy::gaussian(Const(1.0), ConstantNoise(1.0));
+        assert!(matches!(pinned.open(&[0.0], 0), NoisyStream::Oracle(_)));
+        // Builder overrides open hostile streams regardless of environment.
+        let t3 = Noisy::gaussian(Const(1.0), ConstantNoise(1.0))
+            .with_distribution(NoiseDistribution::student_t(3.0));
+        assert!(matches!(t3.open(&[0.0], 0), NoisyStream::Hostile(_)));
+    }
+
+    #[test]
+    fn noisy_hostile_stream_round_trips_through_noisy_codec() {
+        let obj = Noisy::gaussian(Const(2.0), ConstantNoise(3.0))
+            .with_distribution(NoiseDistribution::parse("student_t:nu=3:eps=0.02").unwrap())
+            .with_estimator(EstimatorChoice::MedianOfMeans { blocks: 8 });
+        let mut s = obj.open(&[0.0], 27);
+        s.extend(12.0);
+        assert_replay_identical(s);
     }
 
     #[test]

@@ -1,5 +1,17 @@
 //! Statistics used by the experiment harness: streaming moments, quantiles,
-//! histograms, and the paired log-ratio analysis behind Figs 3.5–3.17.
+//! histograms, and the paired log-ratio analysis behind Figs 3.5–3.17 —
+//! plus the robust-estimator seam (median-of-means / trimmed-mean block
+//! accumulators and the tail diagnostics behind breakdown-aware gating,
+//! DESIGN.md §14).
+//!
+//! This module is on the hot decision path of every gate, so it must never
+//! panic on data: `unwrap`/`expect` are denied, empty-sample quantiles
+//! return a documented `NaN`, and sorting uses the `total_cmp` order (NaNs
+//! sort last) instead of panicking on incomparable values.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use crate::codec::{CodecError, Reader, Writer};
 
 /// Streaming mean/variance accumulator (Welford's algorithm).
 #[derive(Debug, Clone, Default)]
@@ -107,7 +119,7 @@ impl Summary {
             w.push(x);
         }
         let mut sorted: Vec<f64> = data.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+        sorted.sort_by(f64::total_cmp);
         Summary {
             n: data.len(),
             mean: w.mean(),
@@ -120,9 +132,16 @@ impl Summary {
 }
 
 /// Linear-interpolated quantile of an already-sorted sample, `q ∈ [0, 1]`.
+///
+/// An empty sample yields `NaN` (a quantile of nothing is undefined — this
+/// used to be a panic path). Out-of-range `q` is clamped to `[0, 1]`, and
+/// the sort order expected is [`f64::total_cmp`]'s, under which any `NaN`s
+/// sort last (so they only surface through the top quantiles).
 pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
-    assert!(!sorted.is_empty());
-    assert!((0.0..=1.0).contains(&q));
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let q = q.clamp(0.0, 1.0);
     if sorted.len() == 1 {
         return sorted[0];
     }
@@ -133,11 +152,422 @@ pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
     sorted[lo] * (1.0 - frac) + sorted[hi] * frac
 }
 
-/// Linear-interpolated quantile of an unsorted sample.
+/// Linear-interpolated quantile of an unsorted sample; `NaN` when empty
+/// (see [`quantile_sorted`]). NaN observations sort last rather than
+/// panicking the comparison.
 pub fn quantile(data: &[f64], q: f64) -> f64 {
     let mut sorted: Vec<f64> = data.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    sorted.sort_by(f64::total_cmp);
     quantile_sorted(&sorted, q)
+}
+
+/// Which location/scale estimator a sampling stream reports through
+/// `estimate()` (DESIGN.md §14).
+///
+/// [`Welford`](EstimatorChoice::Welford) is the classical mean / standard
+/// error (the paper's assumption); the robust choices survive heavy tails
+/// and contamination at the cost of statistical efficiency under clean
+/// Gaussian noise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EstimatorChoice {
+    /// Sample mean with Welford standard error (default).
+    #[default]
+    Welford,
+    /// Median of block means; scale from the MAD of the block means.
+    /// Breakdown point ~ `blocks/2` adversarial samples.
+    MedianOfMeans {
+        /// Number of round-robin blocks (≥ 2).
+        blocks: u32,
+    },
+    /// Mean of the central block means after trimming a fraction from each
+    /// end.
+    TrimmedMean {
+        /// Number of round-robin blocks (≥ 2).
+        blocks: u32,
+        /// Fraction trimmed from *each* tail, in units of 1e-3 (e.g. `100`
+        /// = 10%). Stored as an integer so the choice stays `Eq`/hashable
+        /// and codec-exact.
+        trim_milli: u32,
+    },
+}
+
+impl EstimatorChoice {
+    /// Default robust fallback used by breakdown auto-switching.
+    pub const ROBUST_DEFAULT: EstimatorChoice = EstimatorChoice::MedianOfMeans { blocks: 8 };
+
+    /// Number of blocks a stream should allocate to be able to serve this
+    /// choice (Welford still allocates the default 8 so the estimator can
+    /// be switched mid-run without losing history).
+    pub fn block_count(&self) -> usize {
+        match *self {
+            EstimatorChoice::Welford => 8,
+            EstimatorChoice::MedianOfMeans { blocks }
+            | EstimatorChoice::TrimmedMean { blocks, .. } => blocks.max(2) as usize,
+        }
+    }
+
+    /// The trim fraction per tail (0 for non-trimmed estimators).
+    pub fn trim_fraction(&self) -> f64 {
+        match *self {
+            EstimatorChoice::TrimmedMean { trim_milli, .. } => f64::from(trim_milli) / 1000.0,
+            _ => 0.0,
+        }
+    }
+
+    /// Human-readable label (`welford`, `mom:blocks=8`, ...).
+    pub fn label(&self) -> String {
+        match *self {
+            EstimatorChoice::Welford => "welford".to_string(),
+            EstimatorChoice::MedianOfMeans { blocks } => format!("mom:blocks={blocks}"),
+            EstimatorChoice::TrimmedMean { blocks, trim_milli } => {
+                format!(
+                    "trimmed:blocks={blocks}:trim={}",
+                    f64::from(trim_milli) / 1000.0
+                )
+            }
+        }
+    }
+
+    /// Parse the `NSX_ESTIMATOR` grammar: `welford`, `mom[:blocks=N]`,
+    /// `trimmed[:blocks=N][:trim=F]` (trim is the per-tail fraction).
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut parts = spec.split(':');
+        let name = parts.next().unwrap_or("").trim();
+        let mut blocks: u32 = 8;
+        let mut trim_milli: u32 = 100;
+        for part in parts {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("expected key=value, got '{part}'"))?;
+            match key.trim() {
+                "blocks" => {
+                    let b: u32 = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("invalid blocks '{value}'"))?;
+                    if b < 2 {
+                        return Err(format!("blocks must be >= 2, got {b}"));
+                    }
+                    blocks = b;
+                }
+                "trim" => {
+                    let f: f64 = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("invalid trim '{value}'"))?;
+                    if !(0.0..0.5).contains(&f) {
+                        return Err(format!("trim must be in [0, 0.5), got {f}"));
+                    }
+                    trim_milli = (f * 1000.0).round() as u32;
+                }
+                other => return Err(format!("unknown estimator key '{other}'")),
+            }
+        }
+        match name {
+            "" | "welford" | "mean" => Ok(EstimatorChoice::Welford),
+            "mom" | "median_of_means" => Ok(EstimatorChoice::MedianOfMeans { blocks }),
+            "trimmed" | "trimmed_mean" => Ok(EstimatorChoice::TrimmedMean { blocks, trim_milli }),
+            other => Err(format!("unknown estimator '{other}'")),
+        }
+    }
+
+    /// Read `NSX_ESTIMATOR`, defaulting to Welford. Panics on an invalid
+    /// spec (misconfiguration must be loud).
+    pub fn from_env() -> Self {
+        match std::env::var("NSX_ESTIMATOR") {
+            Ok(spec) => match Self::parse(&spec) {
+                Ok(e) => e,
+                Err(err) => panic!("invalid NSX_ESTIMATOR='{spec}': {err}"),
+            },
+            Err(_) => EstimatorChoice::Welford,
+        }
+    }
+
+    /// Serialize (tag + parameters) for checkpointing.
+    pub fn save(&self, w: &mut Writer) {
+        match *self {
+            EstimatorChoice::Welford => {
+                w.put_u8(0);
+                w.put_u32(0);
+                w.put_u32(0);
+            }
+            EstimatorChoice::MedianOfMeans { blocks } => {
+                w.put_u8(1);
+                w.put_u32(blocks);
+                w.put_u32(0);
+            }
+            EstimatorChoice::TrimmedMean { blocks, trim_milli } => {
+                w.put_u8(2);
+                w.put_u32(blocks);
+                w.put_u32(trim_milli);
+            }
+        }
+    }
+
+    /// Reconstruct from bytes written by [`save`](Self::save).
+    pub fn load(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let tag = r.take_u8()?;
+        let blocks = r.take_u32()?;
+        let trim_milli = r.take_u32()?;
+        match tag {
+            0 => Ok(EstimatorChoice::Welford),
+            1 if blocks >= 2 => Ok(EstimatorChoice::MedianOfMeans { blocks }),
+            2 if blocks >= 2 && trim_milli < 500 => {
+                Ok(EstimatorChoice::TrimmedMean { blocks, trim_milli })
+            }
+            _ => Err(CodecError::Tag {
+                what: "EstimatorChoice",
+                tag,
+            }),
+        }
+    }
+}
+
+/// Streaming central moments up to order four (one-pass Pébay updates).
+///
+/// Powers the online tail diagnostic: the excess kurtosis of the unit
+/// samples is the cheapest sufficient statistic that separates Gaussian
+/// noise (`g2 ≈ 0`) from heavy tails (`g2` large or diverging with `n`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Moments {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    m3: f64,
+    m4: f64,
+}
+
+impl Moments {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one observation in.
+    pub fn push(&mut self, x: f64) {
+        let n0 = self.n as f64;
+        self.n += 1;
+        let n = self.n as f64;
+        let delta = x - self.mean;
+        let delta_n = delta / n;
+        let delta_n2 = delta_n * delta_n;
+        let term1 = delta * delta_n * n0;
+        self.mean += delta_n;
+        self.m4 += term1 * delta_n2 * (n * n - 3.0 * n + 3.0) + 6.0 * delta_n2 * self.m2
+            - 4.0 * delta_n * self.m3;
+        self.m3 += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * self.m2;
+        self.m2 += term1;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (`NaN` if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (`NaN` below two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            f64::NAN
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Population excess kurtosis `g2 = n·m4/m2² − 3` (`NaN` below four
+    /// observations or when the variance is zero).
+    pub fn excess_kurtosis(&self) -> f64 {
+        if self.n < 4 || self.m2 <= 0.0 {
+            f64::NAN
+        } else {
+            (self.n as f64) * self.m4 / (self.m2 * self.m2) - 3.0
+        }
+    }
+
+    /// Serialize for checkpointing.
+    pub fn save(&self, w: &mut Writer) {
+        w.put_u64(self.n);
+        w.put_f64(self.mean);
+        w.put_f64(self.m2);
+        w.put_f64(self.m3);
+        w.put_f64(self.m4);
+    }
+
+    /// Reconstruct from bytes written by [`save`](Self::save).
+    pub fn load(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Moments {
+            n: r.take_u64()?,
+            mean: r.take_f64()?,
+            m2: r.take_f64()?,
+            m3: r.take_f64()?,
+            m4: r.take_f64()?,
+        })
+    }
+}
+
+/// Round-robin block-mean accumulator: the sufficient statistics behind
+/// median-of-means and trimmed-mean estimation.
+///
+/// Sample `i` (by arrival order) lands in block `i mod B`, each block
+/// keeping only `(count, mean)`. Assignment is by arrival index, so the
+/// block contents are independent of how extensions were batched — the
+/// estimator is a pure function of the sample sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockMeans {
+    total: u64,
+    counts: Vec<u64>,
+    means: Vec<f64>,
+}
+
+impl BlockMeans {
+    /// An accumulator with `blocks` empty blocks (at least 2).
+    pub fn new(blocks: usize) -> Self {
+        let blocks = blocks.max(2);
+        BlockMeans {
+            total: 0,
+            counts: vec![0; blocks],
+            means: vec![0.0; blocks],
+        }
+    }
+
+    /// Fold one observation into its round-robin block.
+    pub fn push(&mut self, x: f64) {
+        let idx = (self.total % self.counts.len() as u64) as usize;
+        self.total += 1;
+        self.counts[idx] += 1;
+        self.means[idx] += (x - self.means[idx]) / self.counts[idx] as f64;
+    }
+
+    /// Total observations folded in.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of blocks.
+    pub fn blocks(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Means of the non-empty blocks, in block order.
+    fn filled(&self) -> Vec<f64> {
+        self.counts
+            .iter()
+            .zip(&self.means)
+            .filter(|(&c, _)| c > 0)
+            .map(|(_, &m)| m)
+            .collect()
+    }
+
+    /// Median-of-means location and a robust standard error.
+    ///
+    /// The location is the median of the non-empty block means; the scale is
+    /// the MAD of the block means rescaled to a standard deviation
+    /// (`×1.4826` for Gaussian consistency), divided by `√B` and rescaled
+    /// by `√(π/2)` (the efficiency of a median relative to a mean). Returns
+    /// `None` when no sample has arrived. A non-finite or zero scale is
+    /// reported as `f64::INFINITY` — "unknown error", never "no error".
+    pub fn median_of_means(&self) -> Option<(f64, f64)> {
+        let mut ms = self.filled();
+        if ms.is_empty() {
+            return None;
+        }
+        ms.sort_by(f64::total_cmp);
+        let med = quantile_sorted(&ms, 0.5);
+        let mut dev: Vec<f64> = ms.iter().map(|&m| (m - med).abs()).collect();
+        dev.sort_by(f64::total_cmp);
+        let mad = quantile_sorted(&dev, 0.5);
+        let scale = 1.4826 * mad;
+        let se = 1.2533 * scale / (ms.len() as f64).sqrt();
+        let se = if se.is_finite() && se > 0.0 {
+            se
+        } else {
+            f64::INFINITY
+        };
+        Some((med, se))
+    }
+
+    /// Trimmed-mean location (fraction `trim` of block means removed from
+    /// *each* end) and its standard error from the surviving blocks'
+    /// dispersion. Returns `None` when no sample has arrived; degenerate
+    /// scales report `f64::INFINITY` like [`median_of_means`](Self::median_of_means).
+    pub fn trimmed_mean(&self, trim: f64) -> Option<(f64, f64)> {
+        let mut ms = self.filled();
+        if ms.is_empty() {
+            return None;
+        }
+        ms.sort_by(f64::total_cmp);
+        let g = ((trim.clamp(0.0, 0.49) * ms.len() as f64).floor() as usize).min(ms.len() / 2);
+        let kept = &ms[g..ms.len() - g];
+        let kept = if kept.is_empty() { &ms[..] } else { kept };
+        let mut w = Welford::new();
+        for &m in kept {
+            w.push(m);
+        }
+        let se = w.std_dev() / (ms.len() as f64).sqrt();
+        let se = if se.is_finite() && se > 0.0 {
+            se
+        } else {
+            f64::INFINITY
+        };
+        Some((w.mean(), se))
+    }
+
+    /// Serialize for checkpointing.
+    pub fn save(&self, w: &mut Writer) {
+        w.put_u64(self.total);
+        w.put_u32(self.counts.len() as u32);
+        for &c in &self.counts {
+            w.put_u64(c);
+        }
+        w.put_f64_slice(&self.means);
+    }
+
+    /// Reconstruct from bytes written by [`save`](Self::save).
+    pub fn load(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let total = r.take_u64()?;
+        let blocks = r.take_u32()? as usize;
+        if blocks < 2 {
+            return Err(CodecError::Invalid {
+                what: "BlockMeans blocks",
+            });
+        }
+        let mut counts = Vec::with_capacity(blocks);
+        for _ in 0..blocks {
+            counts.push(r.take_u64()?);
+        }
+        let means = r.take_f64_vec()?;
+        if means.len() != blocks {
+            return Err(CodecError::Invalid {
+                what: "BlockMeans means length",
+            });
+        }
+        Ok(BlockMeans {
+            total,
+            counts,
+            means,
+        })
+    }
+}
+
+/// Online tail diagnostic reported by hostile-aware streams
+/// (`SampleStream::tail_report`, DESIGN.md §14).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TailReport {
+    /// Finite samples observed so far.
+    pub n: u64,
+    /// Excess kurtosis of the unit samples (`NaN` until estimable).
+    pub excess_kurtosis: f64,
+    /// Fraction of samples falling more than six running standard
+    /// deviations from the running mean.
+    pub outlier_frac: f64,
 }
 
 /// A fixed-range histogram with uniform bins, matching the paper's
@@ -315,7 +745,144 @@ pub fn sign_test(wins_a: u64, wins_b: u64) -> f64 {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
+
+    #[test]
+    fn empty_quantile_is_nan_not_panic() {
+        assert!(quantile(&[], 0.5).is_nan());
+        assert!(quantile_sorted(&[], 0.0).is_nan());
+        // NaN observations sort last instead of panicking the comparison.
+        let with_nan = [1.0, f64::NAN, 2.0];
+        assert_eq!(quantile(&with_nan, 0.0), 1.0);
+        assert!(quantile(&with_nan, 1.0).is_nan());
+        // Out-of-range q clamps.
+        assert_eq!(quantile(&[1.0, 2.0], 7.0), 2.0);
+    }
+
+    #[test]
+    fn estimator_grammar_round_trips() {
+        assert_eq!(
+            EstimatorChoice::parse("welford").unwrap(),
+            EstimatorChoice::Welford
+        );
+        assert_eq!(
+            EstimatorChoice::parse("mom:blocks=8").unwrap(),
+            EstimatorChoice::MedianOfMeans { blocks: 8 }
+        );
+        assert_eq!(
+            EstimatorChoice::parse("trimmed:blocks=10:trim=0.2").unwrap(),
+            EstimatorChoice::TrimmedMean {
+                blocks: 10,
+                trim_milli: 200
+            }
+        );
+        assert!(EstimatorChoice::parse("huber").is_err());
+        assert!(EstimatorChoice::parse("mom:blocks=1").is_err());
+        assert!(EstimatorChoice::parse("trimmed:trim=0.5").is_err());
+        for spec in ["welford", "mom:blocks=4", "trimmed:blocks=6:trim=0.1"] {
+            let e = EstimatorChoice::parse(spec).unwrap();
+            let mut w = Writer::new();
+            e.save(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            assert_eq!(EstimatorChoice::load(&mut r).unwrap(), e, "{spec}");
+            r.finish().unwrap();
+        }
+    }
+
+    #[test]
+    fn moments_match_welford_and_detect_kurtosis() {
+        let data: Vec<f64> = (0..500).map(|i| ((i * 37 % 101) as f64).sin()).collect();
+        let mut m = Moments::new();
+        let mut w = Welford::new();
+        for &x in &data {
+            m.push(x);
+            w.push(x);
+        }
+        assert!((m.mean() - w.mean()).abs() < 1e-12);
+        assert!((m.variance() - w.variance()).abs() < 1e-10);
+        // A two-point symmetric distribution (±1) has kurtosis 1 → g2 = −2;
+        // add rare large spikes and g2 goes strongly positive.
+        let mut flat = Moments::new();
+        for i in 0..1000 {
+            flat.push(if i % 2 == 0 { 1.0 } else { -1.0 });
+        }
+        assert!((flat.excess_kurtosis() + 2.0).abs() < 1e-9);
+        let mut spiky = Moments::new();
+        for i in 0..1000 {
+            spiky.push(if i % 100 == 0 {
+                30.0
+            } else {
+                0.1 * (i as f64).sin()
+            });
+        }
+        assert!(spiky.excess_kurtosis() > 10.0);
+        // Codec round trip.
+        let mut wtr = Writer::new();
+        spiky.save(&mut wtr);
+        let bytes = wtr.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(Moments::load(&mut r).unwrap(), spiky);
+    }
+
+    #[test]
+    fn block_means_round_robin_and_estimators() {
+        let mut b = BlockMeans::new(4);
+        for i in 0..12 {
+            b.push(i as f64);
+        }
+        // Block j holds {j, j+4, j+8} → mean j + 4.
+        assert_eq!(b.total(), 12);
+        let (mom, se) = b.median_of_means().unwrap();
+        assert!((mom - 5.5).abs() < 1e-12, "mom {mom}");
+        assert!(se.is_finite() && se > 0.0);
+        let (tm, _) = b.trimmed_mean(0.25).unwrap();
+        assert!((tm - 5.5).abs() < 1e-12, "trimmed {tm}");
+        // Empty accumulator has no estimate.
+        assert!(BlockMeans::new(4).median_of_means().is_none());
+        // Codec round trip.
+        let mut w = Writer::new();
+        b.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(BlockMeans::load(&mut r).unwrap(), b);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn median_of_means_shrugs_off_contamination() {
+        // 5% of samples are 1000σ spikes: the block-mean median must stay
+        // near the true location while the plain mean is dragged away.
+        let mut b = BlockMeans::new(8);
+        let mut w = Welford::new();
+        for i in 0..400u64 {
+            let x = if i % 20 == 7 {
+                1000.0
+            } else {
+                (crate::rng::PerSampleRng::new(3, i).normal()) + 5.0
+            };
+            b.push(x);
+            w.push(x);
+        }
+        let (mom, _) = b.median_of_means().unwrap();
+        assert!((mom - 5.0).abs() < 20.0, "mom {mom}");
+        assert!((w.mean() - 5.0).abs() > 40.0, "mean {}", w.mean());
+    }
+
+    #[test]
+    fn degenerate_block_scale_reports_infinite_error() {
+        // All-identical samples → MAD 0 → the scale must degrade to +inf
+        // ("unknown"), never 0 ("certain").
+        let mut b = BlockMeans::new(4);
+        for _ in 0..16 {
+            b.push(2.0);
+        }
+        let (loc, se) = b.median_of_means().unwrap();
+        assert_eq!(loc, 2.0);
+        assert!(se.is_infinite());
+    }
 
     #[test]
     fn welford_matches_closed_form() {

@@ -1,0 +1,304 @@
+//! Hostile-noise robustness (DESIGN.md §14): the determinism and gating
+//! contracts must survive non-Gaussian sampling distributions.
+//!
+//! Three families of checks:
+//!
+//! * **Backend invariance** — under Student-t, ε-contaminated, and drifting
+//!   noise, serial and threaded runs of every simplex method stay
+//!   f64-bit-identical (draws are a pure function of stream state, never of
+//!   dispatch order or batching).
+//! * **Gate contracts** — MN and all seven PC conditions keep making
+//!   progress (and never panic or livelock) when their Gaussian calibration
+//!   assumptions are violated.
+//! * **Checkpoint round trips** — a preempted-and-resumed run equals a solo
+//!   run bit for bit under every hostile distribution, including across the
+//!   breakdown policy's mid-run estimator switch.
+
+use noisy_simplex::prelude::*;
+use obs::MetricsRegistry;
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use stoch_eval::functions::{Rosenbrock, Sphere};
+use stoch_eval::noise::ConstantNoise;
+use stoch_eval::sampler::Noisy;
+use stoch_eval::stats::EstimatorChoice;
+use stoch_eval::{DriftSpec, NoiseDistribution};
+
+/// Every non-Gaussian distribution under test, with a label for messages.
+fn hostile_distributions() -> Vec<(&'static str, NoiseDistribution)> {
+    vec![
+        ("student_t3", NoiseDistribution::student_t(3.0)),
+        (
+            "contaminated",
+            NoiseDistribution::gaussian().with_contamination(0.05, 20.0),
+        ),
+        (
+            "t3_contaminated",
+            NoiseDistribution::student_t(3.0).with_contamination(0.05, 20.0),
+        ),
+        (
+            "drifting",
+            NoiseDistribution::drifting(DriftSpec::default_spec()),
+        ),
+    ]
+}
+
+fn methods() -> Vec<SimplexMethod> {
+    vec![
+        SimplexMethod::Det(Det::new()),
+        SimplexMethod::Mn(MaxNoise::with_k(2.0)),
+        SimplexMethod::Pc(PointComparison::new()),
+        SimplexMethod::PcMn(PcMn::new()),
+    ]
+}
+
+fn with_cfg(m: &SimplexMethod, f: impl FnOnce(&mut SimplexConfig)) -> SimplexMethod {
+    let mut m = m.clone();
+    match &mut m {
+        SimplexMethod::Det(x) => f(&mut x.cfg),
+        SimplexMethod::Mn(x) => f(&mut x.cfg),
+        SimplexMethod::Pc(x) => f(&mut x.cfg),
+        SimplexMethod::PcMn(x) => f(&mut x.cfg),
+        SimplexMethod::Anderson(x) => f(&mut x.cfg),
+    }
+    m
+}
+
+fn term() -> Termination {
+    Termination {
+        tolerance: Some(1e-6),
+        max_time: Some(300.0),
+        max_iterations: Some(120),
+    }
+}
+
+/// Bitwise comparison of two runs, trace and notes included.
+fn assert_identical(label: &str, a: &RunResult, b: &RunResult) {
+    let bits = |v: f64| v.to_bits();
+    assert_eq!(a.best_point, b.best_point, "{label}: best_point");
+    assert_eq!(
+        bits(a.best_observed),
+        bits(b.best_observed),
+        "{label}: best_observed"
+    );
+    assert_eq!(a.iterations, b.iterations, "{label}: iterations");
+    assert_eq!(bits(a.elapsed), bits(b.elapsed), "{label}: elapsed");
+    assert_eq!(
+        bits(a.total_sampling),
+        bits(b.total_sampling),
+        "{label}: total_sampling"
+    );
+    assert_eq!(a.stop, b.stop, "{label}: stop reason");
+    assert_eq!(a.notes, b.notes, "{label}: notes");
+    let (pa, pb) = (a.trace.points(), b.trace.points());
+    assert_eq!(pa.len(), pb.len(), "{label}: trace length");
+    for (i, (x, y)) in pa.iter().zip(pb).enumerate() {
+        assert_eq!(bits(x.time), bits(y.time), "{label}: trace[{i}].time");
+        assert_eq!(
+            bits(x.best_observed),
+            bits(y.best_observed),
+            "{label}: trace[{i}].best_observed"
+        );
+        assert_eq!(x.step, y.step, "{label}: trace[{i}].step");
+    }
+}
+
+fn tmp_ckpt(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, AtomicOrdering::Relaxed);
+    std::env::temp_dir().join(format!("nsx_hostile_{tag}_{}_{n}.bin", std::process::id()))
+}
+
+fn cleanup(path: &Path) {
+    for suffix in ["", ".1", ".tmp"] {
+        let mut p = path.as_os_str().to_os_string();
+        p.push(suffix);
+        let _ = std::fs::remove_file(PathBuf::from(p));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Serial vs threaded bit-identity for every method under every hostile
+    /// distribution, with both the Welford and the median-of-means
+    /// estimator. This is the cross-backend form of the per-sample RNG
+    /// purity guarantee: thread scheduling reorders *where* extensions run,
+    /// and nothing about the results may move.
+    #[test]
+    fn hostile_runs_are_backend_invariant(seed in 1u64..10_000) {
+        for (dname, dist) in hostile_distributions() {
+            for est in [EstimatorChoice::Welford, EstimatorChoice::ROBUST_DEFAULT] {
+                let obj = Noisy::new(Sphere::new(2), ConstantNoise(5.0))
+                    .with_distribution(dist)
+                    .with_estimator(est);
+                let init = init::random_uniform(2, -3.0, 3.0, seed);
+                for m in &methods() {
+                    let serial = with_cfg(m, |c| c.backend = BackendChoice::Serial)
+                        .run(&obj, init.clone(), term(), TimeMode::Parallel, seed);
+                    let threaded =
+                        with_cfg(m, |c| c.backend = BackendChoice::Threaded { workers: 3 })
+                            .run(&obj, init.clone(), term(), TimeMode::Parallel, seed);
+                    let label = format!("{} under {dname}/{}", m.name(), est.label());
+                    assert_identical(&label, &serial, &threaded);
+                }
+            }
+        }
+    }
+
+    /// Checkpoint-preempted vs solo bit-identity under every hostile
+    /// distribution: the hostile stream state (per-sample index,
+    /// distribution, estimator, moments, block means) round-trips through
+    /// the engine snapshot.
+    #[test]
+    fn hostile_resume_is_bit_identical(seed in 1u64..10_000, cut in 3u64..=5) {
+        for (dname, dist) in hostile_distributions() {
+            let obj = Noisy::new(Rosenbrock::new(2), ConstantNoise(10.0))
+                .with_distribution(dist)
+                .with_estimator(EstimatorChoice::ROBUST_DEFAULT);
+            let init = init::random_uniform(2, -3.0, 3.0, seed);
+            let m = SimplexMethod::Pc(PointComparison::new());
+
+            let golden = with_cfg(&m, |c| c.checkpoint = None)
+                .run(&obj, init.clone(), term(), TimeMode::Parallel, seed);
+            if golden.iterations <= cut {
+                continue;
+            }
+
+            let path = tmp_ckpt(dname);
+            let ckpt_m = with_cfg(&m, |c| {
+                c.checkpoint = Some(CheckpointConfig {
+                    path: path.clone(),
+                    every: 1,
+                    retain: true,
+                });
+            });
+            let trunc = Termination { max_iterations: Some(cut), ..term() };
+            ckpt_m.run(&obj, init, trunc, TimeMode::Parallel, seed);
+            let resumed = ckpt_m
+                .resume(&obj, &path, Some(term()))
+                .unwrap_or_else(|e| panic!("{dname}: resume failed: {e}"));
+            cleanup(&path);
+            assert_identical(&format!("PC resume under {dname}"), &golden, &resumed);
+        }
+    }
+}
+
+/// MN's gate and all seven PC conditions must keep working — progress, no
+/// panic, no livelock — under Student-t(3) and contaminated noise, on both
+/// backends. The gates' *statistics* are miscalibrated there (that is the
+/// tentpole's premise); the *contract* that each decision terminates and
+/// the run completes must hold regardless.
+#[test]
+fn mn_and_pc_conditions_survive_hostile_noise() {
+    let hostile = [
+        ("student_t3", NoiseDistribution::student_t(3.0)),
+        (
+            "contaminated",
+            NoiseDistribution::gaussian().with_contamination(0.05, 20.0),
+        ),
+    ];
+    for (dname, dist) in hostile {
+        let obj = Noisy::new(Rosenbrock::new(2), ConstantNoise(50.0)).with_distribution(dist);
+        for backend in [
+            BackendChoice::Serial,
+            BackendChoice::Threaded { workers: 2 },
+        ] {
+            let init = init::random_uniform(2, -3.0, 3.0, 77);
+            let mn = with_cfg(&SimplexMethod::Mn(MaxNoise::with_k(2.0)), |c| {
+                c.backend = backend
+            })
+            .run(&obj, init, term(), TimeMode::Parallel, 7);
+            assert!(mn.iterations > 0, "MN made no progress under {dname}");
+            assert!(mn.best_observed.is_finite(), "MN non-finite under {dname}");
+
+            for cond in 1..=7usize {
+                let pc = PointComparison::with_params(PcParams {
+                    k: 1.0,
+                    conditions: PcConditions::only(&[cond]),
+                });
+                let mut m = SimplexMethod::Pc(pc);
+                m = with_cfg(&m, |c| c.backend = backend);
+                let init = init::random_uniform(2, -3.0, 3.0, 100 + cond as u64);
+                let res = m.run(&obj, init, term(), TimeMode::Parallel, cond as u64);
+                assert!(
+                    res.iterations > 0,
+                    "PC c{cond} made no progress under {dname}"
+                );
+                assert!(
+                    res.best_observed.is_finite(),
+                    "PC c{cond} non-finite under {dname}"
+                );
+            }
+        }
+    }
+}
+
+/// The breakdown auto-switch: under contaminated noise with
+/// `BreakdownAction::SwitchRobust`, the run flags the noise, switches to
+/// the robust estimator exactly once, records [`RunNote::NoiseSuspect`] and
+/// the `eval.tail.*` counters — and remains backend-invariant through the
+/// switch.
+#[test]
+fn breakdown_policy_switches_and_stays_deterministic() {
+    let dist = NoiseDistribution::student_t(3.0).with_contamination(0.10, 25.0);
+    let obj = Noisy::new(Sphere::new(2), ConstantNoise(20.0)).with_distribution(dist);
+    let init = init::random_uniform(2, -3.0, 3.0, 11);
+    let auto = BreakdownPolicy {
+        action: BreakdownAction::SwitchRobust,
+        ..BreakdownPolicy::default()
+    };
+    let run = |backend: BackendChoice| {
+        let m = with_cfg(&SimplexMethod::Pc(PointComparison::new()), |c| {
+            c.backend = backend;
+            c.breakdown = auto;
+        });
+        let reg = MetricsRegistry::new();
+        let res = m.run_with_metrics(
+            &obj,
+            init.clone(),
+            term(),
+            TimeMode::Parallel,
+            11,
+            Some(&reg),
+        );
+        (res, reg)
+    };
+
+    let (serial, _) = run(BackendChoice::Serial);
+    let (threaded, reg) = run(BackendChoice::Threaded { workers: 3 });
+    assert_identical("PC breakdown auto-switch", &serial, &threaded);
+
+    assert!(
+        serial.notes.contains(&RunNote::NoiseSuspect),
+        "10% contamination at 25σ must trip the tail diagnostic, notes: {:?}",
+        serial.notes
+    );
+    let metrics = serial.metrics.as_ref().expect("metrics attached");
+    assert!(metrics.tail_flag_rounds > 0, "no flagged rounds recorded");
+    assert_eq!(metrics.tail_switches, 1, "switch must fire exactly once");
+    assert_eq!(
+        reg.counter("eval.tail.switches").get(),
+        1,
+        "registry counter must mirror the summary"
+    );
+}
+
+/// Off policy: the same hostile run records nothing.
+#[test]
+fn breakdown_off_records_nothing() {
+    let dist = NoiseDistribution::student_t(3.0).with_contamination(0.10, 25.0);
+    let obj = Noisy::new(Sphere::new(2), ConstantNoise(20.0)).with_distribution(dist);
+    let init = init::random_uniform(2, -3.0, 3.0, 11);
+    let m = with_cfg(&SimplexMethod::Pc(PointComparison::new()), |c| {
+        c.breakdown = BreakdownPolicy {
+            action: BreakdownAction::Off,
+            ..BreakdownPolicy::default()
+        };
+    });
+    let reg = MetricsRegistry::new();
+    let res = m.run_with_metrics(&obj, init, term(), TimeMode::Parallel, 11, Some(&reg));
+    assert!(!res.notes.contains(&RunNote::NoiseSuspect));
+    assert_eq!(res.metrics.expect("metrics").tail_flag_rounds, 0);
+}
