@@ -1,15 +1,20 @@
-//! Force-kernel exhibit (DESIGN.md §10): how much does the O(n) cell-list /
-//! Verlet kernel buy over the naive O(n²) double loop, and do the two agree?
+//! Force-kernel exhibit (DESIGN.md §10, §15): how much do the O(n)
+//! cell-list kernel and the lane-batched SoA kernel buy over the naive
+//! O(n²) double loop, and do all kernels agree?
 //!
 //! For each system size the harness builds a liquid-density TIP4P box,
-//! verifies naive and cell-list forces/energy/virial agree to 1e-10
-//! relative (both on the fresh configuration and after a short trajectory
-//! that exercises stale-list reuse), then times an MD run per kernel and
-//! reports ns/step, the measured speedup, rebuild counts, and neighbor
+//! verifies that every production kernel (scalar cell-list, lane-batched
+//! `simd`, worker-pool `sharded`) reproduces the naive forces/energy/virial
+//! to 1e-10 relative (both on the fresh configuration and after a short
+//! trajectory that exercises stale-list reuse), checks that sharded results
+//! are bit-identical across 1/2/4 workers, then times an MD run per kernel
+//! and reports ns/step, the measured speedups, rebuild counts, and neighbor
 //! statistics.
 //!
-//! Writes `BENCH_water.json`. Exits non-zero if the kernels disagree or if
-//! the cell list fails to beat the naive kernel at n = 256.
+//! Writes `BENCH_water.json`. Exits non-zero if any kernel disagrees with
+//! the oracle, if sharded results depend on the worker count, if the cell
+//! list fails to beat the naive kernel at n = 256, or if the simd kernel
+//! fails to beat the cell list at n = 512.
 //!
 //! ```text
 //! cargo run --release --bin water_kernel_bench -- [--smoke] [--out <path>]
@@ -26,7 +31,7 @@ use water_md::TIP4P;
 const DENSITY: f64 = 0.997;
 const TEMPERATURE: f64 = 300.0;
 /// Benchmark cutoff (Å), clamped to the half-box per size. Short enough
-/// that the O(n²) sweep — not the in-cutoff force work shared by both
+/// that the O(n²) sweep — not the in-cutoff force work shared by all
 /// kernels — dominates the naive cost at n = 512 (see DESIGN.md §10).
 const RC: f64 = 3.0;
 const DT_FS: f64 = 1.0;
@@ -62,10 +67,10 @@ fn time_kernel(kernel: ForceKernel, sys0: &System, rc: f64, steps: u64) -> (f64,
     (s.ns_per_eval(), s.rebuilds, engine.avg_neighbors())
 }
 
-/// Naive vs cell-list on the fresh lattice, then again after `steps` of
-/// cell-kernel MD (stale-list reuse + at least one rebuild in the loop).
-fn equivalence_err(sys0: &System, rc: f64, steps: u64) -> f64 {
-    let mut engine = ForceEngine::with_skin(ForceKernel::CellList, DEFAULT_SKIN);
+/// `kernel` vs naive on the fresh lattice, then again after `steps` of MD
+/// under that kernel (stale-list reuse + at least one rebuild in the loop).
+fn equivalence_err(kernel: ForceKernel, sys0: &System, rc: f64, steps: u64) -> f64 {
+    let mut engine = ForceEngine::with_skin(kernel, DEFAULT_SKIN);
     let mut sys = sys0.clone();
     let mut f = engine.compute(&sys, rc);
     let worst = max_rel_err(&f, &compute_forces(&sys, rc));
@@ -75,16 +80,44 @@ fn equivalence_err(sys0: &System, rc: f64, steps: u64) -> f64 {
     worst.max(max_rel_err(&f, &compute_forces(&sys, rc)))
 }
 
+/// Sharded results must not depend on the worker count: evaluate the fresh
+/// configuration under 1, 2, and 4 workers and demand bitwise equality.
+fn sharded_is_worker_invariant(sys: &System, rc: f64) -> bool {
+    let mut reference: Option<Forces> = None;
+    for workers in [1usize, 2, 4] {
+        let mut engine = ForceEngine::with_sharding(DEFAULT_SKIN, 8, workers);
+        let out = engine.compute(sys, rc);
+        match &reference {
+            None => reference = Some(out),
+            Some(r) => {
+                if r.potential.to_bits() != out.potential.to_bits()
+                    || r.virial.to_bits() != out.virial.to_bits()
+                    || r.f != out.f
+                {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
 struct SizeResult {
     n: usize,
     rc: f64,
     box_len: f64,
     naive_ns_per_step: f64,
     cell_ns_per_step: f64,
-    speedup: f64,
+    simd_ns_per_step: f64,
+    sharded_ns_per_step: f64,
+    cell_speedup_vs_naive: f64,
+    simd_speedup_vs_cell: f64,
     rebuilds: u64,
     avg_neighbors: f64,
-    max_rel_err: f64,
+    cell_max_rel_err: f64,
+    simd_max_rel_err: f64,
+    sharded_max_rel_err: f64,
+    sharded_worker_invariant: bool,
 }
 
 impl SizeResult {
@@ -92,17 +125,26 @@ impl SizeResult {
         format!(
             "  {{\n    \"n\": {},\n    \"rc\": {:.3},\n    \"box_len\": {:.3},\n    \
              \"naive_ns_per_step\": {:.1},\n    \"cell_ns_per_step\": {:.1},\n    \
-             \"speedup\": {:.3},\n    \"rebuilds\": {},\n    \
-             \"avg_neighbors\": {:.2},\n    \"max_rel_err\": {:.3e}\n  }}",
+             \"simd_ns_per_step\": {:.1},\n    \"sharded_ns_per_step\": {:.1},\n    \
+             \"cell_speedup_vs_naive\": {:.3},\n    \"simd_speedup_vs_cell\": {:.3},\n    \
+             \"rebuilds\": {},\n    \"avg_neighbors\": {:.2},\n    \
+             \"cell_max_rel_err\": {:.3e},\n    \"simd_max_rel_err\": {:.3e},\n    \
+             \"sharded_max_rel_err\": {:.3e},\n    \"sharded_worker_invariant\": {}\n  }}",
             self.n,
             self.rc,
             self.box_len,
             self.naive_ns_per_step,
             self.cell_ns_per_step,
-            self.speedup,
+            self.simd_ns_per_step,
+            self.sharded_ns_per_step,
+            self.cell_speedup_vs_naive,
+            self.simd_speedup_vs_cell,
             self.rebuilds,
             self.avg_neighbors,
-            self.max_rel_err,
+            self.cell_max_rel_err,
+            self.simd_max_rel_err,
+            self.sharded_max_rel_err,
+            self.sharded_worker_invariant,
         )
     }
 }
@@ -142,52 +184,99 @@ fn main() {
         }
     }
 
+    // Smoke still runs enough steps to leave the near-lattice start-up
+    // regime: the first few dozen steps keep molecules close to their
+    // ordered initial sites, which flatters the scalar kernel's cache
+    // behavior and is not the configuration distribution production runs
+    // spend their time in. ~100 steps is past the crossover and still
+    // milliseconds per kernel.
     let (sizes, steps): (&[usize], u64) = if smoke {
-        (&[64, 256], 30)
+        (&[64, 256, 512], 100)
     } else {
-        (&[64, 256, 512], 300)
+        (&[64, 256, 512, 1024, 2048], 300)
     };
 
-    println!("water kernel bench: naive O(n\u{b2}) vs cell-list (DESIGN.md \u{a7}10)");
+    println!("water kernel bench: naive O(n\u{b2}) vs cell vs simd vs sharded (DESIGN.md \u{a7}10, \u{a7}15)");
     let mut results = Vec::with_capacity(sizes.len());
     for &n in sizes {
-        let sys = System::lattice_count(TIP4P, n, DENSITY, TEMPERATURE, 2_000 + n as u64);
-        let rc = RC.min(sys.box_len / 2.0);
-        let err = equivalence_err(&sys, rc, steps.min(50));
-        // Best of two timed runs per kernel: the short smoke runs are only
-        // a few ms and a scheduler blip would otherwise dominate them.
-        let best = |kernel: ForceKernel| {
-            let a = time_kernel(kernel, &sys, rc, steps);
-            let b = time_kernel(kernel, &sys, rc, steps);
-            if a.0 <= b.0 {
-                a
-            } else {
-                b
+        let lattice = System::lattice_count(TIP4P, n, DENSITY, TEMPERATURE, 2_000 + n as u64);
+        let rc = RC.min(lattice.box_len / 2.0);
+        // Equilibrate off the artificial lattice before measuring anything:
+        // for the first several dozen steps the molecules sit near their
+        // ordered initial sites, a memory-access pattern no production run
+        // ever sees again, and one that flatters the scalar kernel's cache
+        // behavior. All kernels are then compared on the disordered
+        // configuration the trajectory actually spends its time in. The
+        // equilibration is deterministic (cell kernel, fixed step count),
+        // so the benchmark remains reproducible.
+        let sys = {
+            let mut s = lattice;
+            let mut engine = ForceEngine::with_skin(ForceKernel::CellList, DEFAULT_SKIN);
+            let mut f = engine.compute(&s, rc);
+            for _ in 0..300 {
+                f = step(&mut s, &f, DT_FS, rc, &mut engine);
             }
+            s
         };
-        let (naive_ns, _, _) = best(ForceKernel::Naive);
-        let (cell_ns, rebuilds, avg_neighbors) = best(ForceKernel::CellList);
+        let cell_err = equivalence_err(ForceKernel::CellList, &sys, rc, steps.min(50));
+        let simd_err = equivalence_err(ForceKernel::Simd, &sys, rc, steps.min(50));
+        let sharded_err = equivalence_err(ForceKernel::Sharded, &sys, rc, steps.min(50));
+        let invariant = sharded_is_worker_invariant(&sys, rc);
+        // Best of three timed runs per kernel: the short smoke runs are
+        // only a few ms, and shared-machine scheduler blips of ±15% per
+        // run are routine — the minimum is the estimator least distorted
+        // by interference, and the speedup gates below compare minima.
+        let best = |kernel: ForceKernel, steps: u64| {
+            let mut best = time_kernel(kernel, &sys, rc, steps);
+            for _ in 0..2 {
+                let t = time_kernel(kernel, &sys, rc, steps);
+                if t.0 < best.0 {
+                    best = t;
+                }
+            }
+            best
+        };
+        // The O(n²) sweep at n ≥ 1024 takes tens of ms per step; a tenth of
+        // the steps still averages hundreds of evals' worth of pair work.
+        let naive_steps = if n > 512 { (steps / 10).max(5) } else { steps };
+        let (naive_ns, _, _) = best(ForceKernel::Naive, naive_steps);
+        let (cell_ns, rebuilds, avg_neighbors) = best(ForceKernel::CellList, steps);
+        let (simd_ns, _, _) = best(ForceKernel::Simd, steps);
+        let (sharded_ns, _, _) = best(ForceKernel::Sharded, steps);
         let r = SizeResult {
             n,
             rc,
             box_len: sys.box_len,
             naive_ns_per_step: naive_ns,
             cell_ns_per_step: cell_ns,
-            speedup: naive_ns / cell_ns.max(1.0),
+            simd_ns_per_step: simd_ns,
+            sharded_ns_per_step: sharded_ns,
+            cell_speedup_vs_naive: naive_ns / cell_ns.max(1.0),
+            simd_speedup_vs_cell: cell_ns / simd_ns.max(1.0),
             rebuilds,
             avg_neighbors,
-            max_rel_err: err,
+            cell_max_rel_err: cell_err,
+            simd_max_rel_err: simd_err,
+            sharded_max_rel_err: sharded_err,
+            sharded_worker_invariant: invariant,
         };
         println!(
-            "n={:4}: naive {:9.0} ns/step, cell {:9.0} ns/step, speedup {:5.2}x, \
-             rebuilds {}, avg neighbors {:.1}, max rel err {:.2e}",
+            "n={:4}: naive {:9.0} cell {:9.0} simd {:9.0} sharded {:9.0} ns/step | \
+             cell/naive {:5.2}x, simd/cell {:5.2}x | rebuilds {}, avg nb {:.1}, \
+             err c={:.1e} s={:.1e} sh={:.1e}, inv={}",
             r.n,
             r.naive_ns_per_step,
             r.cell_ns_per_step,
-            r.speedup,
+            r.simd_ns_per_step,
+            r.sharded_ns_per_step,
+            r.cell_speedup_vs_naive,
+            r.simd_speedup_vs_cell,
             r.rebuilds,
             r.avg_neighbors,
-            r.max_rel_err
+            r.cell_max_rel_err,
+            r.simd_max_rel_err,
+            r.sharded_max_rel_err,
+            r.sharded_worker_invariant,
         );
         results.push(r);
     }
@@ -200,17 +289,35 @@ fn main() {
 
     let mut ok = true;
     for r in &results {
-        if r.max_rel_err > EQUIV_TOL {
+        let worst = r
+            .cell_max_rel_err
+            .max(r.simd_max_rel_err)
+            .max(r.sharded_max_rel_err);
+        if worst > EQUIV_TOL {
             eprintln!(
                 "error: kernels disagree at n={} (max rel err {:.3e} > {EQUIV_TOL:.0e})",
-                r.n, r.max_rel_err
+                r.n, worst
             );
             ok = false;
         }
-        if r.n == 256 && r.speedup <= 1.0 {
+        if !r.sharded_worker_invariant {
+            eprintln!(
+                "error: sharded results depend on the worker count at n={}",
+                r.n
+            );
+            ok = false;
+        }
+        if r.n == 256 && r.cell_speedup_vs_naive <= 1.0 {
             eprintln!(
                 "error: cell list is not faster than naive at n=256 (speedup {:.3})",
-                r.speedup
+                r.cell_speedup_vs_naive
+            );
+            ok = false;
+        }
+        if r.n == 512 && r.simd_speedup_vs_cell <= 1.0 {
+            eprintln!(
+                "error: simd kernel is not faster than cell at n=512 (speedup {:.3})",
+                r.simd_speedup_vs_cell
             );
             ok = false;
         }

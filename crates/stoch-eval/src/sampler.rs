@@ -66,6 +66,13 @@ impl NormalSource {
         }
     }
 
+    /// Adopt an existing RNG mid-stream (no cached spare). Lets a caller
+    /// that has been drawing through [`standard_normal`] hand its generator
+    /// over to a spare-caching source without reseeding.
+    pub fn from_rng(rng: StdRng) -> Self {
+        NormalSource { rng, spare: None }
+    }
+
     /// Draw one standard normal variate.
     #[inline]
     pub fn sample(&mut self) -> f64 {
@@ -80,6 +87,46 @@ impl NormalSource {
                 let f = (-2.0 * s.ln() / s).sqrt();
                 self.spare = Some(v * f);
                 return u * f;
+            }
+        }
+    }
+
+    /// Fill `out` with standard normal variates — the bulk path for
+    /// many-draw consumers (velocity initialization, per-step thermostat
+    /// noise, batched unit samples).
+    ///
+    /// The draw order is *bit-exact* with `out.len()` successive
+    /// [`sample`](Self::sample) calls: a cached spare is emitted first, each
+    /// accepted polar trial then fills two slots, and a trailing odd variate
+    /// leaves its partner cached — so mixing `fill` and `sample` calls in
+    /// any interleaving yields one and the same variate sequence. The win is
+    /// dispatch, not distribution: one bounds-checked loop, no per-draw
+    /// `Option` churn, and the polar loop's second output is always
+    /// consumed in-place while hot.
+    pub fn fill(&mut self, out: &mut [f64]) {
+        let mut at = 0;
+        if at < out.len() {
+            if let Some(z) = self.spare.take() {
+                out[at] = z;
+                at += 1;
+            }
+        }
+        while at < out.len() {
+            let (u, v, f) = loop {
+                let u: f64 = self.rng.gen_range(-1.0..1.0);
+                let v: f64 = self.rng.gen_range(-1.0..1.0);
+                let s = u * u + v * v;
+                if s > 0.0 && s < 1.0 {
+                    break (u, v, (-2.0 * s.ln() / s).sqrt());
+                }
+            };
+            out[at] = u * f;
+            at += 1;
+            if at < out.len() {
+                out[at] = v * f;
+                at += 1;
+            } else {
+                self.spare = Some(v * f);
             }
         }
     }
@@ -992,6 +1039,54 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(a.sample().to_bits(), b.sample().to_bits());
         }
+    }
+
+    #[test]
+    fn fill_is_bit_exact_with_sample_loop() {
+        // Every interleaving of fill sizes (odd, even, empty, size 1) must
+        // reproduce the one-at-a-time sample() sequence exactly, including
+        // spare hand-off across call boundaries.
+        for sizes in [
+            vec![7usize, 4, 0, 1, 6],
+            vec![1, 1, 1, 1],
+            vec![10],
+            vec![0, 5, 3],
+        ] {
+            let total: usize = sizes.iter().sum();
+            let mut reference = NormalSource::new(42);
+            let expected: Vec<f64> = (0..total).map(|_| reference.sample()).collect();
+            let mut bulk = NormalSource::new(42);
+            let mut got = Vec::with_capacity(total);
+            for len in &sizes {
+                let mut buf = vec![0.0; *len];
+                bulk.fill(&mut buf);
+                got.extend_from_slice(&buf);
+            }
+            for (i, (e, g)) in expected.iter().zip(&got).enumerate() {
+                assert_eq!(e.to_bits(), g.to_bits(), "sizes {sizes:?}, draw {i}");
+            }
+            // The sources end in the same state: next draws still agree.
+            assert_eq!(reference.sample().to_bits(), bulk.sample().to_bits());
+        }
+        // A fill can also *start* from a cached spare left by sample().
+        let mut a = NormalSource::new(77);
+        let mut b = NormalSource::new(77);
+        let first = [a.sample(), a.sample(), a.sample()];
+        let _ = b.sample(); // leaves a spare cached
+        let mut buf = [0.0; 2];
+        b.fill(&mut buf);
+        assert_eq!(first[1].to_bits(), buf[0].to_bits());
+        assert_eq!(first[2].to_bits(), buf[1].to_bits());
+    }
+
+    #[test]
+    fn from_rng_continues_the_generator() {
+        let mut rng = rng_from_seed(31);
+        let _ = standard_normal(&mut rng);
+        let mut src = NormalSource::from_rng(rng.clone());
+        // Same generator state, no spare: the next accepted trial's first
+        // output matches a direct standard_normal draw.
+        assert_eq!(src.sample().to_bits(), standard_normal(&mut rng).to_bits());
     }
 
     #[test]

@@ -154,12 +154,18 @@ pub struct WaterCostStream {
 impl SampleStream for WaterCostStream {
     fn extend(&mut self, dt: f64) {
         assert!(dt > 0.0);
+        // One bulk draw for every *noisy* property (σ0 > 0), so the RNG
+        // position does not depend on the data — quarantined extends must
+        // consume exactly as many variates as clean ones. `fill` is
+        // bit-exact with the per-draw sample() loop it replaces.
+        let noisy = self.sigma0.iter().filter(|&&s| s > 0.0).count();
+        let mut z6 = [0.0; 6];
+        self.src.fill(&mut z6[..noisy]);
+        let mut at = 0;
         for i in 0..6 {
-            // Always draw the variate for a noisy property so the RNG
-            // position does not depend on the data — quarantined extends
-            // must consume exactly as many variates as clean ones.
             let z = if self.sigma0[i] > 0.0 {
-                self.src.sample()
+                at += 1;
+                z6[at - 1]
             } else {
                 0.0
             };

@@ -81,7 +81,8 @@ pub struct NptResult {
 }
 
 /// Run `steps` of NPT dynamics (velocity rescale thermostat + Berendsen
-/// barostat) at temperature `t_target` K.
+/// barostat) at temperature `t_target` K, with the force kernel taken from
+/// `NSX_FORCE_KERNEL`.
 pub fn equilibrate_npt(
     sys: &mut System,
     barostat: &Barostat,
@@ -89,14 +90,35 @@ pub fn equilibrate_npt(
     dt: f64,
     steps: usize,
 ) -> NptResult {
+    equilibrate_npt_with(
+        sys,
+        barostat,
+        t_target,
+        dt,
+        steps,
+        &mut ForceEngine::from_env(),
+    )
+}
+
+/// [`equilibrate_npt`] driving a caller-supplied [`ForceEngine`], so a
+/// pre-configured kernel (explicit skin, simd, sharded with chosen shard and
+/// worker counts) is not silently overridden by the environment default, and
+/// the engine's stats/list survive for the caller to inspect or reuse.
+pub fn equilibrate_npt_with(
+    sys: &mut System,
+    barostat: &Barostat,
+    t_target: f64,
+    dt: f64,
+    steps: usize,
+    engine: &mut ForceEngine,
+) -> NptResult {
     use crate::units::WATER_MOLAR_MASS;
     let mut box_trace = Vec::with_capacity(steps / 10 + 1);
     let mut p_tail = Vec::new();
-    let mut engine = ForceEngine::from_env();
     let mut f = engine.compute(sys, sys.box_len / 2.0);
     for i in 0..steps {
         let rc = sys.box_len / 2.0;
-        f = step(sys, &f, dt, rc, &mut engine);
+        f = step(sys, &f, dt, rc, engine);
         if i % 5 == 0 {
             rescale_to(sys, t_target);
         }
@@ -180,5 +202,28 @@ mod tests {
         assert!(res.density_g_cm3 < 1.3);
         assert!(sys.constraints_satisfied(1e-5));
         assert!(res.box_trace.len() >= 30);
+    }
+
+    #[test]
+    fn injected_engine_is_used_and_keeps_its_stats() {
+        // equilibrate_npt_with must drive the caller's engine (not a fresh
+        // from_env one): its eval/rebuild counters advance, and the
+        // repeated box rescales force a rebuild per step.
+        let mut sys = System::lattice(TIP4P, 2, 1.1, 298.0, 4);
+        let mut engine = crate::kernel::ForceEngine::new(crate::kernel::ForceKernel::Simd);
+        let steps = 40;
+        let res = equilibrate_npt_with(
+            &mut sys,
+            &Barostat::default(),
+            298.0,
+            1.0,
+            steps,
+            &mut engine,
+        );
+        assert!(res.box_len > 0.0);
+        assert!(engine.stats().evals >= steps as u64);
+        assert!(engine.stats().rebuilds >= steps as u64);
+        assert!(engine.stats().lanes > 0, "simd path should have run");
+        assert!(sys.constraints_satisfied(1e-5));
     }
 }

@@ -1,0 +1,175 @@
+//! Intra-run force sharding: one simulation's neighbor-list rows split
+//! across the `mw` worker pool, with a fixed, index-ordered reduction.
+//!
+//! The Verlet list's CSR rows (one row of j-neighbors per molecule i) are
+//! partitioned into [`DEFAULT_SHARDS`] contiguous row ranges balanced by
+//! listed-pair count. The partition is a pure function of the list and the
+//! shard count — **never** of the pool's worker count or of scheduling —
+//! and each shard is evaluated by the deterministic lane kernel
+//! ([`crate::simd::compute_rows`]) into its own dense [`SoaForces`]. The
+//! master then reduces the per-shard outputs in ascending shard order, so
+//! the floating-point summation tree is fixed: results are bit-identical
+//! whether the pool runs 1, 2, or 8 workers, which jobs land where, or
+//! whether a shard had to be recomputed inline after a worker loss.
+//!
+//! Sharded vs serial-SIMD results differ only by the reduction grouping
+//! (shard-partial sums vs one global sweep) — rounding-level, inside the
+//! 1e-10 naive-oracle budget. A single-shard plan short-circuits the pool
+//! and is exactly the serial kernel.
+
+use crate::simd::{compute_rows, LaneScratch, PairParams};
+use crate::soa::{SoaForces, SoaSites};
+use mw_framework::pool::MwPool;
+use std::cell::RefCell;
+use std::sync::Arc;
+
+/// Fixed shard count for `NSX_FORCE_KERNEL=sharded`. Constant by design:
+/// the shard partition (and with it the reduction tree) must not depend on
+/// how many workers happen to be available.
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// CSR view of the Verlet list: `cols[row_start[i]..row_start[i+1]]` are
+/// molecule i's listed neighbors j (all j > i, ascending).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Csr {
+    pub row_start: Vec<u32>,
+    pub cols: Vec<u32>,
+}
+
+impl Csr {
+    /// Build from the canonical sorted (i < j) pair list.
+    pub(crate) fn from_pairs(n: usize, pairs: &[(u32, u32)]) -> Csr {
+        let mut row_start = vec![0u32; n + 1];
+        for &(i, _) in pairs {
+            row_start[i as usize + 1] += 1;
+        }
+        for r in 1..=n {
+            row_start[r] += row_start[r - 1];
+        }
+        Csr {
+            row_start,
+            cols: pairs.iter().map(|&(_, j)| j).collect(),
+        }
+    }
+}
+
+/// Everything a shard job needs, snapshotted behind one `Arc` so the
+/// `'static` pool closures share it without copying per shard.
+pub(crate) struct Snapshot {
+    pub soa: SoaSites,
+    pub box_len: f64,
+    pub params: PairParams,
+    pub csr: Arc<Csr>,
+}
+
+/// Shard boundaries: `shards + 1` row indices, ascending, balanced so each
+/// shard covers roughly equal listed-pair counts (`row_start` is exactly
+/// the prefix sum of per-row pair counts). Depends only on the list and
+/// `shards`.
+pub(crate) fn shard_bounds(row_start: &[u32], shards: usize) -> Vec<usize> {
+    let n = row_start.len() - 1;
+    let total = u64::from(*row_start.last().unwrap_or(&0));
+    let mut bounds = Vec::with_capacity(shards + 1);
+    bounds.push(0usize);
+    for s in 1..shards {
+        let target = (total * s as u64 / shards as u64) as u32;
+        let row = row_start.partition_point(|&p| p < target).min(n);
+        bounds.push(row.max(bounds[s - 1]));
+    }
+    bounds.push(n);
+    bounds
+}
+
+thread_local! {
+    /// Per-worker-thread reusable pack scratch: pool workers are long
+    /// lived, so steady-state shard jobs only allocate their result buffer.
+    static SHARD_SCRATCH: RefCell<LaneScratch> = RefCell::new(LaneScratch::default());
+}
+
+/// Evaluate one shard (rows `[r0, r1)`) into a fresh dense accumulator.
+fn shard_job(snap: &Snapshot, r0: usize, r1: usize) -> (SoaForces, u64) {
+    SHARD_SCRATCH.with(|s| {
+        let scratch = &mut *s.borrow_mut();
+        let mut out = SoaForces::zeroed(snap.soa.n);
+        let lanes = compute_rows(
+            &snap.soa,
+            snap.box_len,
+            &snap.params,
+            &snap.csr.row_start,
+            &snap.csr.cols,
+            r0..r1,
+            scratch,
+            &mut out,
+        );
+        (out, lanes)
+    })
+}
+
+/// Dispatch `shards` row-range jobs over `pool`, reduce in shard-index
+/// order into `out` (which must be reset for `snap.soa.n`). Returns
+/// (lane batches, shard jobs run). A lost worker's shard is recomputed
+/// inline — same code path, same bits.
+pub(crate) fn compute_sharded(
+    pool: &MwPool,
+    snap: &Arc<Snapshot>,
+    shards: usize,
+    out: &mut SoaForces,
+) -> (u64, u64) {
+    let bounds = shard_bounds(&snap.csr.row_start, shards);
+    let handles: Vec<_> = (0..shards)
+        .map(|s| {
+            let (r0, r1) = (bounds[s], bounds[s + 1]);
+            if r0 == r1 {
+                return None;
+            }
+            let snap = Arc::clone(snap);
+            Some(pool.submit(move |_worker| shard_job(&snap, r0, r1)))
+        })
+        .collect();
+    let mut lanes = 0u64;
+    let mut shards_run = 0u64;
+    for (s, handle) in handles.into_iter().enumerate() {
+        let Some(handle) = handle else { continue };
+        let (partial, shard_lanes) = match handle.recv() {
+            Ok(r) => r,
+            // Worker died mid-shard: recompute inline. compute_rows is a
+            // pure function of (snapshot, range), so the retry is
+            // bit-identical and the ordered reduction is unaffected.
+            Err(_) => shard_job(snap, bounds[s], bounds[s + 1]),
+        };
+        out.accumulate(&partial);
+        lanes += shard_lanes;
+        shards_run += 1;
+    }
+    (lanes, shards_run)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_matches_pair_list() {
+        let pairs = [(0u32, 2u32), (0, 3), (2, 3), (4, 5)];
+        let csr = Csr::from_pairs(6, &pairs);
+        assert_eq!(csr.row_start, vec![0, 2, 2, 3, 3, 4, 4]);
+        assert_eq!(csr.cols, vec![2, 3, 3, 5]);
+    }
+
+    #[test]
+    fn bounds_are_deterministic_and_cover_all_rows() {
+        let csr = Csr::from_pairs(5, &[(0, 1), (0, 2), (0, 3), (1, 2), (3, 4)]);
+        let b = shard_bounds(&csr.row_start, 3);
+        assert_eq!(b.len(), 4);
+        assert_eq!(b[0], 0);
+        assert_eq!(b[3], 5);
+        assert!(b.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(b, shard_bounds(&csr.row_start, 3));
+        // One shard spans everything.
+        assert_eq!(shard_bounds(&csr.row_start, 1), vec![0, 5]);
+        // Degenerate empty list still yields a valid partition.
+        let empty = Csr::from_pairs(4, &[]);
+        let b = shard_bounds(&empty.row_start, 2);
+        assert_eq!(*b.last().unwrap(), 4);
+    }
+}

@@ -13,7 +13,7 @@ use crate::vec3::Vec3;
 use rand::rngs::StdRng;
 use rand::Rng;
 use stoch_eval::rng::rng_from_seed;
-use stoch_eval::sampler::standard_normal;
+use stoch_eval::sampler::NormalSource;
 
 /// One rigid water molecule: three massive sites (O, H1, H2) with positions
 /// and velocities. The M site is virtual and derived from these.
@@ -142,7 +142,7 @@ impl System {
             molecules,
             box_len,
         };
-        sys.thermalize(temperature, &mut rng);
+        sys.thermalize(temperature, &mut NormalSource::from_rng(rng));
         sys
     }
 
@@ -162,20 +162,19 @@ impl System {
     /// Each molecule gets an independent COM velocity (no initial angular
     /// velocity); RATTLE keeps subsequent dynamics on the constraint
     /// manifold, and a short equilibration redistributes energy into
-    /// rotation.
-    pub fn thermalize(&mut self, temperature: f64, rng: &mut StdRng) {
+    /// rotation. The 3n variates come from one [`NormalSource::fill`] call —
+    /// the bulk Marsaglia path, bit-exact with per-draw sampling.
+    pub fn thermalize(&mut self, temperature: f64, src: &mut NormalSource) {
         use crate::units::{KB, KCAL_ACC};
         let m_mol: f64 = MASSES.iter().sum();
         // v component std: sqrt(kB T / m) in MD units: kB T [kcal/mol],
         // KE = m v² / (2 KCAL_ACC) => v_std = sqrt(KCAL_ACC kB T / m).
         let v_std = (KCAL_ACC * KB * temperature / m_mol).sqrt();
+        let mut z = vec![0.0; 3 * self.molecules.len()];
+        src.fill(&mut z);
         let mut total = Vec3::zero();
-        for mol in &mut self.molecules {
-            let v = Vec3::new(
-                v_std * standard_normal(rng),
-                v_std * standard_normal(rng),
-                v_std * standard_normal(rng),
-            );
+        for (mol, z) in self.molecules.iter_mut().zip(z.chunks_exact(3)) {
+            let v = Vec3::new(v_std * z[0], v_std * z[1], v_std * z[2]);
             mol.v = [v, v, v];
             total += v;
         }

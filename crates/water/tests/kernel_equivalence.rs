@@ -1,7 +1,9 @@
-//! Property tests: the cell-list/Verlet kernel must reproduce the naive
-//! O(n²) force loop exactly (≤ 1e-10 relative) on random periodic
-//! configurations — including boundary-straddling molecules, stale-list
-//! reuse within the skin, and post-NPT box rescales.
+//! Property tests: every production kernel (cell-list scalar, lane-batched
+//! simd, sharded) must reproduce the naive O(n²) force loop exactly
+//! (≤ 1e-10 relative) on random periodic configurations — including
+//! boundary-straddling molecules, stale-list reuse within the skin, and
+//! post-NPT box rescales — and the sharded kernel must be bit-identical
+//! across worker counts.
 
 use proptest::prelude::*;
 use water_md::forces::{compute_forces, Forces};
@@ -12,6 +14,13 @@ use water_md::vec3::Vec3;
 use water_md::TIP4P;
 
 const TOL: f64 = 1e-10;
+
+/// The production kernels under test (the naive oracle is the reference).
+const KERNELS: [ForceKernel; 3] = [
+    ForceKernel::CellList,
+    ForceKernel::Simd,
+    ForceKernel::Sharded,
+];
 
 fn rel(a: f64, b: f64) -> f64 {
     (a - b).abs() / a.abs().max(b.abs()).max(1.0)
@@ -47,8 +56,9 @@ fn translate_all(sys: &mut System, shift: Vec3) {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
-    /// Random configs (size, density, cutoff, rigid translation): cell-list
-    /// forces/energy/virial match the naive oracle to 1e-10 relative.
+    /// Random configs (size, density, cutoff, rigid translation): every
+    /// production kernel's forces/energy/virial match the naive oracle to
+    /// 1e-10 relative.
     #[test]
     fn cell_list_matches_naive_on_random_configs(
         n in 8usize..=128,
@@ -64,30 +74,34 @@ proptest! {
         prop_assume!(rc > 2.0); // below ~2 Å the model is unphysical anyway
 
         let naive = compute_forces(&sys, rc);
-        let mut engine = ForceEngine::new(ForceKernel::CellList);
-        let cell = engine.compute(&sys, rc);
-        let err = max_rel_err(&cell, &naive);
-        prop_assert!(
-            err <= TOL,
-            "cell vs naive diverged: max rel err {:.3e} (n={}, rc={:.2}, L={:.2})",
-            err, n, rc, sys.box_len
-        );
+        for kernel in KERNELS {
+            let mut engine = ForceEngine::new(kernel);
+            let out = engine.compute(&sys, rc);
+            let err = max_rel_err(&out, &naive);
+            prop_assert!(
+                err <= TOL,
+                "{} vs naive diverged: max rel err {:.3e} (n={}, rc={:.2}, L={:.2})",
+                kernel.name(), err, n, rc, sys.box_len
+            );
+        }
     }
 
     /// A list built once stays exact while every molecule drifts by less
     /// than skin/2, and stays exact after a drift large enough to force a
-    /// rebuild.
+    /// rebuild — for every list-backed kernel.
     #[test]
     fn stale_list_reuse_within_skin_is_exact(
         n in 8usize..=64,
         density in 0.8f64..1.2,
         seed in 0u64..500,
         drift in 0.05f64..0.45,
+        kernel_ix in 0usize..3,
     ) {
+        let kernel = KERNELS[kernel_ix];
         let skin = 1.0;
         let mut sys = System::lattice_count(TIP4P, n, density, 300.0, seed);
         let rc = (sys.box_len / 2.0).min(5.0);
-        let mut engine = ForceEngine::with_skin(ForceKernel::CellList, skin);
+        let mut engine = ForceEngine::with_skin(kernel, skin);
         engine.compute(&sys, rc); // build the list at the reference config
 
         // Per-molecule drifts below skin/2: the stale list must still cover
@@ -105,7 +119,7 @@ proptest! {
         let reused = engine.compute(&sys, rc);
         prop_assert!(engine.stats().rebuilds == 1, "drift < skin/2 must reuse the list");
         let err = max_rel_err(&reused, &compute_forces(&sys, rc));
-        prop_assert!(err <= TOL, "stale-list reuse diverged: {:.3e}", err);
+        prop_assert!(err <= TOL, "{} stale-list reuse diverged: {:.3e}", kernel.name(), err);
 
         // Now push one molecule past skin/2 — rebuild must trigger and the
         // fresh list must again match the oracle. A full-skin push keeps the
@@ -117,12 +131,12 @@ proptest! {
         let rebuilt = engine.compute(&sys, rc);
         prop_assert!(engine.stats().rebuilds == 2, "drift > skin/2 must rebuild");
         let err = max_rel_err(&rebuilt, &compute_forces(&sys, rc));
-        prop_assert!(err <= TOL, "post-rebuild diverged: {:.3e}", err);
+        prop_assert!(err <= TOL, "{} post-rebuild diverged: {:.3e}", kernel.name(), err);
     }
 
     /// An NPT-style box rescale invalidates the cached geometry: with or
     /// without an explicit `invalidate()`, the next compute must match the
-    /// naive oracle at the new box length.
+    /// naive oracle at the new box length — for every list-backed kernel.
     #[test]
     fn post_rescale_compute_matches_naive(
         n in 8usize..=64,
@@ -130,10 +144,12 @@ proptest! {
         seed in 500u64..1_000,
         mu in 0.9f64..1.1,
         explicit in 0usize..2,
+        kernel_ix in 0usize..3,
     ) {
+        let kernel = KERNELS[kernel_ix];
         let mut sys = System::lattice_count(TIP4P, n, density, 300.0, seed);
         let rc = (sys.box_len / 2.0).min(5.0);
-        let mut engine = ForceEngine::new(ForceKernel::CellList);
+        let mut engine = ForceEngine::new(kernel);
         engine.compute(&sys, rc);
 
         scale_box(&mut sys, mu);
@@ -146,8 +162,43 @@ proptest! {
         let err = max_rel_err(&after, &compute_forces(&sys, rc));
         prop_assert!(
             err <= TOL,
-            "post-rescale diverged (mu={:.3}, explicit={}): {:.3e}",
-            mu, explicit, err
+            "{} post-rescale diverged (mu={:.3}, explicit={}): {:.3e}",
+            kernel.name(), mu, explicit, err
         );
+    }
+
+    /// Sharded evaluation is a pure function of the shard partition, never
+    /// of the worker count: 1, 2, and 4 workers produce bit-identical
+    /// forces, energy, and virial on random configurations.
+    #[test]
+    fn sharded_worker_count_is_bit_invariant(
+        n in 8usize..=96,
+        density in 0.7f64..1.25,
+        seed in 1_000u64..1_500,
+        shards in 1usize..=8,
+    ) {
+        let sys = System::lattice_count(TIP4P, n, density, 300.0, seed);
+        let rc = (sys.box_len / 2.0).min(5.0);
+        let mut reference: Option<Forces> = None;
+        for workers in [1usize, 2, 4] {
+            let mut engine = ForceEngine::with_sharding(1.0, shards, workers);
+            let out = engine.compute(&sys, rc);
+            match &reference {
+                None => {
+                    // Anchor the partition's correctness against the oracle
+                    // once; the remaining worker counts must match bitwise.
+                    let err = max_rel_err(&out, &compute_forces(&sys, rc));
+                    prop_assert!(err <= TOL, "sharded vs naive diverged: {:.3e}", err);
+                    reference = Some(out);
+                }
+                Some(r) => {
+                    prop_assert!(r.potential.to_bits() == out.potential.to_bits(),
+                        "potential differs at workers={workers}");
+                    prop_assert!(r.virial.to_bits() == out.virial.to_bits(),
+                        "virial differs at workers={workers}");
+                    prop_assert!(r.f == out.f, "forces differ at workers={workers}");
+                }
+            }
+        }
     }
 }
