@@ -1,0 +1,466 @@
+//! Service-resilience exhibit (DESIGN.md §16): the chaos storm.
+//!
+//! PR-10's resilience features — straggler hedging, heartbeat liveness,
+//! respawn backoff, run quarantine — all promise the same thing: they buy
+//! latency and availability without touching a single result bit. This
+//! exhibit composes every fault axis at once and checks that promise.
+//!
+//! Three legs:
+//!
+//! 1. **Hedging vs a straggler** — a two-worker threaded backend where one
+//!    worker sleeps on every job. Round latency (p50/p99 over repeated
+//!    batches) is measured with hedging off and on; the hedged p99 must
+//!    come in at ≤ 0.5× the unhedged p99, and every hedged batch must stay
+//!    bit-identical to inline serial extension.
+//! 2. **The storm** — a multi-run fleet (four drivers, hostile student-t +
+//!    contamination noise) where one run rides a threaded backend under
+//!    kill/delay/drop faults and another rides the process transport under
+//!    kill + net-delay/drop/reorder faults. Every storm result must be
+//!    bit-identical to its clean solo serial baseline.
+//! 3. **Quarantine** — a run whose dedicated backend burns its entire
+//!    respawn budget is evicted to a checkpoint, readmitted onto the shared
+//!    fleet, and must finish bit-identical to a clean solo run, tagged
+//!    `RunNote::Quarantined`.
+//!
+//! Writes `BENCH_resilience.json`. Exits non-zero if any gate fails.
+//!
+//! ```text
+//! cargo run --release --bin resilience_storm -- [--smoke] [--out <path>]
+//! ```
+
+use mw_framework::resilience::HedgePolicy;
+use mw_framework::ThreadedBackend;
+use noisy_simplex::prelude::*;
+use nsx_sched::{RunSpec, SchedConfig, Scheduler};
+use obs::MetricsRegistry;
+use repro_bench::apply_smoke_defaults;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use stoch_eval::backend::{SamplingBackend, SerialBackend, StreamJob};
+use stoch_eval::functions::Rosenbrock;
+use stoch_eval::noise::ConstantNoise;
+use stoch_eval::objective::SampleStream;
+use stoch_eval::sampler::{GaussianStream, Noisy};
+use stoch_eval::NoiseDistribution;
+
+/// Serial reference config: in-process transport pinned explicitly so an
+/// ambient `NSX_TRANSPORT=process` cannot reroute the baseline.
+fn serial_cfg() -> SimplexConfig {
+    SimplexConfig {
+        backend: BackendChoice::Serial,
+        transport: TransportChoice::Inproc,
+        ..SimplexConfig::default()
+    }
+}
+
+fn term(iters: u64) -> Termination {
+    Termination {
+        tolerance: None,
+        max_time: None,
+        max_iterations: Some(iters),
+    }
+}
+
+/// A per-attempt timeout short enough to recover dropped frames inside the
+/// exhibit's budget but far above the injected straggler delay, so retries
+/// never race the hedges being measured.
+fn chaos_retry() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 5,
+        timeout: Some(Duration::from_millis(500)),
+        backoff: Duration::from_millis(1),
+    }
+}
+
+fn same_result(a: &RunResult, b: &RunResult) -> bool {
+    a.best_point == b.best_point
+        && a.best_observed.to_bits() == b.best_observed.to_bits()
+        && a.iterations == b.iterations
+        && a.elapsed.to_bits() == b.elapsed.to_bits()
+        && a.total_sampling.to_bits() == b.total_sampling.to_bits()
+        && a.stop == b.stop
+        && a.trace.points().len() == b.trace.points().len()
+}
+
+fn make_batch(n: usize) -> Vec<StreamJob<GaussianStream>> {
+    (0..n)
+        .map(|i| StreamJob {
+            slot: i,
+            dt: 1.0 + i as f64 * 0.25,
+            stream: GaussianStream::new(i as f64, 3.0, 100 + i as u64),
+        })
+        .collect()
+}
+
+/// Extend one batch through `backend`, returning the round's wall-clock and
+/// whether the results matched inline serial extension bit for bit.
+fn timed_round(backend: &dyn SamplingBackend<GaussianStream>, n: usize) -> (f64, bool) {
+    let jobs = make_batch(n);
+    let mut reference: Vec<GaussianStream> = jobs.iter().map(|j| j.stream.clone()).collect();
+    for (r, j) in reference.iter_mut().zip(&jobs) {
+        r.extend(j.dt);
+    }
+    let t = Instant::now();
+    let out = backend.extend_batch(jobs);
+    let secs = t.elapsed().as_secs_f64();
+    let identical = out.len() == n
+        && out.iter().zip(&reference).enumerate().all(|(i, (j, r))| {
+            let (a, b) = (j.stream.estimate(), r.estimate());
+            j.slot == i
+                && a.value.to_bits() == b.value.to_bits()
+                && a.std_err.to_bits() == b.std_err.to_bits()
+                && a.time.to_bits() == b.time.to_bits()
+        });
+    (secs * 1e3, identical)
+}
+
+/// The `q`-quantile of `xs` by nearest-rank on the sorted sample.
+fn quantile_ms(xs: &[f64], q: f64) -> f64 {
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    sorted[((sorted.len() - 1) as f64 * q).round() as usize]
+}
+
+struct HedgeLeg {
+    unhedged_p50: f64,
+    unhedged_p99: f64,
+    hedged_p50: f64,
+    hedged_p99: f64,
+    launched: u64,
+    wins: u64,
+    identical: bool,
+}
+
+/// Leg 1: round latency with and without hedging, same straggler plan.
+fn hedge_leg(rounds: usize, straggle_ms: u64) -> HedgeLeg {
+    let straggler = || FaultPlan::none().delay(0, 0, straggle_ms);
+    let policy = HedgePolicy::parse("on:q=0.5:factor=1:min_ms=2:warmup=3").unwrap();
+    let mut identical = true;
+
+    let unhedged = ThreadedBackend::with_options(2, straggler(), chaos_retry(), 4, None);
+    let reg = MetricsRegistry::new();
+    let hedged = ThreadedBackend::with_options(2, straggler(), chaos_retry(), 4, Some(&reg))
+        .with_hedge(policy);
+
+    // Prime both pools (and the hedged pool's latency estimator) before
+    // timing: the first hedged rounds run blind until `warmup` completions.
+    for backend in [&unhedged, &hedged] {
+        for _ in 0..3 {
+            let (_, ok) = timed_round(backend, 8);
+            identical &= ok;
+        }
+    }
+
+    let mut measure = |backend: &ThreadedBackend| -> Vec<f64> {
+        (0..rounds)
+            .map(|_| {
+                let (ms, ok) = timed_round(backend, 8);
+                identical &= ok;
+                ms
+            })
+            .collect()
+    };
+    let base = measure(&unhedged);
+    let fast = measure(&hedged);
+
+    HedgeLeg {
+        unhedged_p50: quantile_ms(&base, 0.50),
+        unhedged_p99: quantile_ms(&base, 0.99),
+        hedged_p50: quantile_ms(&fast, 0.50),
+        hedged_p99: quantile_ms(&fast, 0.99),
+        launched: reg.counter("mw.hedge.launched").get(),
+        wins: reg.counter("mw.hedge.wins").get(),
+        identical,
+    }
+}
+
+/// Leg 2: four drivers under hostile noise, two of them behind chaos-laden
+/// dedicated backends, time-sliced on one fleet. Returns (runs, identical).
+fn storm_leg() -> (usize, bool) {
+    let obj = Noisy::new(Rosenbrock::new(2), ConstantNoise(6.0))
+        .with_distribution(NoiseDistribution::student_t(3.0).with_contamination(0.05, 20.0));
+    let init = |seed: u64| init::random_uniform(2, -3.0, 3.0, seed);
+    let drivers = [
+        Driver::Det,
+        Driver::Mn(Default::default()),
+        Driver::Pc(Default::default()),
+        Driver::PcMn(Default::default(), Default::default()),
+    ];
+
+    // Worker-side chaos on a dedicated threaded pool: a kill, a per-job
+    // delay, and a swallowed result.
+    let thread_chaos = SimplexConfig {
+        backend: BackendChoice::Threaded { workers: 3 },
+        transport: TransportChoice::Inproc,
+        faults: Some(
+            FaultPlan::none()
+                .kill(0, 2)
+                .delay(1, 0, 1)
+                .drop_result(2, 1),
+        ),
+        retry: chaos_retry(),
+        ..SimplexConfig::default()
+    };
+    // Wire-side chaos on a dedicated process pool: a kill plus net delay,
+    // a dropped frame, and a reordered frame (heartbeats stay on defaults).
+    let wire_chaos = SimplexConfig {
+        backend: BackendChoice::Threaded { workers: 2 },
+        transport: TransportChoice::Process,
+        faults: Some(
+            FaultPlan::none()
+                .kill(0, 2)
+                .net_delay(1, 0, 2)
+                .net_drop(0, 3)
+                .reorder(1, 5),
+        ),
+        retry: chaos_retry(),
+        ..SimplexConfig::default()
+    };
+    let configs = [thread_chaos, wire_chaos, serial_cfg(), serial_cfg()];
+
+    let solos: Vec<RunResult> = drivers
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| {
+            RunSession::new(
+                &obj,
+                init(40 + i as u64),
+                serial_cfg(),
+                term(20),
+                TimeMode::Parallel,
+                40 + i as u64,
+                d,
+            )
+            .run_to_completion()
+        })
+        .collect();
+
+    let mut sched = Scheduler::new(
+        SchedConfig {
+            width: 2,
+            quantum: 3,
+        },
+        Arc::new(SerialBackend),
+    );
+    let ids: Vec<u64> = drivers
+        .iter()
+        .zip(configs)
+        .enumerate()
+        .map(|(i, (&d, cfg))| {
+            sched
+                .admit(RunSpec::new(
+                    &obj,
+                    init(40 + i as u64),
+                    cfg,
+                    term(20),
+                    TimeMode::Parallel,
+                    40 + i as u64,
+                    d,
+                ))
+                .expect("storm run admits")
+        })
+        .collect();
+    sched.run();
+
+    let identical = ids
+        .iter()
+        .zip(&solos)
+        .all(|(&id, solo)| sched.result(id).is_some_and(|got| same_result(solo, got)));
+    (ids.len(), identical)
+}
+
+struct QuarantineLeg {
+    quarantined: u64,
+    readmitted: bool,
+    noted: bool,
+    identical: bool,
+}
+
+/// Leg 3: budget exhaustion → quarantine → readmission → clean-solo bits.
+fn quarantine_leg() -> QuarantineLeg {
+    let obj = Noisy::new(Rosenbrock::new(2), ConstantNoise(6.0));
+    let init = |seed: u64| init::random_uniform(2, -3.0, 3.0, seed);
+    let doomed_cfg = SimplexConfig {
+        backend: BackendChoice::Threaded { workers: 1 },
+        transport: TransportChoice::Inproc,
+        faults: Some(FaultPlan::none().kill(0, 2)),
+        respawn_budget: Some(0),
+        ..SimplexConfig::default()
+    };
+
+    let clean_solo = RunSession::new(
+        &obj,
+        init(60),
+        serial_cfg(),
+        term(15),
+        TimeMode::Parallel,
+        60,
+        Driver::Det,
+    )
+    .run_to_completion();
+
+    let mut sched = Scheduler::new(
+        SchedConfig {
+            width: 1,
+            quantum: 2,
+        },
+        Arc::new(SerialBackend),
+    );
+    let doomed = sched
+        .admit(RunSpec::new(
+            &obj,
+            init(60),
+            doomed_cfg,
+            term(15),
+            TimeMode::Parallel,
+            60,
+            Driver::Det,
+        ))
+        .expect("doomed run admits");
+    sched.run();
+
+    let quarantined = sched
+        .service_registry()
+        .counter("sched.runs.quarantined")
+        .get();
+    let readmitted = sched.quarantined() == vec![doomed] && sched.readmit(doomed);
+    sched.run();
+    let (noted, identical) = sched.result(doomed).map_or((false, false), |got| {
+        (
+            got.notes.contains(&RunNote::Quarantined),
+            same_result(&clean_solo, got),
+        )
+    });
+    QuarantineLeg {
+        quarantined,
+        readmitted,
+        noted,
+        identical,
+    }
+}
+
+struct Report {
+    straggle_ms: u64,
+    rounds: usize,
+    hedge: HedgeLeg,
+    storm_runs: usize,
+    storm_identical: bool,
+    quarantine: QuarantineLeg,
+}
+
+impl Report {
+    /// The headline gate: hedged tail latency under a straggler.
+    fn hedge_ok(&self) -> bool {
+        self.hedge.hedged_p99 <= 0.5 * self.hedge.unhedged_p99
+            && self.hedge.launched >= 1
+            && self.hedge.identical
+    }
+
+    fn ok(&self) -> bool {
+        self.hedge_ok()
+            && self.storm_identical
+            && self.quarantine.quarantined >= 1
+            && self.quarantine.readmitted
+            && self.quarantine.noted
+            && self.quarantine.identical
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"straggle_ms\": {},\n  \"rounds\": {},\n  \
+             \"unhedged_p50_ms\": {:.3},\n  \"unhedged_p99_ms\": {:.3},\n  \
+             \"hedged_p50_ms\": {:.3},\n  \"hedged_p99_ms\": {:.3},\n  \
+             \"hedges_launched\": {},\n  \"hedge_wins\": {},\n  \
+             \"hedged_identical\": {},\n  \"storm_runs\": {},\n  \
+             \"storm_identical\": {},\n  \"quarantined\": {},\n  \
+             \"quarantine_readmitted\": {},\n  \"quarantine_noted\": {},\n  \
+             \"quarantine_identical\": {},\n  \"ok\": {}\n}}\n",
+            self.straggle_ms,
+            self.rounds,
+            self.hedge.unhedged_p50,
+            self.hedge.unhedged_p99,
+            self.hedge.hedged_p50,
+            self.hedge.hedged_p99,
+            self.hedge.launched,
+            self.hedge.wins,
+            self.hedge.identical,
+            self.storm_runs,
+            self.storm_identical,
+            self.quarantine.quarantined,
+            self.quarantine.readmitted,
+            self.quarantine.noted,
+            self.quarantine.identical,
+            self.ok(),
+        )
+    }
+}
+
+fn main() {
+    let mut out = std::path::PathBuf::from("BENCH_resilience.json");
+    let mut smoke = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => {
+                smoke = true;
+                apply_smoke_defaults();
+            }
+            "--out" => match args.next() {
+                Some(p) => out = p.into(),
+                None => {
+                    eprintln!("error: --out requires a path argument");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                eprintln!("usage: resilience_storm [--smoke] [--out <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!("resilience storm: service-level fault composition (DESIGN.md \u{a7}16)");
+    let (rounds, straggle_ms) = if smoke { (16, 15) } else { (48, 25) };
+
+    let hedge = hedge_leg(rounds, straggle_ms);
+    println!(
+        "hedging: unhedged p50/p99 {:.1}/{:.1} ms, hedged {:.1}/{:.1} ms, \
+         launched {}, wins {}, identical: {}",
+        hedge.unhedged_p50,
+        hedge.unhedged_p99,
+        hedge.hedged_p50,
+        hedge.hedged_p99,
+        hedge.launched,
+        hedge.wins,
+        hedge.identical
+    );
+
+    let (storm_runs, storm_identical) = storm_leg();
+    println!("storm: {storm_runs} runs under composed chaos, identical: {storm_identical}");
+
+    let quarantine = quarantine_leg();
+    println!(
+        "quarantine: evictions {}, readmitted {}, noted {}, identical: {}",
+        quarantine.quarantined, quarantine.readmitted, quarantine.noted, quarantine.identical
+    );
+
+    let report = Report {
+        straggle_ms,
+        rounds,
+        hedge,
+        storm_runs,
+        storm_identical,
+        quarantine,
+    };
+    if let Err(e) = std::fs::write(&out, report.to_json()) {
+        eprintln!("error: cannot write {}: {e}", out.display());
+        std::process::exit(1);
+    }
+    println!("written to {}", out.display());
+
+    if !report.ok() {
+        eprintln!("error: a resilience gate failed");
+        std::process::exit(1);
+    }
+}

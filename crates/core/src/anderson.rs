@@ -161,7 +161,7 @@ impl AndersonNm {
         term_override: Option<Termination>,
         registry: Option<&MetricsRegistry>,
     ) -> Result<RunResult, CheckpointError> {
-        let (payload, _from) = checkpoint::load_with_fallback(path)?;
+        let (payload, from) = checkpoint::load_with_fallback(path)?;
         let mut session = RunSession::resume(
             objective,
             self.cfg.clone(),
@@ -169,6 +169,9 @@ impl AndersonNm {
             term_override,
             Driver::Anderson(self.params),
         )?;
+        if from != path {
+            session.record_note(crate::result::RunNote::CheckpointFellBack);
+        }
         if let Some(reg) = registry {
             session.attach_metrics(EngineMetrics::register(reg));
         }

@@ -102,7 +102,7 @@ impl Det {
         term_override: Option<Termination>,
         registry: Option<&MetricsRegistry>,
     ) -> Result<RunResult, CheckpointError> {
-        let (payload, _from) = checkpoint::load_with_fallback(path)?;
+        let (payload, from) = checkpoint::load_with_fallback(path)?;
         let mut session = RunSession::resume(
             objective,
             self.cfg.clone(),
@@ -110,6 +110,9 @@ impl Det {
             term_override,
             Driver::Det,
         )?;
+        if from != path {
+            session.record_note(crate::result::RunNote::CheckpointFellBack);
+        }
         if let Some(reg) = registry {
             session.attach_metrics(EngineMetrics::register(reg));
         }

@@ -590,6 +590,13 @@ impl<'a, F: StochasticObjective> Engine<'a, F> {
         }
     }
 
+    /// Record a note from outside the engine (resume fallback, scheduler
+    /// quarantine). Deduplicated per kind like internally-raised notes, and
+    /// carried through snapshots and the final [`RunResult`] identically.
+    pub fn record_note(&mut self, n: RunNote) {
+        self.note(n);
+    }
+
     /// Non-finite samples observed so far across all dispatches.
     pub fn nonfinite_seen(&self) -> u64 {
         self.nonfinite_seen
@@ -914,6 +921,8 @@ fn note_tag(n: RunNote) -> u8 {
         RunNote::CheckpointFailed => 2,
         RunNote::TransportDegraded => 3,
         RunNote::NoiseSuspect => 4,
+        RunNote::Quarantined => 5,
+        RunNote::CheckpointFellBack => 6,
     }
 }
 
@@ -924,6 +933,8 @@ fn note_from_tag(tag: u8) -> Result<RunNote, CodecError> {
         2 => RunNote::CheckpointFailed,
         3 => RunNote::TransportDegraded,
         4 => RunNote::NoiseSuspect,
+        5 => RunNote::Quarantined,
+        6 => RunNote::CheckpointFellBack,
         tag => {
             return Err(CodecError::Tag {
                 what: "RunNote",

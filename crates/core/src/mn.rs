@@ -148,7 +148,7 @@ impl MaxNoise {
         term_override: Option<Termination>,
         registry: Option<&MetricsRegistry>,
     ) -> Result<RunResult, CheckpointError> {
-        let (payload, _from) = checkpoint::load_with_fallback(path)?;
+        let (payload, from) = checkpoint::load_with_fallback(path)?;
         let mut session = RunSession::resume(
             objective,
             self.cfg.clone(),
@@ -156,6 +156,9 @@ impl MaxNoise {
             term_override,
             Driver::Mn(self.params),
         )?;
+        if from != path {
+            session.record_note(crate::result::RunNote::CheckpointFellBack);
+        }
         if let Some(reg) = registry {
             session.attach_metrics(EngineMetrics::register(reg));
         }

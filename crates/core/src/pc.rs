@@ -279,7 +279,7 @@ impl PointComparison {
         term_override: Option<Termination>,
         registry: Option<&MetricsRegistry>,
     ) -> Result<RunResult, CheckpointError> {
-        let (payload, _from) = checkpoint::load_with_fallback(path)?;
+        let (payload, from) = checkpoint::load_with_fallback(path)?;
         let mut session = RunSession::resume(
             objective,
             self.cfg.clone(),
@@ -287,6 +287,9 @@ impl PointComparison {
             term_override,
             Driver::Pc(self.params),
         )?;
+        if from != path {
+            session.record_note(crate::result::RunNote::CheckpointFellBack);
+        }
         if let Some(reg) = registry {
             session.attach_metrics(EngineMetrics::register(reg));
         }

@@ -94,7 +94,7 @@ impl PcMn {
         term_override: Option<Termination>,
         registry: Option<&MetricsRegistry>,
     ) -> Result<RunResult, CheckpointError> {
-        let (payload, _from) = checkpoint::load_with_fallback(path)?;
+        let (payload, from) = checkpoint::load_with_fallback(path)?;
         let mut session = RunSession::resume(
             objective,
             self.cfg.clone(),
@@ -102,6 +102,9 @@ impl PcMn {
             term_override,
             Driver::PcMn(self.mn, self.pc),
         )?;
+        if from != path {
+            session.record_note(crate::result::RunNote::CheckpointFellBack);
+        }
         if let Some(reg) = registry {
             session.attach_metrics(EngineMetrics::register(reg));
         }

@@ -39,6 +39,19 @@ pub enum RunNote {
     /// `BreakdownAction::SwitchRobust` the run's streams were switched to
     /// the robust estimator from that round on. See DESIGN.md §14.
     NoiseSuspect,
+    /// The scheduler quarantined this run: its dedicated backend repeatedly
+    /// exhausted retry/respawn budgets, so the run was checkpointed and
+    /// evicted from the shared fleet rather than allowed to drag other
+    /// runs into degraded execution. The run later resumed (possibly with a
+    /// sanitized configuration) and finished; results are bit-identical to
+    /// an uneventful solo run. See DESIGN.md §16.
+    Quarantined,
+    /// Resume could not read the primary checkpoint (CRC mismatch or
+    /// truncation) and fell back to the retained previous-generation
+    /// snapshot (`<path>.1`). The run re-executed the iterations since that
+    /// older snapshot bit-identically; only wall-clock work was repeated.
+    /// See DESIGN.md §11.
+    CheckpointFellBack,
 }
 
 /// Collect the [`RunNote`]s a backend reports after a run. A degraded

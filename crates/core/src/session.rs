@@ -158,6 +158,13 @@ impl<'a, F: StochasticObjective> RunSession<'a, F> {
         self.eng.attach_metrics(metrics);
     }
 
+    /// Record a [`RunNote`](crate::result::RunNote) against this run from an
+    /// external supervisor (checkpoint-fallback on resume, scheduler
+    /// quarantine). Deduplicated per kind; survives snapshots.
+    pub fn record_note(&mut self, n: crate::result::RunNote) {
+        self.eng.record_note(n);
+    }
+
     /// Advance the run by at most one simplex decision: write a due
     /// checkpoint, check termination, run the driver's gate, then one
     /// iteration body. Calling `step` after `Finished` is a no-op.

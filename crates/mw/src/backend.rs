@@ -28,6 +28,19 @@
 //! [`FaultPlan`]) for chaos testing, or programmatically via
 //! [`ThreadedBackend::with_options`].
 //!
+//! # Straggler hedging (DESIGN.md §16)
+//!
+//! Dead workers are detected by channel disconnection, but a merely *slow*
+//! worker stalls the whole rendezvoused batch. With hedging enabled
+//! (`NSX_HEDGE=on`, or [`ThreadedBackend::with_hedge`]), a job whose
+//! in-flight latency exceeds a quantile-tracked threshold — a
+//! [`P2Quantile`] estimate over completed job latencies, scaled by the
+//! policy's factor — is speculatively re-dispatched from its master-side
+//! clone and the first answer wins. Both replicas extend identical RNG
+//! state, so the race is between bit-identical results: hedging can only
+//! ever buy tail latency, never change an answer. `mw.hedge.launched` and
+//! `mw.hedge.wins` count launches and races won by the hedge.
+//!
 //! Do **not** wrap an [`MwObjective`](crate::objective::MwObjective) in a
 //! `ThreadedBackend` over the *same* pool: its streams call back into the
 //! pool from inside a worker job, which deadlocks once every worker is
@@ -36,10 +49,11 @@
 
 use crate::faults::FaultPlan;
 use crate::pool::{default_respawn_budget, JobHandle, MwPool, RetryPolicy, WorkerLost};
+use crate::resilience::{HedgePolicy, P2Quantile};
 use obs::{Counter, Gauge, MetricsRegistry};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 use stoch_eval::backend::{SamplingBackend, StreamJob};
 use stoch_eval::objective::SampleStream;
@@ -70,7 +84,8 @@ pub(crate) fn ship_extend<S: SampleStream + 'static>(
 /// `mw.backend.batches`, `mw.backend.jobs`, `mw.backend.fanout_nanos`,
 /// `mw.backend.batch_size_hwm`, `mw.backend.busy_pct`, plus the
 /// fault-tolerance series `mw.retry.attempts`, `mw.retry.timeouts`,
-/// `mw.backend.degraded`.
+/// `mw.backend.degraded`, and the straggler-hedging series
+/// `mw.hedge.launched`, `mw.hedge.wins`.
 struct BackendObs {
     batches: Arc<Counter>,
     jobs: Arc<Counter>,
@@ -80,6 +95,8 @@ struct BackendObs {
     retry_attempts: Arc<Counter>,
     retry_timeouts: Arc<Counter>,
     degraded: Arc<Counter>,
+    hedge_launched: Arc<Counter>,
+    hedge_wins: Arc<Counter>,
 }
 
 impl BackendObs {
@@ -93,6 +110,8 @@ impl BackendObs {
             retry_attempts: registry.counter("mw.retry.attempts"),
             retry_timeouts: registry.counter("mw.retry.timeouts"),
             degraded: registry.counter("mw.backend.degraded"),
+            hedge_launched: registry.counter("mw.hedge.launched"),
+            hedge_wins: registry.counter("mw.hedge.wins"),
         }
     }
 }
@@ -105,6 +124,12 @@ pub struct ThreadedBackend {
     obs: Option<BackendObs>,
     retry: RetryPolicy,
     degraded: AtomicBool,
+    /// Straggler-hedging policy (`NSX_HEDGE`, DESIGN.md §16). Off by
+    /// default: hedging never changes results (first-wins over bit-identical
+    /// replicas), only tail latency, so it is a pure opt-in.
+    hedge: HedgePolicy,
+    /// Online estimate of the hedge quantile over completed job latencies.
+    latency: Mutex<P2Quantile>,
 }
 
 /// Worker count for the shared pool: `NSX_WORKERS` if set (≥ 1), otherwise
@@ -132,6 +157,10 @@ struct Pending<S> {
     backup: S,
     handle: JobHandle<StreamJob<S>>,
     attempt: u32,
+    /// A speculative second dispatch of the same extension, launched when
+    /// the primary overran the hedge threshold. Both replicas extend the
+    /// identical RNG state, so whichever answers first is THE result.
+    hedge: Option<JobHandle<StreamJob<S>>>,
 }
 
 impl ThreadedBackend {
@@ -151,11 +180,14 @@ impl ThreadedBackend {
     /// Run batches over an existing pool (no env fault injection — the pool
     /// was configured by its owner).
     pub fn over(pool: Arc<MwPool>) -> Self {
+        let hedge = HedgePolicy::from_env();
         ThreadedBackend {
             pool,
             obs: None,
             retry: RetryPolicy::default(),
             degraded: AtomicBool::new(false),
+            hedge,
+            latency: Mutex::new(P2Quantile::new(hedge.quantile)),
         }
     }
 
@@ -182,6 +214,7 @@ impl ThreadedBackend {
         respawn_budget: u64,
         registry: Option<&MetricsRegistry>,
     ) -> Self {
+        let hedge = HedgePolicy::from_env();
         ThreadedBackend {
             pool: Arc::new(MwPool::with_options(
                 n_workers,
@@ -192,7 +225,23 @@ impl ThreadedBackend {
             obs: registry.map(BackendObs::register),
             retry,
             degraded: AtomicBool::new(false),
+            hedge,
+            latency: Mutex::new(P2Quantile::new(hedge.quantile)),
         }
+    }
+
+    /// Replace the hedging policy (builder style). The environment default
+    /// (`NSX_HEDGE`, off when unset) is read at construction; exhibits and
+    /// tests use this to force a specific policy programmatically.
+    pub fn with_hedge(mut self, hedge: HedgePolicy) -> Self {
+        self.hedge = hedge;
+        self.latency = Mutex::new(P2Quantile::new(hedge.quantile));
+        self
+    }
+
+    /// The active hedging policy.
+    pub fn hedge_policy(&self) -> HedgePolicy {
+        self.hedge
     }
 
     /// The process-wide shared backend, sized by [`default_workers`] on
@@ -219,6 +268,33 @@ impl ThreadedBackend {
                 o.degraded.inc();
             }
         }
+    }
+
+    /// Feed a completed job's dispatch-to-result latency to the hedge
+    /// quantile estimator (no-op with hedging off).
+    fn observe_latency(&self, d: Duration) {
+        if !self.hedge.enabled {
+            return;
+        }
+        let mut est = match self.latency.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        est.observe(d.as_secs_f64());
+    }
+
+    /// The in-flight age beyond which a job should be hedged *right now*,
+    /// from the current quantile estimate; `None` while hedging is off or
+    /// the estimator is still warming up.
+    fn hedge_after(&self) -> Option<Duration> {
+        if !self.hedge.enabled {
+            return None;
+        }
+        let est = match self.latency.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        self.hedge.hedge_after(est.count(), est.estimate())
     }
 
     /// Re-issue a lost/expired job if attempts and workers remain;
@@ -311,6 +387,7 @@ impl<S: SampleStream + 'static> SamplingBackend<S> for ThreadedBackend {
                 backup: job.stream.clone(),
                 handle: ship_extend(&self.pool, job),
                 attempt: 1,
+                hedge: None,
             })
             .collect();
         while !pending.is_empty() {
@@ -319,13 +396,36 @@ impl<S: SampleStream + 'static> SamplingBackend<S> for ThreadedBackend {
             // the bottom returns immediately instead of sleeping through
             // the wakeup.
             let seen = self.pool.completion_generation();
+            // One hedge-threshold read per scan pass: the estimate moves
+            // with completions, not mid-scan.
+            let hedge_after = self.hedge_after();
             let mut still: VecDeque<Pending<S>> = VecDeque::with_capacity(pending.len());
-            while let Some(p) = pending.pop_front() {
+            while let Some(mut p) = pending.pop_front() {
                 match p.handle.try_recv() {
                     Ok(Some(job)) => {
+                        // Primary answered (possibly beating its hedge: the
+                        // straggling replica is simply dropped — both carry
+                        // identical bits, so first-wins loses nothing).
+                        self.observe_latency(p.handle.elapsed());
                         out[p.idx] = Some(job);
                     }
                     Ok(None) => {
+                        // A hedge launched earlier may have won the race.
+                        if let Some(h) = &p.hedge {
+                            match h.try_recv() {
+                                Ok(Some(job)) => {
+                                    self.observe_latency(h.elapsed());
+                                    if let Some(o) = &self.obs {
+                                        o.hedge_wins.inc();
+                                    }
+                                    out[p.idx] = Some(job);
+                                    continue;
+                                }
+                                Ok(None) => {}
+                                // A dead hedge is no worse than no hedge.
+                                Err(WorkerLost) => p.hedge = None,
+                            }
+                        }
                         // Attempt age is measured from dispatch (the
                         // handle's clock), not from when this scan happens
                         // to reach the job.
@@ -342,6 +442,24 @@ impl<S: SampleStream + 'static> SamplingBackend<S> for ThreadedBackend {
                             }
                             self.retry_or_inline(p, &mut still, &mut out);
                         } else {
+                            // Straggler past the quantile-tracked threshold:
+                            // speculatively re-dispatch the identical stream
+                            // clone to a second worker (DESIGN.md §16).
+                            if p.hedge.is_none()
+                                && hedge_after.is_some_and(|after| p.handle.elapsed() >= after)
+                            {
+                                if let Some(o) = &self.obs {
+                                    o.hedge_launched.inc();
+                                }
+                                p.hedge = Some(ship_extend(
+                                    &self.pool,
+                                    StreamJob {
+                                        slot: p.slot,
+                                        dt: p.dt,
+                                        stream: p.backup.clone(),
+                                    },
+                                ));
+                            }
                             still.push_back(p);
                         }
                     }
@@ -352,7 +470,15 @@ impl<S: SampleStream + 'static> SamplingBackend<S> for ThreadedBackend {
                         if self.pool.is_failed() {
                             self.note_degraded();
                         }
-                        self.retry_or_inline(p, &mut still, &mut out);
+                        if let Some(h) = p.hedge.take() {
+                            // The in-flight hedge replica already carries
+                            // this extension: promote it to primary instead
+                            // of burning a retry attempt.
+                            p.handle = h;
+                            still.push_back(p);
+                        } else {
+                            self.retry_or_inline(p, &mut still, &mut out);
+                        }
                     }
                 }
             }
@@ -377,12 +503,18 @@ impl<S: SampleStream + 'static> SamplingBackend<S> for ThreadedBackend {
                 debug_assert!(sink.is_empty(), "failed pool must not re-queue");
                 break;
             }
-            // Sleep until a completion event, the earliest per-attempt
-            // deadline, or the supervision fallback — whichever is first.
+            // Sleep until a completion event, the earliest per-attempt or
+            // hedge-launch deadline, or the supervision fallback —
+            // whichever is first.
             let mut wait = SUPERVISION_FALLBACK;
             if let Some(limit) = self.retry.timeout {
                 for p in &pending {
                     wait = wait.min(limit.saturating_sub(p.handle.elapsed()));
+                }
+            }
+            if let Some(after) = self.hedge_after() {
+                for p in pending.iter().filter(|p| p.hedge.is_none()) {
+                    wait = wait.min(after.saturating_sub(p.handle.elapsed()));
                 }
             }
             if !wait.is_zero() {
@@ -578,6 +710,40 @@ mod tests {
         }
         assert_eq!(reg.counter("mw.retry.timeouts").get(), 0);
         assert_eq!(reg.counter("mw.retry.attempts").get(), 0);
+    }
+
+    #[test]
+    fn hedged_dispatch_stays_bit_identical_and_records_wins() {
+        let reg = MetricsRegistry::new();
+        let obj = Noisy::new(Rosenbrock::new(2), ConstantNoise(2.0));
+        // Worker 0 sleeps 50ms on every job — a permanent straggler. An
+        // aggressive hedge policy re-dispatches its jobs to the healthy
+        // worker 1, and every batch must stay bit-identical to serial.
+        let backend = ThreadedBackend::with_options(
+            2,
+            FaultPlan::none().delay(0, 0, 50),
+            RetryPolicy::default(),
+            default_respawn_budget(2),
+            Some(&reg),
+        )
+        .with_hedge(HedgePolicy::parse("on:q=0.5:factor=1:min_ms=5:warmup=5").unwrap());
+        for _ in 0..5 {
+            let serial = SerialBackend.extend_batch(jobs_at(&obj, 8));
+            let hedged = backend.extend_batch(jobs_at(&obj, 8));
+            assert_batches_identical(&serial, &hedged);
+        }
+        assert!(
+            reg.counter("mw.hedge.launched").get() >= 1,
+            "straggler never triggered a hedge"
+        );
+        assert!(
+            reg.counter("mw.hedge.wins").get() >= 1,
+            "no hedge ever won its race"
+        );
+        // Hedging is not retrying: a healthy-but-slow worker must not burn
+        // retry attempts or timeouts.
+        assert_eq!(reg.counter("mw.retry.attempts").get(), 0);
+        assert_eq!(reg.counter("mw.retry.timeouts").get(), 0);
     }
 
     #[test]

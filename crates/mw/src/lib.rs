@@ -22,6 +22,9 @@
 //! * [`objective`] — an adapter that runs any `StochasticObjective`'s
 //!   sampling on MW workers, so the optimizers in `noisy-simplex` can be
 //!   deployed on the pool unchanged.
+//! * [`resilience`] — straggler hedging ([`resilience::HedgePolicy`],
+//!   `NSX_HEDGE`), heartbeat liveness, and jittered respawn backoff
+//!   (DESIGN.md §16), shared by the pool, backend, and transport layers.
 //! * [`transport`] — the process-level distribution seam (DESIGN.md §12): a
 //!   versioned, CRC-guarded frame protocol over Unix-domain sockets to real
 //!   worker *processes* ([`transport::ProcessBackend`]), with in-process
@@ -44,6 +47,7 @@ pub mod comm;
 pub mod faults;
 pub mod objective;
 pub mod pool;
+pub mod resilience;
 pub mod task;
 pub mod transport;
 
@@ -55,5 +59,6 @@ pub use objective::{MwObjective, MwStream};
 pub use pool::{
     default_respawn_budget, JobHandle, MwPool, RetryPolicy, ShutdownError, WorkerLost, WorkerStats,
 };
+pub use resilience::{BackoffPolicy, HeartbeatPolicy, HedgePolicy, P2Quantile};
 pub use task::{MwDriver, MwTask, WorkerCtx};
 pub use transport::{ProcessBackend, ProcessPool, Transport, TransportError};

@@ -20,6 +20,7 @@
 //! wedge.
 
 use crate::faults::{FaultPlan, WorkerFault};
+use crate::resilience::BackoffPolicy;
 use crossbeam_channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use obs::{Counter, Gauge, MetricsRegistry};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -294,6 +295,11 @@ struct Slot {
     handle: Option<JoinHandle<()>>,
     alive: Arc<AtomicBool>,
     incarnation: u32,
+    /// Earliest instant a respawn of this slot may happen, set by the
+    /// jittered-backoff policy when supervision first observes the death
+    /// (DESIGN.md §16). `None` while the worker is alive or the respawn is
+    /// not deferred.
+    not_before: Option<Instant>,
 }
 
 struct Core {
@@ -316,6 +322,8 @@ pub struct MwPool {
     respawns: AtomicU64,
     failed: AtomicBool,
     faults: FaultPlan,
+    /// Deferral schedule for repeated respawns of one slot (`NSX_RESPAWN_BACKOFF`).
+    backoff: BackoffPolicy,
     notifier: Arc<CompletionNotifier>,
     /// Set at construction when a registry is passed, or later via
     /// [`MwPool::attach_registry`] (the shared-pool case); write-once so the
@@ -504,6 +512,7 @@ impl MwPool {
                     handle: Some(handle),
                     alive,
                     incarnation: 0,
+                    not_before: None,
                 }
             })
             .collect();
@@ -522,6 +531,7 @@ impl MwPool {
             respawns: AtomicU64::new(0),
             failed: AtomicBool::new(false),
             faults,
+            backoff: BackoffPolicy::from_env(),
             notifier,
             obs,
         }
@@ -592,12 +602,20 @@ impl MwPool {
     /// Respawned workers are healthy regardless of the fault plan (a
     /// restarted node is a fresh node); they continue pulling from the same
     /// queue, so queued work survives any death the budget covers.
+    ///
+    /// A slot's *first* respawn is immediate; repeated respawns of the same
+    /// slot are deferred by the jittered exponential [`BackoffPolicy`]
+    /// (`NSX_RESPAWN_BACKOFF`, DESIGN.md §16). Deferral never sleeps — the
+    /// slot is simply skipped until its deadline, and a deferred slot keeps
+    /// its budget and does not count toward pool failure.
     pub fn supervise(&self) -> usize {
         let mut core = self.lock_core();
         if core.job_tx.is_none() {
             return 0; // shut down: nothing to supervise
         }
+        let now = Instant::now();
         let mut live = 0;
+        let mut deferred = 0;
         for w in 0..core.slots.len() {
             if core.slots[w].alive.load(Ordering::SeqCst) {
                 live += 1;
@@ -609,6 +627,14 @@ impl MwPool {
                 let _ = h.join();
             }
             if core.respawn_budget == 0 {
+                continue;
+            }
+            // Jittered exponential backoff on repeated deaths of this slot,
+            // anchored at the pass that first observed the death.
+            let delay = self.backoff.delay_for(w, core.slots[w].incarnation + 1);
+            let not_before = *core.slots[w].not_before.get_or_insert(now + delay);
+            if now < not_before {
+                deferred += 1;
                 continue;
             }
             core.respawn_budget -= 1;
@@ -630,6 +656,7 @@ impl MwPool {
                 handle: Some(handle),
                 alive,
                 incarnation,
+                not_before: None,
             };
             self.respawns.fetch_add(1, Ordering::Relaxed);
             if let Some(o) = self.obs.get() {
@@ -637,10 +664,12 @@ impl MwPool {
             }
             live += 1;
         }
-        if live == 0 {
+        if live == 0 && deferred == 0 {
             // Out of workers and out of budget: fail fast. The flag is set
             // before the lock is released, so any submit that observes it
-            // clear will have enqueued before the drain below.
+            // clear will have enqueued before the drain below. (A deferred
+            // respawn is *not* failure: budget remains and the slot revives
+            // once its backoff deadline passes.)
             self.failed.store(true, Ordering::SeqCst);
             drop(core);
             self.drain_queue();
@@ -855,6 +884,45 @@ mod tests {
         let err = pool.shutdown().unwrap_err();
         assert_eq!(err.lost, 1);
         assert_eq!(err.clean, 1);
+    }
+
+    /// Kill the (sole) worker of `pool` by feeding it a panicking job, and
+    /// wait until supervision can observe the death.
+    fn kill_sole_worker(pool: &MwPool) {
+        let h = pool.submit::<(), _>(|_| panic!("injected worker death"));
+        assert_eq!(h.recv(), Err(WorkerLost));
+        // The liveness flag flips when the worker's guard drops, marginally
+        // after the in-flight job's channel disconnects; wait it out.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while pool.live_workers() > 0 {
+            assert!(Instant::now() < deadline, "death never became observable");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn repeated_deaths_defer_respawn_with_jittered_backoff() {
+        let pool = MwPool::with_options(1, FaultPlan::none(), 8, None);
+        // First death of the slot: respawn is immediate (backoff's respawn
+        // #1 is always free).
+        kill_sole_worker(&pool);
+        assert_eq!(pool.supervise(), 1, "first respawn must be immediate");
+        assert_eq!(pool.respawns(), 1);
+        // Second death of the same slot: the default backoff policy defers
+        // the respawn, without consuming budget or failing the pool.
+        kill_sole_worker(&pool);
+        assert_eq!(pool.supervise(), 0, "second respawn must be deferred");
+        assert_eq!(pool.respawns(), 1, "no respawn during the deferral");
+        assert!(!pool.is_failed(), "a deferred respawn is not pool failure");
+        // Once the (jittered, capped) delay passes, supervision revives the
+        // slot and the pool serves work again.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while pool.supervise() == 0 {
+            assert!(Instant::now() < deadline, "deferred respawn never fired");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(pool.respawns(), 2);
+        assert_eq!(pool.call(|_| 7).unwrap(), 7);
     }
 
     #[test]

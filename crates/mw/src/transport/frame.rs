@@ -61,6 +61,12 @@ pub enum FrameKind {
     Error = 3,
     /// Master → worker: drain and exit cleanly.
     Shutdown = 4,
+    /// Master → worker: liveness probe (empty payload). A healthy worker
+    /// answers with a [`Pong`](FrameKind::Pong) echoing the seq; silence
+    /// past the heartbeat deadline buries the link (DESIGN.md §16).
+    Ping = 5,
+    /// Worker → master: heartbeat reply echoing the Ping's seq.
+    Pong = 6,
 }
 
 impl FrameKind {
@@ -71,6 +77,8 @@ impl FrameKind {
             2 => FrameKind::Result,
             3 => FrameKind::Error,
             4 => FrameKind::Shutdown,
+            5 => FrameKind::Ping,
+            6 => FrameKind::Pong,
             _ => return Err(FrameError::BadKind { tag }),
         })
     }

@@ -17,6 +17,27 @@
 //! worker, so the process backend always enforces a per-attempt timeout:
 //! [`RetryPolicy::timeout`] when set, [`DEFAULT_ATTEMPT_TIMEOUT`] otherwise.
 //!
+//! # Service-level resilience (DESIGN.md §16)
+//!
+//! Three policies from [`crate::resilience`] harden the transport beyond
+//! crash recovery:
+//!
+//! * **Heartbeat liveness** (`NSX_HEARTBEAT`, on by default): the pool
+//!   sends a `Ping` frame on any link silent past the interval; a link
+//!   whose ping goes unanswered past the timeout is buried and its jobs
+//!   re-dispatched, so a wedged worker or half-dead socket is detected in
+//!   bounded time instead of wedging a rendezvous until the attempt
+//!   timeout.
+//! * **Reconnect backoff** (`NSX_RESPAWN_BACKOFF`, on by default): repeated
+//!   respawns of one slot are deferred by a jittered exponential delay —
+//!   skipped, not slept, so no caller blocks — with dispatch allowed to
+//!   force past the deferral as a last resort rather than degrade inline.
+//! * **Straggler hedging** (`NSX_HEDGE`, off by default): a job in flight
+//!   past a P²-tracked latency quantile is speculatively re-dispatched from
+//!   its master-side backup to another worker; first answer wins, the loser
+//!   is forgotten. Because both legs run the identical stream clone, the
+//!   result bits cannot differ — hedging trims tail latency only.
+//!
 //! # Determinism
 //!
 //! Streams cross the wire via `save_state`/`load_state`, which are
@@ -35,6 +56,7 @@ use super::worker::{ensure_linked, WORKER_FAULTS_ENV, WORKER_SOCKET_ENV};
 use super::{wire, FaultedTransport, Frame, FrameKind, SocketTransport, Transport, TransportError};
 use crate::faults::FaultPlan;
 use crate::pool::{default_respawn_budget, RetryPolicy};
+use crate::resilience::{BackoffPolicy, HeartbeatPolicy, HedgePolicy, P2Quantile};
 use obs::{Counter, MetricsRegistry};
 use std::collections::HashMap;
 use std::os::unix::net::UnixListener;
@@ -70,9 +92,10 @@ static SOCKET_COUNTER: AtomicU64 = AtomicU64::new(0);
 
 /// Wire/transport metric handles. Names: `mw.transport.frames_sent`,
 /// `frames_received`, `bytes_sent`, `bytes_received`, `corrupt`,
-/// `reconnects`, `stale`, `unsupported`, `inline_jobs`, plus the shared
-/// fault-tolerance series `mw.retry.attempts`, `mw.retry.timeouts`,
-/// `mw.backend.degraded`.
+/// `reconnects`, `stale`, `unsupported`, `inline_jobs`,
+/// `heartbeat_deaths`, plus the shared fault-tolerance series
+/// `mw.retry.attempts`, `mw.retry.timeouts`, `mw.backend.degraded`,
+/// `mw.hedge.launched`, `mw.hedge.wins`.
 struct TransportObs {
     frames_sent: Arc<Counter>,
     frames_received: Arc<Counter>,
@@ -83,9 +106,12 @@ struct TransportObs {
     stale: Arc<Counter>,
     unsupported: Arc<Counter>,
     inline_jobs: Arc<Counter>,
+    heartbeat_deaths: Arc<Counter>,
     retry_attempts: Arc<Counter>,
     retry_timeouts: Arc<Counter>,
     degraded: Arc<Counter>,
+    hedge_launched: Arc<Counter>,
+    hedge_wins: Arc<Counter>,
 }
 
 impl TransportObs {
@@ -100,9 +126,12 @@ impl TransportObs {
             stale: registry.counter("mw.transport.stale"),
             unsupported: registry.counter("mw.transport.unsupported"),
             inline_jobs: registry.counter("mw.transport.inline_jobs"),
+            heartbeat_deaths: registry.counter("mw.transport.heartbeat_deaths"),
             retry_attempts: registry.counter("mw.retry.attempts"),
             retry_timeouts: registry.counter("mw.retry.timeouts"),
             degraded: registry.counter("mw.backend.degraded"),
+            hedge_launched: registry.counter("mw.hedge.launched"),
+            hedge_wins: registry.counter("mw.hedge.wins"),
         }
     }
 }
@@ -126,6 +155,27 @@ struct WorkerLink {
     incarnation: u32,
     /// Seqs dispatched on this link and not yet resolved or forgotten.
     pending: Vec<u64>,
+    /// When the last frame arrived on this link (liveness evidence).
+    last_heard: Instant,
+    /// An unanswered heartbeat probe: `(ping seq, when it was sent)`.
+    outstanding_ping: Option<(u64, Instant)>,
+    /// Respawn deferral gate ([`BackoffPolicy`]); `None` when the slot is
+    /// not waiting out a backoff.
+    not_before: Option<Instant>,
+}
+
+impl WorkerLink {
+    fn vacant() -> Self {
+        WorkerLink {
+            transport: None,
+            child: None,
+            incarnation: 0,
+            pending: Vec::new(),
+            last_heard: Instant::now(),
+            outstanding_ping: None,
+            not_before: None,
+        }
+    }
 }
 
 struct Inner {
@@ -146,6 +196,10 @@ pub struct ProcessPool {
     inner: Mutex<Inner>,
     faults: FaultPlan,
     obs: Option<Arc<TransportObs>>,
+    /// Ping/Pong liveness schedule (`NSX_HEARTBEAT`, DESIGN.md §16).
+    heartbeat: HeartbeatPolicy,
+    /// Respawn deferral schedule (`NSX_RESPAWN_BACKOFF`, DESIGN.md §16).
+    backoff: BackoffPolicy,
 }
 
 impl ProcessPool {
@@ -171,12 +225,7 @@ impl ProcessPool {
             completed: HashMap::new(),
         };
         for idx in 0..n_workers.max(1) {
-            let mut link = WorkerLink {
-                transport: None,
-                child: None,
-                incarnation: 0,
-                pending: Vec::new(),
-            };
+            let mut link = WorkerLink::vacant();
             match spawn_worker(idx, 0, &faults) {
                 Ok((transport, child)) => {
                     link.transport = Some(transport);
@@ -195,7 +244,23 @@ impl ProcessPool {
             inner: Mutex::new(inner),
             faults,
             obs,
+            heartbeat: HeartbeatPolicy::from_env(),
+            backoff: BackoffPolicy::from_env(),
         }
+    }
+
+    /// Override the heartbeat schedule (tests and exhibits; production uses
+    /// `NSX_HEARTBEAT`).
+    pub fn with_heartbeat(mut self, heartbeat: HeartbeatPolicy) -> Self {
+        self.heartbeat = heartbeat;
+        self
+    }
+
+    /// Override the respawn backoff schedule (tests and exhibits; production
+    /// uses `NSX_RESPAWN_BACKOFF`).
+    pub fn with_backoff(mut self, backoff: BackoffPolicy) -> Self {
+        self.backoff = backoff;
+        self
     }
 
     /// Spawn with faults from `NSX_FAULTS` and the default respawn budget.
@@ -248,35 +313,41 @@ impl ProcessPool {
     pub fn submit(&self, payload: Vec<u8>) -> Option<u64> {
         let mut inner = self.lock();
         let n = inner.workers.len();
-        for _ in 0..n {
-            let idx = inner.rr % n;
-            inner.rr = inner.rr.wrapping_add(1);
-            if inner.workers[idx].transport.is_none() {
-                self.revive(&mut inner, idx);
-            }
-            if inner.workers[idx].transport.is_none() {
-                continue;
-            }
-            let seq = inner.next_seq;
-            let frame = Frame::new(FrameKind::Job, seq, payload.clone());
-            let link = &mut inner.workers[idx];
-            let sent = match &mut link.transport {
-                Some(t) => t.send(&frame),
-                None => continue,
-            };
-            match sent {
-                Ok(()) => {
-                    inner.next_seq += 1;
-                    inner.workers[idx].pending.push(seq);
-                    if let Some(o) = &self.obs {
-                        o.frames_sent.inc();
-                        o.bytes_sent.add(frame.encoded_len() as u64);
-                    }
-                    return Some(seq);
+        // Pass 0 respects respawn backoff deferrals; pass 1 forces revival
+        // past them — a pool that still has budget must field a worker
+        // rather than let the backend degrade to inline forever.
+        for pass in 0..2 {
+            let force = pass == 1;
+            for _ in 0..n {
+                let idx = inner.rr % n;
+                inner.rr = inner.rr.wrapping_add(1);
+                if inner.workers[idx].transport.is_none() {
+                    self.revive_opts(&mut inner, idx, force);
                 }
-                Err(_) => {
-                    self.bury(&mut inner, idx);
-                    self.revive(&mut inner, idx);
+                if inner.workers[idx].transport.is_none() {
+                    continue;
+                }
+                let seq = inner.next_seq;
+                let frame = Frame::new(FrameKind::Job, seq, payload.clone());
+                let link = &mut inner.workers[idx];
+                let sent = match &mut link.transport {
+                    Some(t) => t.send(&frame),
+                    None => continue,
+                };
+                match sent {
+                    Ok(()) => {
+                        inner.next_seq += 1;
+                        inner.workers[idx].pending.push(seq);
+                        if let Some(o) = &self.obs {
+                            o.frames_sent.inc();
+                            o.bytes_sent.add(frame.encoded_len() as u64);
+                        }
+                        return Some(seq);
+                    }
+                    Err(_) => {
+                        self.bury(&mut inner, idx);
+                        self.revive_opts(&mut inner, idx, force);
+                    }
                 }
             }
         }
@@ -305,6 +376,7 @@ impl ProcessPool {
                     self.service_link(&mut inner, idx, Duration::ZERO);
                 }
             }
+            self.check_heartbeats(&mut inner);
             let mut got = Vec::new();
             for seq in interested {
                 if let Some(outcome) = inner.completed.remove(seq) {
@@ -350,6 +422,62 @@ impl ProcessPool {
         }
     }
 
+    /// Heartbeat liveness sweep (DESIGN.md §16): bury links whose Ping has
+    /// gone unanswered past the timeout, and probe links that have been
+    /// silent past the interval. Any received frame refreshes `last_heard`,
+    /// so links with steady result traffic are never probed. Runs on every
+    /// `collect` pass — a pool nobody is collecting from is not monitored,
+    /// which is fine: dispatch revives dead links on demand anyway.
+    fn check_heartbeats(&self, inner: &mut Inner) {
+        if !self.heartbeat.enabled {
+            return;
+        }
+        let now = Instant::now();
+        for idx in 0..inner.workers.len() {
+            if inner.workers[idx].transport.is_none() {
+                continue;
+            }
+            if let Some((_, sent)) = inner.workers[idx].outstanding_ping {
+                if now.duration_since(sent) >= self.heartbeat.timeout {
+                    // Unanswered probe: the worker is wedged or the link is
+                    // half-dead. Bury it so pending jobs re-dispatch.
+                    if let Some(o) = &self.obs {
+                        o.heartbeat_deaths.inc();
+                    }
+                    self.bury(inner, idx);
+                    self.revive(inner, idx);
+                    update_failed(inner);
+                }
+                continue;
+            }
+            if now.duration_since(inner.workers[idx].last_heard) < self.heartbeat.interval {
+                continue;
+            }
+            let seq = inner.next_seq;
+            let frame = Frame::new(FrameKind::Ping, seq, Vec::new());
+            let link = &mut inner.workers[idx];
+            let sent = match &mut link.transport {
+                Some(t) => t.send(&frame),
+                None => continue,
+            };
+            match sent {
+                Ok(()) => {
+                    inner.next_seq += 1;
+                    inner.workers[idx].outstanding_ping = Some((seq, now));
+                    if let Some(o) = &self.obs {
+                        o.frames_sent.inc();
+                        o.bytes_sent.add(frame.encoded_len() as u64);
+                    }
+                }
+                Err(_) => {
+                    self.bury(inner, idx);
+                    self.revive(inner, idx);
+                    update_failed(inner);
+                }
+            }
+        }
+    }
+
     /// Receive from link `idx`: one wait of up to `first_wait`, then drain
     /// whatever else is already buffered without blocking. A link error
     /// buries the worker and attempts a revival.
@@ -386,6 +514,8 @@ impl ProcessPool {
             o.bytes_received.add(frame.encoded_len() as u64);
         }
         let link = &mut inner.workers[idx];
+        // Any frame is proof of life, whatever its kind.
+        link.last_heard = Instant::now();
         let claimed = {
             let before = link.pending.len();
             link.pending.retain(|&s| s != frame.seq);
@@ -400,6 +530,11 @@ impl ProcessPool {
             FrameKind::Error if claimed => {
                 let msg = String::from_utf8_lossy(&frame.payload).into_owned();
                 inner.completed.insert(frame.seq, PollOutcome::Refused(msg));
+            }
+            FrameKind::Pong => {
+                // A pong (even a stale one) clears the outstanding probe;
+                // `last_heard` above already restarts the quiet-time clock.
+                link.outstanding_ping = None;
             }
             FrameKind::Hello => {} // late duplicate hello; ignore
             _ => {
@@ -416,6 +551,7 @@ impl ProcessPool {
     fn bury(&self, inner: &mut Inner, idx: usize) {
         let link = &mut inner.workers[idx];
         link.transport = None;
+        link.outstanding_ping = None;
         if let Some(mut child) = link.child.take() {
             let _ = child.kill();
             let _ = child.wait();
@@ -426,21 +562,45 @@ impl ProcessPool {
         }
     }
 
-    /// Respawn worker slot `idx` (next incarnation) while budget remains.
+    /// Respawn worker slot `idx` (next incarnation) while budget remains,
+    /// honoring the jittered reconnect backoff (DESIGN.md §16).
     fn revive(&self, inner: &mut Inner, idx: usize) {
+        self.revive_opts(inner, idx, false);
+    }
+
+    /// [`revive`](Self::revive) with backoff control: `force` ignores an
+    /// active deferral (used as dispatch's last resort). A deferred revival
+    /// does **not** consume respawn budget — the slot is skipped this pass
+    /// and tried again later, so waiting costs nothing.
+    fn revive_opts(&self, inner: &mut Inner, idx: usize, force: bool) {
         if inner.respawn_budget == 0 || inner.workers[idx].transport.is_some() {
             return;
         }
-        inner.respawn_budget -= 1;
         let incarnation = inner.workers[idx].incarnation + 1;
+        let now = Instant::now();
+        let delay = self.backoff.delay_for(idx, incarnation);
+        let not_before = *inner.workers[idx].not_before.get_or_insert(now + delay);
+        if !force && now < not_before {
+            return;
+        }
+        inner.respawn_budget -= 1;
         if let Ok((transport, child)) = spawn_worker(idx, incarnation, &self.faults) {
             let link = &mut inner.workers[idx];
             link.transport = Some(transport);
             link.child = Some(child);
             link.incarnation = incarnation;
+            link.last_heard = Instant::now();
+            link.outstanding_ping = None;
+            link.not_before = None;
             if let Some(o) = &self.obs {
                 o.reconnects.inc();
             }
+        } else if self.backoff.enabled {
+            // Spawn failed (budget already charged): re-arm the deferral so
+            // a dying host is not hammered in a tight loop.
+            inner.workers[idx].not_before = Some(now + delay.max(self.backoff.base));
+        } else {
+            inner.workers[idx].not_before = None;
         }
     }
 }
@@ -597,6 +757,10 @@ struct PendingJob<S> {
     seq: u64,
     attempt: u32,
     dispatched: Instant,
+    /// A speculative duplicate dispatched when the primary straggled past
+    /// the hedge threshold: `(its seq, when it shipped)`. First answer
+    /// wins; the loser is forgotten (DESIGN.md §16).
+    hedge: Option<(u64, Instant)>,
 }
 
 /// A [`SamplingBackend`] that runs batches on [`ProcessPool`] workers over
@@ -606,6 +770,11 @@ pub struct ProcessBackend {
     pool: ProcessPool,
     retry: RetryPolicy,
     degraded: AtomicBool,
+    /// Straggler hedging policy (`NSX_HEDGE`, DESIGN.md §16).
+    hedge: HedgePolicy,
+    /// P² estimator over completed round-trip latencies (seconds), feeding
+    /// the hedge threshold.
+    latency: Mutex<P2Quantile>,
 }
 
 impl ProcessBackend {
@@ -629,11 +798,41 @@ impl ProcessBackend {
         respawn_budget: u64,
         registry: Option<&MetricsRegistry>,
     ) -> Self {
+        let hedge = HedgePolicy::from_env();
         ProcessBackend {
             pool: ProcessPool::with_options(n_workers, faults, respawn_budget, registry),
             retry,
             degraded: AtomicBool::new(false),
+            hedge,
+            latency: Mutex::new(P2Quantile::new(hedge.quantile)),
         }
+    }
+
+    /// Override the hedging policy (tests and exhibits; production uses
+    /// `NSX_HEDGE`). Resets the latency estimator to the new quantile.
+    pub fn with_hedge(mut self, hedge: HedgePolicy) -> Self {
+        self.hedge = hedge;
+        self.latency = Mutex::new(P2Quantile::new(hedge.quantile));
+        self
+    }
+
+    /// The backend's hedging policy.
+    pub fn hedge_policy(&self) -> HedgePolicy {
+        self.hedge
+    }
+
+    /// Override the pool's heartbeat schedule (tests and exhibits;
+    /// production uses `NSX_HEARTBEAT`).
+    pub fn with_heartbeat(mut self, heartbeat: HeartbeatPolicy) -> Self {
+        self.pool.heartbeat = heartbeat;
+        self
+    }
+
+    /// Override the pool's respawn backoff schedule (tests and exhibits;
+    /// production uses `NSX_RESPAWN_BACKOFF`).
+    pub fn with_backoff(mut self, backoff: BackoffPolicy) -> Self {
+        self.pool.backoff = backoff;
+        self
     }
 
     /// The process-wide shared backend, sized by [`default_process_workers`]
@@ -663,6 +862,25 @@ impl ProcessBackend {
                 o.degraded.inc();
             }
         }
+    }
+
+    /// Feed one completed round-trip latency to the hedge estimator.
+    fn observe_latency(&self, d: Duration) {
+        if !self.hedge.enabled {
+            return;
+        }
+        let mut est = self.latency.lock().unwrap_or_else(|e| e.into_inner());
+        est.observe(d.as_secs_f64());
+    }
+
+    /// Current in-flight latency beyond which a job should be hedged, if
+    /// hedging is active and warmed up.
+    fn hedge_after(&self) -> Option<Duration> {
+        if !self.hedge.enabled {
+            return None;
+        }
+        let est = self.latency.lock().unwrap_or_else(|e| e.into_inner());
+        self.hedge.hedge_after(est.count(), est.estimate())
     }
 
     fn extend_inline<S: SampleStream>(mut jobs: Vec<StreamJob<S>>) -> Vec<StreamJob<S>> {
@@ -700,6 +918,32 @@ impl ProcessBackend {
         });
     }
 
+    /// One leg of a (possibly hedged) job died or returned garbage. While
+    /// the other leg is still in flight, keep waiting on it alone: a dead
+    /// hedge costs nothing, and a dead primary *promotes* the hedge to
+    /// primary without burning a retry attempt (the hedge carries the same
+    /// stream clone, so the answer is the same bits either way). With no
+    /// live leg left, the normal retry path applies.
+    fn settle_lost_leg<S: SampleStream>(
+        &self,
+        wire_id: &str,
+        mut p: PendingJob<S>,
+        from_hedge: bool,
+        pending: &mut HashMap<u64, PendingJob<S>>,
+        out: &mut [Option<StreamJob<S>>],
+    ) {
+        if from_hedge {
+            p.hedge = None;
+            pending.insert(p.seq, p);
+        } else if let Some((h, shipped)) = p.hedge.take() {
+            p.seq = h;
+            p.dispatched = shipped;
+            pending.insert(h, p);
+        } else {
+            self.retry_or_inline(wire_id, p, pending, out);
+        }
+    }
+
     /// Re-dispatch a lost/expired job if attempts and workers remain,
     /// otherwise finish it inline.
     fn retry_or_inline<S: SampleStream>(
@@ -725,6 +969,7 @@ impl ProcessBackend {
                         seq,
                         attempt: next_attempt,
                         dispatched: Instant::now(),
+                        hedge: None,
                         ..p
                     },
                 );
@@ -767,6 +1012,7 @@ impl<S: SampleStream + 'static> SamplingBackend<S> for ProcessBackend {
                             seq,
                             attempt: 1,
                             dispatched: Instant::now(),
+                            hedge: None,
                         },
                     );
                 }
@@ -784,15 +1030,53 @@ impl<S: SampleStream + 'static> SamplingBackend<S> for ProcessBackend {
         }
         let limit = self.retry.timeout.unwrap_or(DEFAULT_ATTEMPT_TIMEOUT);
         while !pending.is_empty() {
-            let interested: Vec<u64> = pending.keys().copied().collect();
+            let interested: Vec<u64> = pending
+                .keys()
+                .copied()
+                .chain(pending.values().filter_map(|p| p.hedge.map(|(s, _)| s)))
+                .collect();
             for (seq, outcome) in self.pool.collect(&interested, Duration::from_millis(20)) {
-                let Some(p) = pending.remove(&seq) else {
+                // Resolve the seq to its pending entry: primary seqs are the
+                // map keys; hedge seqs need a scan (batches are small).
+                let key = if pending.contains_key(&seq) {
+                    seq
+                } else {
+                    match pending
+                        .iter()
+                        .find(|(_, p)| p.hedge.is_some_and(|(s, _)| s == seq))
+                        .map(|(k, _)| *k)
+                    {
+                        Some(k) => k,
+                        None => continue,
+                    }
+                };
+                let Some(p) = pending.remove(&key) else {
                     continue;
                 };
+                let from_hedge = seq != p.seq;
                 match outcome {
                     PollOutcome::Result(payload) => {
                         match decode_stream::<S>(&payload, p.slot) {
                             Some(stream) => {
+                                // First answer wins; the loser's eventual
+                                // reply is forgotten and counted stale.
+                                // Either way the stream bits are those the
+                                // backup would have produced — hedging can
+                                // only change *when*, never *what*.
+                                if from_hedge {
+                                    if let Some(o) = self.obs() {
+                                        o.hedge_wins.inc();
+                                    }
+                                    self.pool.forget(p.seq);
+                                    if let Some((_, shipped)) = p.hedge {
+                                        self.observe_latency(shipped.elapsed());
+                                    }
+                                } else {
+                                    if let Some((h, _)) = p.hedge {
+                                        self.pool.forget(h);
+                                    }
+                                    self.observe_latency(p.dispatched.elapsed());
+                                }
                                 out[p.idx] = Some(StreamJob {
                                     slot: p.slot,
                                     dt: p.dt,
@@ -801,7 +1085,9 @@ impl<S: SampleStream + 'static> SamplingBackend<S> for ProcessBackend {
                             }
                             // An undecodable or misrouted result is treated
                             // as a lost attempt, never a guessed sample.
-                            None => self.retry_or_inline(wire_id, p, &mut pending, &mut out),
+                            None => {
+                                self.settle_lost_leg(wire_id, p, from_hedge, &mut pending, &mut out)
+                            }
                         }
                     }
                     PollOutcome::Refused(_) => {
@@ -810,12 +1096,21 @@ impl<S: SampleStream + 'static> SamplingBackend<S> for ProcessBackend {
                         if let Some(o) = self.obs() {
                             o.unsupported.inc();
                         }
+                        if from_hedge {
+                            self.pool.forget(p.seq);
+                        } else if let Some((h, _)) = p.hedge {
+                            self.pool.forget(h);
+                        }
                         Self::finish_inline(p, &mut out);
                     }
-                    PollOutcome::Lost => self.retry_or_inline(wire_id, p, &mut pending, &mut out),
+                    PollOutcome::Lost => {
+                        self.settle_lost_leg(wire_id, p, from_hedge, &mut pending, &mut out)
+                    }
                 }
             }
             // Per-attempt deadlines: abandon expired seqs and re-dispatch.
+            // A hedged job's clock is its primary dispatch; expiry abandons
+            // both legs (the hedge shipped even later).
             let expired: Vec<u64> = pending
                 .values()
                 .filter(|p| p.dispatched.elapsed() >= limit)
@@ -829,7 +1124,37 @@ impl<S: SampleStream + 'static> SamplingBackend<S> for ProcessBackend {
                     o.retry_timeouts.inc();
                 }
                 self.pool.forget(seq);
+                if let Some((h, _)) = p.hedge {
+                    self.pool.forget(h);
+                }
                 self.retry_or_inline(wire_id, p, &mut pending, &mut out);
+            }
+            // Straggler hedging (DESIGN.md §16): primaries in flight past
+            // the quantile-tracked threshold get a speculative duplicate of
+            // the same stream clone on another worker.
+            if let Some(after) = self.hedge_after() {
+                let candidates: Vec<u64> = pending
+                    .values()
+                    .filter(|p| p.hedge.is_none() && p.dispatched.elapsed() >= after)
+                    .map(|p| p.seq)
+                    .collect();
+                for seq in candidates {
+                    let Some((slot, dt)) = pending.get(&seq).map(|p| (p.slot, p.dt)) else {
+                        continue;
+                    };
+                    let hseq = {
+                        let p = &pending[&seq];
+                        self.dispatch(wire_id, slot, dt, &p.backup)
+                    };
+                    if let Some(hseq) = hseq {
+                        if let Some(o) = self.obs() {
+                            o.hedge_launched.inc();
+                        }
+                        if let Some(p) = pending.get_mut(&seq) {
+                            p.hedge = Some((hseq, Instant::now()));
+                        }
+                    }
+                }
             }
         }
         out.into_iter()
@@ -969,6 +1294,87 @@ mod tests {
         let procd = backend.extend_batch(jobs_at(&obj, 4));
         assert_batches_identical(&serial, &procd);
         assert!(SamplingBackend::<Stream>::degraded(&backend));
+    }
+
+    #[test]
+    fn hedged_dispatch_beats_a_straggler_bit_for_bit() {
+        let reg = MetricsRegistry::new();
+        let obj = Noisy::new(Rosenbrock::new(2), ConstantNoise(4.0));
+        let serial = SerialBackend.extend_batch(jobs_at(&obj, 8));
+        // Worker 0 sleeps 150 ms before every job (a permanent straggler);
+        // with an aggressive hedge policy its jobs are speculatively
+        // re-dispatched and the batch still matches serial bit-for-bit.
+        let backend = ProcessBackend::with_options(
+            2,
+            FaultPlan::none().delay(0, 0, 150),
+            RetryPolicy::default(),
+            default_respawn_budget(2),
+            Some(&reg),
+        )
+        .with_hedge(HedgePolicy::parse("on:q=0.5:factor=1:min_ms=10:warmup=3").unwrap());
+        for _ in 0..3 {
+            let procd = backend.extend_batch(jobs_at(&obj, 8));
+            assert_batches_identical(&SerialBackend.extend_batch(jobs_at(&obj, 8)), &procd);
+        }
+        let procd = backend.extend_batch(jobs_at(&obj, 8));
+        assert_batches_identical(&serial, &procd);
+        assert!(!SamplingBackend::<Stream>::degraded(&backend));
+        assert!(reg.counter("mw.hedge.launched").get() >= 1);
+        assert!(reg.counter("mw.hedge.wins").get() >= 1);
+    }
+
+    #[test]
+    fn heartbeat_buries_a_wedged_worker_and_recovers() {
+        let reg = MetricsRegistry::new();
+        let obj = Noisy::new(Rosenbrock::new(2), ConstantNoise(2.0));
+        let serial = SerialBackend.extend_batch(jobs_at(&obj, 3));
+        // The sole worker's first incarnation wedges for 30 s on every job;
+        // the heartbeat declares it dead in ~interval+timeout, well before
+        // the 5 s attempt deadline, and the healthy respawn answers the
+        // re-dispatch bit-identically.
+        let backend = ProcessBackend::with_options(
+            1,
+            FaultPlan::none().delay(0, 0, 30_000),
+            RetryPolicy::default(),
+            default_respawn_budget(1),
+            Some(&reg),
+        )
+        .with_heartbeat(HeartbeatPolicy::parse("on:interval_ms=100:timeout_ms=300").unwrap());
+        let start = Instant::now();
+        let procd = backend.extend_batch(jobs_at(&obj, 3));
+        assert_batches_identical(&serial, &procd);
+        assert!(!SamplingBackend::<Stream>::degraded(&backend));
+        assert!(reg.counter("mw.transport.heartbeat_deaths").get() >= 1);
+        assert!(reg.counter("mw.transport.reconnects").get() >= 1);
+        // Recovery must beat the 5 s attempt timeout by a wide margin.
+        assert!(start.elapsed() < Duration::from_secs(4));
+    }
+
+    #[test]
+    fn repeated_revivals_defer_with_backoff_but_dispatch_forces_through() {
+        // Unit-level check of the deferral bookkeeping: a slot on its second
+        // respawn is deferred by revive() but submit()'s forced pass still
+        // fields a worker instead of letting the backend degrade.
+        let pool = ProcessPool::with_options(1, FaultPlan::none(), 8, None)
+            .with_backoff(BackoffPolicy::parse("on:base_ms=60000:cap_ms=60000").unwrap());
+        {
+            let mut inner = pool.lock();
+            // Simulate two prior deaths: incarnation 1 already used.
+            inner.workers[0].incarnation = 1;
+            pool.bury(&mut inner, 0);
+            pool.revive(&mut inner, 0);
+            // Deferred: no transport, budget untouched by the deferral.
+            assert!(inner.workers[0].transport.is_none());
+            assert_eq!(inner.respawn_budget, 8);
+            assert!(inner.workers[0].not_before.is_some());
+        }
+        // Dispatch forces past the deferral rather than failing.
+        let mut w = Writer::new();
+        let local = stoch_eval::sampler::GaussianStream::new(1.0, 1.0, 3);
+        local.save_state(&mut w).unwrap();
+        let payload = wire::encode_job("gaussian.v1", 0, 1.0, &w.into_bytes());
+        assert!(pool.submit(payload).is_some());
+        assert_eq!(pool.alive_workers(), 1);
     }
 
     #[test]

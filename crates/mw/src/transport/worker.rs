@@ -135,10 +135,19 @@ pub fn serve<T: Transport>(mut t: T, fault: WorkerFault) -> i32 {
                     Err(_) => return exit::IO,
                 }
             }
-            // Hello/Result/Error are master-bound; receiving one here means
-            // the peer is confused. Ignore rather than die — the master's
-            // per-attempt timeout owns recovery policy.
-            FrameKind::Hello | FrameKind::Result | FrameKind::Error => {}
+            // Heartbeat probe: echo the seq so the master can match the
+            // reply to its outstanding Ping (DESIGN.md §16). Injected delay
+            // faults intentionally do NOT apply here — they model slow
+            // *jobs*, and a delayed worker is alive, not dead.
+            FrameKind::Ping => match t.send(&Frame::new(FrameKind::Pong, frame.seq, vec![])) {
+                Ok(()) => {}
+                Err(TransportError::Closed) => return exit::OK,
+                Err(_) => return exit::IO,
+            },
+            // Hello/Result/Error/Pong are master-bound; receiving one here
+            // means the peer is confused. Ignore rather than die — the
+            // master's per-attempt timeout owns recovery policy.
+            FrameKind::Hello | FrameKind::Result | FrameKind::Error | FrameKind::Pong => {}
         }
     }
 }
@@ -223,6 +232,26 @@ mod tests {
             .unwrap()
             .contains("martian"));
         drop(master); // hangup => clean exit
+        assert_eq!(handle.join().unwrap(), exit::OK);
+    }
+
+    #[test]
+    fn ping_is_answered_with_pong_echoing_seq() {
+        let (mut master, handle) = spawn_serve(WorkerFault::default());
+        expect_hello(&mut master);
+        master
+            .send(&Frame::new(FrameKind::Ping, 99, vec![]))
+            .unwrap();
+        let reply = master
+            .recv_timeout(Duration::from_secs(1))
+            .unwrap()
+            .unwrap();
+        assert_eq!(reply.kind, FrameKind::Pong);
+        assert_eq!(reply.seq, 99);
+        assert!(reply.payload.is_empty());
+        master
+            .send(&Frame::new(FrameKind::Shutdown, 0, vec![]))
+            .unwrap();
         assert_eq!(handle.join().unwrap(), exit::OK);
     }
 

@@ -279,6 +279,87 @@ mod tests {
     }
 
     #[test]
+    fn budget_exhausted_run_is_quarantined_then_readmitted_bit_identically() {
+        use mw_framework::FaultPlan;
+        use noisy_simplex::result::RunNote;
+        let obj = Noisy::new(Rosenbrock::new(2), ConstantNoise(6.0));
+        // Hostile environment: the sole worker dies after 2 jobs and the
+        // respawn budget is zero, so the dedicated backend degrades almost
+        // immediately. The scheduler must evict the run rather than let it
+        // limp along serially in a fleet slot.
+        let chaos_cfg = SimplexConfig {
+            backend: BackendChoice::Threaded { workers: 1 },
+            faults: Some(FaultPlan::none().kill(0, 2)),
+            respawn_budget: Some(0),
+            ..SimplexConfig::default()
+        };
+        assert!(chaos_cfg.customized());
+
+        // The reference answer is a clean solo run: quarantine + readmit
+        // must be invisible in the result bits.
+        let clean_solo = RunSession::new(
+            &obj,
+            init(21),
+            serial_cfg(),
+            term(15),
+            TimeMode::Parallel,
+            21,
+            Driver::Det,
+        )
+        .run_to_completion();
+
+        let mut sched = Scheduler::new(
+            SchedConfig {
+                width: 1,
+                quantum: 2,
+            },
+            Arc::new(SerialBackend),
+        );
+        let doomed = sched
+            .admit(RunSpec::new(
+                &obj,
+                init(21),
+                chaos_cfg,
+                term(15),
+                TimeMode::Parallel,
+                21,
+                Driver::Det,
+            ))
+            .unwrap();
+        let calm = sched
+            .admit(RunSpec::new(
+                &obj,
+                init(22),
+                serial_cfg(),
+                term(15),
+                TimeMode::Parallel,
+                22,
+                Driver::Det,
+            ))
+            .unwrap();
+        sched.run();
+
+        // The calm run finished; the doomed run is parked, not finished.
+        assert!(sched.result(calm).is_some());
+        assert!(sched.result(doomed).is_none());
+        assert_eq!(sched.quarantined(), vec![doomed]);
+        assert!(
+            sched
+                .service_registry()
+                .counter("sched.runs.quarantined")
+                .get()
+                >= 1
+        );
+        // Readmission strips the chaos and resumes on the shared fleet.
+        assert!(sched.readmit(doomed));
+        assert!(!sched.readmit(doomed), "readmit is one-shot");
+        sched.run();
+        let got = sched.result(doomed).expect("readmitted run finishes");
+        assert!(got.notes.contains(&RunNote::Quarantined));
+        assert_bit_identical(&clean_solo, got, "quarantined run");
+    }
+
+    #[test]
     fn nested_dispatch_is_refused_at_admission() {
         use mw_framework::{MwObjective, MwPool, ThreadedBackend};
         let pool = Arc::new(MwPool::new(2));

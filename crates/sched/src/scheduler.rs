@@ -35,7 +35,7 @@
 use crate::config::SchedConfig;
 use crate::fleet::{FleetBackend, FleetTicket};
 use noisy_simplex::config::{check_nested_dispatch, ConfigError, SimplexConfig};
-use noisy_simplex::result::RunResult;
+use noisy_simplex::result::{RunNote, RunResult};
 use noisy_simplex::session::{Driver, RunSession, SessionStatus};
 use noisy_simplex::termination::Termination;
 use obs::{Counter, Gauge, MetricsRegistry};
@@ -118,6 +118,10 @@ enum State<'a, F: StochasticObjective> {
     Resident(Box<RunSession<'a, F>>),
     /// Preempted to checkpoint bytes.
     Suspended(Vec<u8>),
+    /// Evicted to checkpoint bytes after its dedicated backend exhausted
+    /// its fault budgets (DESIGN.md §16). Not schedulable until
+    /// [`Scheduler::readmit`] re-homes it.
+    Quarantined(Vec<u8>),
     /// Finished (boxed: results dwarf the other variants).
     Done(Box<RunResult>),
 }
@@ -142,6 +146,9 @@ struct Entry<'a, F: StochasticObjective> {
     ready_since: Option<Instant>,
     admitted_at: Instant,
     started: bool,
+    /// The run was quarantined at least once; its final result carries
+    /// [`RunNote::Quarantined`].
+    was_quarantined: bool,
 }
 
 /// The shared-fleet scheduling service. See the module docs.
@@ -154,6 +161,7 @@ pub struct Scheduler<'a, F: StochasticObjective> {
     admitted: Arc<Counter>,
     completed: Arc<Counter>,
     svc_preemptions: Arc<Counter>,
+    quarantines: Arc<Counter>,
     admission_latency: Arc<Counter>,
     queue_depth_hwm: Arc<Gauge>,
     fairness_spread: Arc<Gauge>,
@@ -171,6 +179,7 @@ impl<'a, F: StochasticObjective> Scheduler<'a, F> {
             admitted: service.counter("sched.runs_admitted"),
             completed: service.counter("sched.runs_completed"),
             svc_preemptions: service.counter("sched.preemptions"),
+            quarantines: service.counter("sched.runs.quarantined"),
             admission_latency: service.counter("sched.admission_latency_nanos"),
             queue_depth_hwm: service.gauge("sched.queue_depth_hwm"),
             fairness_spread: service.gauge("sched.fairness.vruntime_spread_milli"),
@@ -240,6 +249,7 @@ impl<'a, F: StochasticObjective> Scheduler<'a, F> {
             ready_since: Some(Instant::now()),
             admitted_at: Instant::now(),
             started: false,
+            was_quarantined: false,
         };
         self.entries.push(entry);
         self.admitted.inc();
@@ -250,7 +260,7 @@ impl<'a, F: StochasticObjective> Scheduler<'a, F> {
         self.entries
             .iter()
             .enumerate()
-            .filter(|(_, e)| !matches!(e.state, State::Done(_)))
+            .filter(|(_, e)| !matches!(e.state, State::Done(_) | State::Quarantined(_)))
             .map(|(i, _)| i)
             .collect()
     }
@@ -323,7 +333,9 @@ impl<'a, F: StochasticObjective> Scheduler<'a, F> {
                     .expect("in-memory checkpoint failed to resume"),
                 ),
                 State::Resident(s) => s,
-                State::Done(_) => unreachable!("done runs are filtered from the ready set"),
+                State::Done(_) | State::Quarantined(_) => {
+                    unreachable!("done and quarantined runs are filtered from the ready set")
+                }
             };
             batch.push((i, session, uses_fleet));
         }
@@ -368,10 +380,32 @@ impl<'a, F: StochasticObjective> Scheduler<'a, F> {
             e.vruntime += steps as f64 / e.effective_weight;
             e.rounds.add(steps);
             if session.is_finished() {
-                e.state = State::Done(Box::new(session.finish()));
+                let mut res = session.finish();
+                if e.was_quarantined && !res.notes.contains(&RunNote::Quarantined) {
+                    res.notes.push(RunNote::Quarantined);
+                }
+                e.state = State::Done(Box::new(res));
                 self.completed.inc();
             } else {
                 e.ready_since = Some(Instant::now());
+                // Run-level supervision (DESIGN.md §16): a run whose
+                // *dedicated* backend has burned through its retry/respawn
+                // budgets is living in a hostile environment. Evict it to a
+                // checkpoint instead of letting it limp along serially and
+                // occupy fleet-width slots forever; `readmit` can later
+                // re-home it on the shared fleet, bit-identically (the
+                // snapshot carries no backend state).
+                if e.dedicated.as_ref().is_some_and(|b| b.degraded()) {
+                    if let Ok(payload) = session.snapshot() {
+                        e.was_quarantined = true;
+                        e.dedicated = None;
+                        e.state = State::Quarantined(payload);
+                        self.quarantines.inc();
+                        continue;
+                    }
+                    // Non-checkpointable: it cannot be evicted, only
+                    // tolerated. Falls through to the normal states below.
+                }
                 if contention {
                     match session.snapshot() {
                         Ok(payload) => {
@@ -406,9 +440,48 @@ impl<'a, F: StochasticObjective> Scheduler<'a, F> {
             .any(|e| !matches!(e.state, State::Done(_)))
     }
 
-    /// Tick until every admitted run has finished.
+    /// Tick until every schedulable run has finished. Quarantined runs stay
+    /// parked; call [`readmit`](Self::readmit) and `run` again to finish
+    /// them.
     pub fn run(&mut self) {
         while self.tick() {}
+    }
+
+    /// Ids of runs currently quarantined (DESIGN.md §16).
+    pub fn quarantined(&self) -> Vec<u64> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| matches!(e.state, State::Quarantined(_)))
+            .map(|(i, _)| i as u64)
+            .collect()
+    }
+
+    /// Re-admit a quarantined run from its eviction checkpoint. The hostile
+    /// parts of its configuration — fault plan, respawn-budget override,
+    /// retry tweaks — are stripped, so the run resumes on the shared fleet
+    /// in a sane environment; everything the optimization itself depends on
+    /// (streams, RNG cursor, simplex) is in the checkpoint, so the answer
+    /// is bit-identical to a run that never saw chaos. Its final result
+    /// carries [`RunNote::Quarantined`]. Returns `false` when `id` is
+    /// unknown or not quarantined.
+    pub fn readmit(&mut self, id: u64) -> bool {
+        let Some(e) = self.entries.get_mut(id as usize) else {
+            return false;
+        };
+        if !matches!(e.state, State::Quarantined(_)) {
+            return false;
+        }
+        let State::Quarantined(payload) = std::mem::replace(&mut e.state, State::Pending) else {
+            unreachable!("matched above");
+        };
+        e.cfg.faults = None;
+        e.cfg.respawn_budget = None;
+        e.cfg.retry = Default::default();
+        e.dedicated = None;
+        e.state = State::Suspended(payload);
+        e.ready_since = Some(Instant::now());
+        true
     }
 
     /// The finished result for `id`, if that run is done.

@@ -1,0 +1,132 @@
+//! Service-level resilience (DESIGN.md §16): straggler hedging must be
+//! invisible in the results.
+//!
+//! Hedging speculatively re-dispatches a slow in-flight job to a second
+//! worker and takes the first answer. Because a retry (and therefore a
+//! hedge) re-ships the *same* stream clone — RNG state and all — the winner
+//! of the race cannot change a single bit of the run: only its tail
+//! latency. The property below forces every winner permutation the race
+//! admits (primary wins, hedge wins, primary's worker straggles, the other
+//! worker straggles) and checks each of the four paper drivers stays
+//! `f64::to_bits`-identical to a serial run.
+
+use mw_framework::resilience::HedgePolicy;
+use mw_framework::{FaultPlan, RetryPolicy, ThreadedBackend};
+use noisy_simplex::config::{BackendChoice, SimplexConfig, TransportChoice};
+use noisy_simplex::result::RunResult;
+use noisy_simplex::session::{Driver, RunSession};
+use noisy_simplex::termination::Termination;
+use proptest::prelude::*;
+use std::sync::Arc;
+use stoch_eval::backend::SamplingBackend;
+use stoch_eval::clock::TimeMode;
+use stoch_eval::functions::Rosenbrock;
+use stoch_eval::noise::ConstantNoise;
+use stoch_eval::objective::StochasticObjective;
+use stoch_eval::sampler::Noisy;
+
+fn serial_cfg() -> SimplexConfig {
+    SimplexConfig {
+        backend: BackendChoice::Serial,
+        transport: TransportChoice::Inproc,
+        ..SimplexConfig::default()
+    }
+}
+
+fn term(iters: u64) -> Termination {
+    Termination {
+        tolerance: None,
+        max_time: None,
+        max_iterations: Some(iters),
+    }
+}
+
+fn assert_identical(label: &str, a: &RunResult, b: &RunResult) {
+    assert_eq!(a.best_point, b.best_point, "{label}: best_point");
+    assert_eq!(
+        a.best_observed.to_bits(),
+        b.best_observed.to_bits(),
+        "{label}: best_observed"
+    );
+    assert_eq!(a.iterations, b.iterations, "{label}: iterations");
+    assert_eq!(a.elapsed.to_bits(), b.elapsed.to_bits(), "{label}: elapsed");
+    assert_eq!(
+        a.total_sampling.to_bits(),
+        b.total_sampling.to_bits(),
+        "{label}: total_sampling"
+    );
+    assert_eq!(a.stop, b.stop, "{label}: stop reason");
+    assert_eq!(
+        a.trace.points().len(),
+        b.trace.points().len(),
+        "{label}: trace length"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Every hedge-race winner permutation yields serial bits: whichever of
+    /// the two workers is the straggler (`slow_worker`), however long it
+    /// lags (`delay_ms`), and wherever the simplex wanders (`seed`), each
+    /// driver's hedged run matches its serial baseline exactly.
+    #[test]
+    fn hedge_race_winner_never_changes_result_bits(
+        slow_worker in 0usize..2,
+        delay_ms in 8u64..28,
+        seed in 1u64..10_000,
+    ) {
+        let obj = Noisy::new(Rosenbrock::new(2), ConstantNoise(3.0));
+        let init = noisy_simplex::init::random_uniform(2, -3.0, 3.0, seed);
+        let drivers = [
+            Driver::Det,
+            Driver::Mn(Default::default()),
+            Driver::Pc(Default::default()),
+            Driver::PcMn(Default::default(), Default::default()),
+        ];
+        // Aggressive policy so hedges actually launch inside a short run;
+        // whether each race is won by the primary or the hedge is decided
+        // by wall-clock scheduling — exactly the nondeterminism the
+        // determinism contract must absorb.
+        let hedge = HedgePolicy::parse("on:q=0.5:factor=1:min_ms=2:warmup=4").unwrap();
+        for driver in drivers {
+            let serial = RunSession::new(
+                &obj,
+                init.clone(),
+                serial_cfg(),
+                term(10),
+                TimeMode::Parallel,
+                seed,
+                driver,
+            )
+            .run_to_completion();
+
+            let backend = ThreadedBackend::with_options(
+                2,
+                FaultPlan::none().delay(slow_worker, 0, delay_ms),
+                RetryPolicy::default(),
+                4,
+                None,
+            )
+            .with_hedge(hedge);
+            let hedged = RunSession::with_backend(
+                &obj,
+                init.clone(),
+                serial_cfg(),
+                term(10),
+                TimeMode::Parallel,
+                seed,
+                driver,
+                Arc::new(backend)
+                    as Arc<dyn SamplingBackend<<Noisy<Rosenbrock, ConstantNoise> as StochasticObjective>::Stream>>,
+            )
+            .run_to_completion();
+
+            assert_identical(
+                &format!("driver {driver:?}, slow worker {slow_worker}, {delay_ms} ms"),
+                &serial,
+                &hedged,
+            );
+        }
+    }
+}
